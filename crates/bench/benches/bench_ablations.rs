@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6.
+//!
+//! These are *comparative* benches: each group pits two implementations
+//! of the same job against each other so `cargo bench` output directly
+//! answers "was this design choice worth it".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration as StdDuration;
+use wcs_core::average::{mc_averages, quad_concurrency};
+use wcs_core::params::ModelParams;
+use wcs_sim::mac::{AckPolicy, MacConfig, RtsCtsPolicy};
+use wcs_sim::phy::{PhyConfig, ReceptionModel};
+use wcs_sim::rate::RatePolicy;
+use wcs_sim::sim::{SimConfig, Simulator};
+use wcs_sim::time::Duration;
+use wcs_sim::world::{ChannelConfig, NodeId, World};
+use wcs_propagation::geometry::Point2;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(StdDuration::from_secs(2))
+        .warm_up_time(StdDuration::from_millis(500))
+}
+
+/// Ablation: Gauss–Legendre quadrature vs Monte Carlo for the σ = 0
+/// concurrency average (same target accuracy class).
+fn ablation_quadrature_vs_mc(c: &mut Criterion) {
+    let p = ModelParams::paper_sigma0();
+    let mut g = c.benchmark_group("ablation_sigma0_average");
+    g.bench_function("quadrature_48x48", |b| {
+        b.iter(|| black_box(quad_concurrency(&p, 55.0, 55.0)))
+    });
+    g.bench_function("monte_carlo_20k", |b| {
+        b.iter(|| black_box(mc_averages(&p, 55.0, 55.0, 55.0, 20_000, 1).concurrency))
+    });
+    g.finish();
+}
+
+fn two_pair_sim(phy: PhyConfig, mac: MacConfig, rate: RatePolicy, seed: u64) -> f64 {
+    let world = World::new(
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 20.0),
+            Point2::new(-55.0, 0.0),
+            Point2::new(-55.0, -20.0),
+        ],
+        ChannelConfig::paper_analysis().without_shadowing(),
+        0,
+    );
+    let mut s = Simulator::new(world, SimConfig { phy, mac, seed, ..Default::default() });
+    s.add_flow(NodeId(0), NodeId(1), rate.clone());
+    s.add_flow(NodeId(2), NodeId(3), rate);
+    s.run_for(Duration::from_secs(1));
+    s.flow_stats(0).delivered as f64 + s.flow_stats(1).delivered as f64
+}
+
+/// Ablation: hard-threshold vs sigmoid reception (runtime cost of the
+/// probabilistic PHY).
+fn ablation_reception(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_reception_model");
+    for (label, phy) in [
+        ("hard_threshold", PhyConfig::default()),
+        (
+            "sigmoid_4db",
+            PhyConfig { reception: ReceptionModel::Sigmoid { width_db: 4.0 }, ..Default::default() },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &phy, |b, phy| {
+            b.iter(|| {
+                black_box(two_pair_sim(
+                    *phy,
+                    MacConfig::default(),
+                    RatePolicy::fixed(24.0),
+                    1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: SampleRate adaptation vs fixed oracle rate (runtime and the
+/// throughput each achieves is printed by the repro harness; here we
+/// measure engine cost).
+fn ablation_samplerate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rate_control");
+    g.bench_function("fixed_24mbps", |b| {
+        b.iter(|| {
+            black_box(two_pair_sim(
+                PhyConfig::default(),
+                MacConfig { ack: AckPolicy::Unicast { retry_limit: 4 }, ..Default::default() },
+                RatePolicy::fixed(24.0),
+                2,
+            ))
+        })
+    });
+    g.bench_function("samplerate", |b| {
+        b.iter(|| {
+            black_box(two_pair_sim(
+                PhyConfig::default(),
+                MacConfig { ack: AckPolicy::Unicast { retry_limit: 4 }, ..Default::default() },
+                RatePolicy::sample_paper_subset(),
+                2,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: RTS/CTS off vs always vs loss-triggered (§5's proposal).
+fn ablation_rtscts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rtscts");
+    let policies = [
+        ("off", RtsCtsPolicy::Off),
+        ("always", RtsCtsPolicy::Always),
+        (
+            "loss_triggered",
+            RtsCtsPolicy::LossTriggered {
+                loss_threshold: 0.5,
+                min_rssi_db: 10.0,
+                window: 20,
+                rearm_threshold: 0.8,
+            },
+        ),
+    ];
+    for (label, policy) in policies {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, policy| {
+            b.iter(|| {
+                black_box(two_pair_sim(
+                    PhyConfig::default(),
+                    MacConfig {
+                        ack: AckPolicy::Unicast { retry_limit: 4 },
+                        rts_cts: *policy,
+                        ..Default::default()
+                    },
+                    RatePolicy::fixed(12.0),
+                    3,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets =
+        ablation_quadrature_vs_mc,
+        ablation_reception,
+        ablation_samplerate,
+        ablation_rtscts,
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion benches for the analytical-model experiments: one kernel per
+//! table/figure of §3 (the per-cell / per-point computation each figure
+//! repeats many times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wcs_core::average::{mc_averages, quad_concurrency, quad_multiplexing};
+use wcs_core::curves::{log_d_grid, throughput_curves};
+use wcs_core::efficiency::cs_efficiency;
+use wcs_core::inefficiency::gap_decomposition;
+use wcs_core::landscape::{capacity_map, LandscapeKind};
+use wcs_core::params::ModelParams;
+use wcs_core::preference::preference_fractions;
+use wcs_core::shadowing_example::shadow_example;
+use wcs_core::threshold::{optimal_threshold, optimal_threshold_sigma0};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+/// Table 1/2 kernel: one efficiency cell (⟨C_cs⟩/⟨C_max⟩ by MC).
+fn bench_table1_efficiency(c: &mut Criterion) {
+    let p = ModelParams::paper_default();
+    c.bench_function("table1_efficiency_cell_20k", |b| {
+        b.iter(|| black_box(cs_efficiency(&p, 40.0, 55.0, 55.0, 20_000, 1)))
+    });
+}
+
+/// Figure 2 kernel: one 65×65 capacity landscape.
+fn bench_fig2_landscape(c: &mut Criterion) {
+    let p = ModelParams::paper_sigma0();
+    c.bench_function("fig2_landscape_65x65", |b| {
+        b.iter(|| black_box(capacity_map(&p, LandscapeKind::Concurrency, 55.0, 130.0, 65)))
+    });
+}
+
+/// Figure 3 kernel: preference-area fractions at one D.
+fn bench_fig3_preference(c: &mut Criterion) {
+    let p = ModelParams::paper_sigma0();
+    c.bench_function("fig3_preference_fractions", |b| {
+        b.iter(|| black_box(preference_fractions(&p, 100.0, 55.0)))
+    });
+}
+
+/// Figure 4/5 kernel: one full σ = 0 curve set (24 D points).
+fn bench_fig4_curves(c: &mut Criterion) {
+    let p = ModelParams::paper_sigma0();
+    let ds = log_d_grid(5.0, 400.0, 24);
+    c.bench_function("fig4_curves_sigma0_24pts", |b| {
+        b.iter(|| black_box(throughput_curves(&p, 55.0, 55.0, &ds, 2_000, 1)))
+    });
+}
+
+/// Figure 6 kernel: the gap decomposition at one threshold.
+fn bench_fig6_inefficiency(c: &mut Criterion) {
+    let p = ModelParams::paper_sigma0();
+    let ds = log_d_grid(5.0, 300.0, 24);
+    c.bench_function("fig6_gap_decomposition", |b| {
+        b.iter(|| black_box(gap_decomposition(&p, 55.0, 55.0, &ds, 1_000, 1)))
+    });
+}
+
+/// Figure 7 kernel: one optimal-threshold solve (σ = 0 and σ = 8).
+fn bench_fig7_threshold(c: &mut Criterion) {
+    let s0 = ModelParams::paper_sigma0();
+    let s8 = ModelParams::paper_default();
+    c.bench_function("fig7_threshold_solve_sigma0", |b| {
+        b.iter(|| black_box(optimal_threshold_sigma0(&s0, 55.0, None)))
+    });
+    c.bench_function("fig7_threshold_solve_sigma8_mc", |b| {
+        b.iter(|| black_box(optimal_threshold(&s8, 55.0, 4_000, 7)))
+    });
+}
+
+/// Figure 9 kernel: one shadowed MC point (all policies).
+fn bench_fig9_shadowing(c: &mut Criterion) {
+    let p = ModelParams::paper_default();
+    c.bench_function("fig9_mc_point_sigma8_20k", |b| {
+        b.iter(|| black_box(mc_averages(&p, 55.0, 55.0, 55.0, 20_000, 9)))
+    });
+}
+
+/// §3.4 worked-example kernel.
+fn bench_shadow_example(c: &mut Criterion) {
+    let p = ModelParams::paper_default();
+    c.bench_function("shadow_example_20k", |b| {
+        b.iter(|| black_box(shadow_example(&p, 20.0, 20.0, 40.0, 20_000, 3)))
+    });
+}
+
+/// Quadrature primitives (everything in §3 rests on these).
+fn bench_quadrature(c: &mut Criterion) {
+    let p = ModelParams::paper_sigma0();
+    c.bench_function("quad_concurrency_48x48", |b| {
+        b.iter(|| black_box(quad_concurrency(&p, 55.0, 55.0)))
+    });
+    c.bench_function("quad_multiplexing_48x48", |b| {
+        b.iter(|| black_box(quad_multiplexing(&p, 55.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets =
+        bench_table1_efficiency,
+        bench_fig2_landscape,
+        bench_fig3_preference,
+        bench_fig4_curves,
+        bench_fig6_inefficiency,
+        bench_fig7_threshold,
+        bench_fig9_shadowing,
+        bench_shadow_example,
+        bench_quadrature,
+}
+criterion_main!(benches);

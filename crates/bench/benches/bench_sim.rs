@@ -1,0 +1,112 @@
+//! Criterion benches for the simulator-side experiments: the §4 testbed
+//! kernels (Figures 10–13), the Figure 14 fit, and the §5 pathologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration as StdDuration;
+use wcs_sim::experiment::{run_pair_experiment, ExperimentConfig, PairExperiment};
+use wcs_sim::mac::MacConfig;
+use wcs_sim::pathology::{
+    chain_collision_scenario, slot_collision_scenario, threshold_asymmetry_scenario,
+};
+use wcs_sim::rate::RatePolicy;
+use wcs_sim::sim::{SimConfig, Simulator};
+use wcs_sim::testbed::{Testbed, TestbedConfig};
+use wcs_sim::time::Duration;
+use wcs_sim::world::{ChannelConfig, NodeId, World};
+use wcs_stats::fit::fit_pathloss_shadowing;
+use wcs_propagation::geometry::Point2;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(StdDuration::from_secs(3))
+        .warm_up_time(StdDuration::from_millis(500))
+}
+
+/// Raw engine throughput: one simulated second, two contending senders.
+fn bench_engine_second(c: &mut Criterion) {
+    c.bench_function("sim_one_second_two_senders_cs", |b| {
+        b.iter(|| {
+            let world = World::new(
+                vec![
+                    Point2::new(0.0, 0.0),
+                    Point2::new(0.0, 20.0),
+                    Point2::new(-55.0, 0.0),
+                    Point2::new(-55.0, -20.0),
+                ],
+                ChannelConfig::paper_analysis().without_shadowing(),
+                0,
+            );
+            let mut s = Simulator::new(world, SimConfig::default());
+            s.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(24.0));
+            s.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(24.0));
+            s.run_for(Duration::from_secs(1));
+            black_box(s.flow_stats(0).delivered)
+        })
+    });
+}
+
+/// Figures 10/11 kernel: one full §4 pair experiment (3 strategies ×
+/// 5 rates, 1 s runs).
+fn bench_fig10_short_range(c: &mut Criterion) {
+    let bed = Testbed::generate(TestbedConfig::default());
+    let links = bed.candidate_links(0.94, 1.0);
+    let pairs = PairExperiment { link1: links[0], link2: links[links.len() / 2] };
+    let cfg = ExperimentConfig { run_duration: Duration::from_secs(1), ..Default::default() };
+    c.bench_function("fig10_pair_experiment_1s", |b| {
+        b.iter(|| black_box(run_pair_experiment(&bed, pairs, &cfg, 1)))
+    });
+}
+
+/// Figures 12/13 kernel: a long-range pair experiment.
+fn bench_fig12_long_range(c: &mut Criterion) {
+    let bed = Testbed::generate(TestbedConfig::default());
+    let links = bed.candidate_links(0.80, 0.95);
+    let pairs = PairExperiment { link1: links[0], link2: links[links.len() / 2] };
+    let cfg = ExperimentConfig { run_duration: Duration::from_secs(1), ..Default::default() };
+    c.bench_function("fig12_pair_experiment_1s", |b| {
+        b.iter(|| black_box(run_pair_experiment(&bed, pairs, &cfg, 2)))
+    });
+}
+
+/// Figure 14 kernel: survey + censored ML fit.
+fn bench_fig14_fit(c: &mut Criterion) {
+    let bed = Testbed::generate(TestbedConfig::default());
+    let (obs, cens) = bed.rssi_survey(3.0);
+    c.bench_function("fig14_censored_ml_fit", |b| {
+        b.iter(|| black_box(fit_pathloss_shadowing(&obs, &cens, 3.0, 20.0)))
+    });
+}
+
+/// §5 pathology kernels.
+fn bench_pathologies(c: &mut Criterion) {
+    c.bench_function("pathology_slot_collisions_1s", |b| {
+        b.iter(|| black_box(slot_collision_scenario(Duration::from_secs(1), 1)))
+    });
+    c.bench_function("pathology_chain_collisions_1s", |b| {
+        b.iter(|| black_box(chain_collision_scenario(Duration::from_secs(1), 2)))
+    });
+    c.bench_function("pathology_asymmetry_1s", |b| {
+        b.iter(|| black_box(threshold_asymmetry_scenario(20.0, Duration::from_secs(1), 3)))
+    });
+}
+
+/// MAC config construction cost sanity (should be trivially cheap; guards
+/// against accidental allocation creep in the hot path structs).
+fn bench_config(c: &mut Criterion) {
+    c.bench_function("mac_config_default", |b| b.iter(|| black_box(MacConfig::default())));
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets =
+        bench_engine_second,
+        bench_fig10_short_range,
+        bench_fig12_long_range,
+        bench_fig14_fit,
+        bench_pathologies,
+        bench_config,
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! `repro` — regenerate every table and figure of *In Defense of Wireless
+//! Carrier Sense*.
+//!
+//! ```text
+//! repro [--full] <experiment>...
+//! repro [--full] all
+//! ```
+//!
+//! Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10-11 fig12-13
+//! fig14 table1 table2 table-short table-long sweep-alpha-sigma
+//! slope-bound shadow-example exposed-vs-rate pathologies.
+//!
+//! `--full` uses paper-fidelity sample counts (minutes); the default is a
+//! quick pass (seconds per experiment).
+
+use wcs_bench::{figures, tables, Effort, TestbedCategory};
+
+fn run_one(name: &str, effort: Effort) -> Option<String> {
+    let out = match name {
+        "fig2" => figures::fig2(effort),
+        "fig3" => figures::fig3(effort),
+        "fig4" | "fig5" | "fig4-5" => figures::fig4_5(effort),
+        "fig6" => figures::fig6(effort),
+        "fig7" => figures::fig7(effort),
+        "fig9" => figures::fig9(effort),
+        "fig10-11" => wcs_bench::testbed_report(TestbedCategory::ShortRange, effort),
+        "fig12-13" => wcs_bench::testbed_report(TestbedCategory::LongRange, effort),
+        "fig14" => wcs_bench::experiments::fig14(effort),
+        "table1" => tables::table1(effort),
+        "table2" => tables::table2(effort),
+        "table-short" => wcs_bench::testbed_report(TestbedCategory::ShortRange, effort),
+        "table-long" => wcs_bench::testbed_report(TestbedCategory::LongRange, effort),
+        "sweep-alpha-sigma" => tables::alpha_sigma_sweep(effort),
+        "slope-bound" => figures::slope_bound(effort),
+        "shadow-example" => figures::shadow_example_report(effort),
+        "exposed-vs-rate" => wcs_bench::exposed_vs_rate_report(effort),
+        "pathologies" => wcs_bench::pathology_report(effort),
+        "fairness" => figures::fairness_report(effort),
+        "fig8-barrier" => figures::barrier_report(effort),
+        "fixed-bitrate" => tables::fixed_bitrate_report(effort),
+        _ => return None,
+    };
+    Some(out)
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "sweep-alpha-sigma",
+    "fig2",
+    "fig3",
+    "fig4-5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "slope-bound",
+    "shadow-example",
+    "fig10-11",
+    "fig12-13",
+    "fig14",
+    "exposed-vs-rate",
+    "pathologies",
+    "fairness",
+    "fig8-barrier",
+    "fixed-bitrate",
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if let Some(pos) = args.iter().position(|a| a == "--full") {
+        args.remove(pos);
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro [--full] <experiment>... | all");
+        eprintln!("experiments: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    let names: Vec<String> = if args.iter().any(|a| a == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for name in names {
+        let t0 = std::time::Instant::now();
+        match run_one(&name, effort) {
+            Some(out) => {
+                println!("==================== {name} ====================");
+                println!("{out}");
+                eprintln!("[{name}: {:.1}s]", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; known: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Regenerators for the paper's model figures (2–9).
+
+use crate::{render_series, Effort};
+use wcs_core::curves::{log_d_grid, throughput_curves};
+use wcs_core::inefficiency::gap_decomposition;
+use wcs_core::landscape::{capacity_map, LandscapeKind};
+use wcs_core::params::ModelParams;
+use wcs_core::preference::{preference_fractions, preference_map, Preference};
+use wcs_core::shadowing_example::shadow_example;
+use wcs_core::distribution::{shadowing_boost, throughput_distribution};
+use wcs_core::fairness::cs_fairness;
+use wcs_core::threshold::{
+    equivalent_distance_alpha3, optimal_threshold, optimal_threshold_sigma0,
+    short_range_asymptotic_threshold,
+};
+
+/// Figure 2 — capacity landscapes (no-competition, multiplexing, and
+/// concurrency at D ∈ {20, 55, 120}), rendered as coarse ASCII heat maps
+/// plus summary statistics per frame.
+pub fn fig2(_effort: Effort) -> String {
+    let p = ModelParams::paper_sigma0();
+    let mut out = String::from("# Figure 2: capacity landscapes, α = 3, σ = 0, N = −65 dB\n");
+    let frames: Vec<(String, LandscapeKind, f64)> = vec![
+        ("no competition".into(), LandscapeKind::NoCompetition, 0.0),
+        ("multiplexing".into(), LandscapeKind::Multiplexing, 0.0),
+        ("concurrency D=20".into(), LandscapeKind::Concurrency, 20.0),
+        ("concurrency D=55".into(), LandscapeKind::Concurrency, 55.0),
+        ("concurrency D=120".into(), LandscapeKind::Concurrency, 120.0),
+    ];
+    for (label, kind, d) in frames {
+        let m = capacity_map(&p, kind, d, 130.0, 33);
+        out.push_str(&format!(
+            "## {label}: min {:.3} max {:.3} bits/s/Hz\n",
+            m.min(),
+            m.max()
+        ));
+        // ASCII heat map: 0-9 scaled to the no-competition max.
+        let scale = 9.0 / 9.0f64.max(m.max());
+        for iy in (0..m.resolution).step_by(2) {
+            let mut line = String::new();
+            for ix in 0..m.resolution {
+                let v = (m.at(ix, iy) * scale).round().clamp(0.0, 9.0) as u32;
+                line.push(char::from_digit(v, 10).unwrap());
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Figure 3 — receiver preference regions and their area fractions at
+/// D ∈ {20, 55, 120}.
+pub fn fig3(_effort: Effort) -> String {
+    let p = ModelParams::paper_sigma0();
+    let mut out =
+        String::from("# Figure 3: receiver preference regions (C = concurrency, m = multiplexing, ! = starved)\n");
+    for d in [20.0, 55.0, 120.0] {
+        let f100 = preference_fractions(&p, 100.0, d);
+        out.push_str(&format!(
+            "## D = {d}: over Rmax = 100 disc: concurrency {:.1}%, multiplexing {:.1}%, starved {:.1}% (agreement {:.2})\n",
+            100.0 * f100.concurrency,
+            100.0 * f100.multiplexing,
+            100.0 * f100.starved,
+            f100.agreement(),
+        ));
+        let m = preference_map(&p, d, 120.0, 48);
+        for iy in (0..m.resolution).step_by(2) {
+            let mut line = String::new();
+            for ix in 0..m.resolution {
+                line.push(match m.cells[iy * m.resolution + ix] {
+                    Preference::Concurrency => 'C',
+                    Preference::Multiplexing => 'm',
+                    Preference::Starved => '!',
+                });
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Figures 4 & 5 — σ = 0 average-throughput curves vs D for
+/// Rmax ∈ {20, 55, 120}, with the carrier-sense piecewise overlay at
+/// D_thresh = 55 (Figure 5 is the Rmax = 55 frame).
+pub fn fig4_5(effort: Effort) -> String {
+    let p = ModelParams::paper_sigma0();
+    let mut out = String::new();
+    for rmax in [20.0, 55.0, 120.0] {
+        let ds = log_d_grid(5.0, 400.0, effort.curve_points());
+        let c = throughput_curves(&p, rmax, 55.0, &ds, effort.mc_samples() / 10, 40 + rmax as u64);
+        let rows: Vec<Vec<f64>> = c
+            .points
+            .iter()
+            .map(|pt| vec![pt.d, pt.multiplexing, pt.concurrency, pt.carrier_sense, pt.optimal])
+            .collect();
+        out.push_str(&render_series(
+            &format!(
+                "Figure 4/5 frame Rmax = {rmax} (σ = 0, normalised to Rmax = 20, D = ∞; crossover D* = {:?})",
+                c.crossover_d()
+            ),
+            &["D", "multiplexing", "concurrency", "carrier_sense(55)", "optimal"],
+            &rows,
+        ));
+    }
+    out
+}
+
+/// Figure 6 — hidden/exposed inefficiency decomposition at Rmax = 55
+/// for a mis-set and the optimal threshold.
+pub fn fig6(effort: Effort) -> String {
+    let p = ModelParams::paper_sigma0();
+    let opt = optimal_threshold_sigma0(&p, 55.0, None).crossing().unwrap();
+    let ds = log_d_grid(5.0, 300.0, effort.curve_points());
+    let mut out = String::new();
+    for (label, thresh) in [("optimal", opt), ("too-low (0.6×)", 0.6 * opt), ("too-high (1.6×)", 1.6 * opt)]
+    {
+        let g = gap_decomposition(&p, 55.0, thresh, &ds, effort.mc_samples() / 10, 6);
+        out.push_str(&format!(
+            "# Figure 6, Rmax = 55, threshold {label} = {thresh:.1} (optimal = {opt:.1}):\n\
+             #   integrated exposed inefficiency  = {:.4}\n\
+             #   integrated hidden inefficiency   = {:.4}\n\
+             #   integrated wrong-branch triangle = {:.4}\n",
+            g.integrated_exposed(),
+            g.integrated_hidden(),
+            g.integrated_wrong_branch()
+        ));
+    }
+    out
+}
+
+/// Figure 7 — optimal threshold (α = 3-equivalent distance) vs Rmax for
+/// α ∈ {2, 2.5, 3, 3.5, 4} with σ = 8 dB, plus the Rthresh = Rmax and
+/// Rthresh = 2·Rmax guide lines and the footnote-13 asymptotic.
+pub fn fig7(effort: Effort) -> String {
+    let alphas = [2.0, 2.5, 3.0, 3.5, 4.0];
+    let rmaxes: Vec<f64> = match effort {
+        Effort::Quick => vec![5.0, 10.0, 20.0, 40.0, 80.0, 160.0],
+        Effort::Full => vec![5.0, 8.0, 12.0, 18.0, 27.0, 40.0, 60.0, 90.0, 135.0, 200.0],
+    };
+    let mut rows = Vec::new();
+    for &rmax in &rmaxes {
+        let mut row = vec![rmax];
+        for &alpha in &alphas {
+            let params = ModelParams::paper_default().with_alpha(alpha);
+            let t = optimal_threshold(&params, rmax, effort.mc_samples() / 4, 7);
+            let equiv = t.crossing().map(|d| equivalent_distance_alpha3(d, alpha));
+            row.push(equiv.unwrap_or(f64::NAN));
+        }
+        // Guide lines and asymptotic at α = 3.
+        row.push(rmax);
+        row.push(2.0 * rmax);
+        row.push(short_range_asymptotic_threshold(3.0, rmax, 10f64.powf(-6.5)));
+        rows.push(row);
+    }
+    render_series(
+        "Figure 7: optimal threshold (α = 3-equivalent distance) vs Rmax, σ = 8 dB",
+        &[
+            "Rmax", "α=2", "α=2.5", "α=3", "α=3.5", "α=4", "Rthresh=Rmax", "Rthresh=2Rmax",
+            "footnote13-asymptotic",
+        ],
+        &rows,
+    )
+}
+
+/// Figure 9 — σ = 8 dB curves overlaid on σ = 0, Rmax ∈ {20, 55, 120}.
+pub fn fig9(effort: Effort) -> String {
+    let s0 = ModelParams::paper_sigma0();
+    let s8 = ModelParams::paper_default();
+    let mut out = String::new();
+    for rmax in [20.0, 55.0, 120.0] {
+        let ds = log_d_grid(5.0, 400.0, effort.curve_points());
+        let c0 = throughput_curves(&s0, rmax, 55.0, &ds, effort.mc_samples() / 10, 90);
+        let c8 = throughput_curves(&s8, rmax, 55.0, &ds, effort.mc_samples() / 4, 91);
+        let rows: Vec<Vec<f64>> = c0
+            .points
+            .iter()
+            .zip(&c8.points)
+            .map(|(a, b)| {
+                vec![
+                    a.d,
+                    a.multiplexing,
+                    a.concurrency,
+                    a.carrier_sense,
+                    b.multiplexing,
+                    b.concurrency,
+                    b.carrier_sense,
+                    b.optimal,
+                ]
+            })
+            .collect();
+        out.push_str(&render_series(
+            &format!("Figure 9 frame Rmax = {rmax}: σ = 0 vs σ = 8 dB"),
+            &[
+                "D",
+                "mux(σ0)",
+                "conc(σ0)",
+                "cs(σ0)",
+                "mux(σ8)",
+                "conc(σ8)",
+                "cs(σ8)",
+                "optimal(σ8)",
+            ],
+            &rows,
+        ));
+    }
+    out
+}
+
+/// Footnote 12 — the concurrency-curve slope bound 1.37/Rmax.
+pub fn slope_bound(effort: Effort) -> String {
+    let p = ModelParams::paper_sigma0();
+    let mut rows = Vec::new();
+    for rmax in [20.0, 55.0, 120.0] {
+        let ds = log_d_grid(rmax, 600.0, effort.curve_points() * 2);
+        let c = throughput_curves(&p, rmax, 55.0, &ds, 1_000, 12);
+        rows.push(vec![rmax, c.max_concurrency_slope_beyond(rmax), 1.37 / rmax]);
+    }
+    render_series(
+        "Footnote 12: max |d⟨C_conc⟩/dD| for D > Rmax vs the 1.37/Rmax bound (α = 3, σ = 0)",
+        &["Rmax", "max_slope", "bound"],
+        &rows,
+    )
+}
+
+/// The §3.4 shadowing worked example.
+pub fn shadow_example_report(effort: Effort) -> String {
+    let p = ModelParams::paper_default();
+    let s = shadow_example(&p, 20.0, 20.0, 40.0, effort.mc_samples(), 34);
+    format!(
+        "# §3.4 worked example: Rmax = 20, D = 20, Dthresh = 40, σ = 8 dB\n\
+         mis-sense (closed form Φ):        {:.3}   (paper: ≈0.2)\n\
+         concurrency chosen (MC):          {:.3}\n\
+         sub-0 dB SNR | concurrency (MC):  {:.3}   (paper: ≈0.2)\n\
+         severe outcomes overall (MC):     {:.3}   (paper: ≈0.04)\n",
+        s.mis_sense_closed_form, s.concurrency_fraction, s.sub0db_given_concurrency, s.severe_fraction
+    )
+}
+
+/// Fairness/distribution report (§3.3.3 and §3.4 beyond the averages).
+pub fn fairness_report(effort: Effort) -> String {
+    let p = ModelParams::paper_default();
+    let n = effort.mc_samples() / 4;
+    let mut out = String::from("# Fairness beyond averages (§3.3.3, §3.4)\n");
+    for (label, rmax, d) in [("short-range", 20.0, 40.0), ("long-range", 120.0, 70.0)] {
+        let f = cs_fairness(&p, rmax, d, 55.0, n, 21);
+        let cs = throughput_distribution(
+            &p,
+            rmax,
+            d,
+            wcs_capacity::policy::MacPolicy::CarrierSense { d_thresh: 55.0 },
+            n,
+            22,
+        );
+        out.push_str(&format!(
+            "{label}: Jain {:.3}, starvation {:.1}%, CS p5/p50/p95 = {:.3}/{:.3}/{:.3}\n",
+            f.jain,
+            100.0 * f.starvation_fraction,
+            cs.p5,
+            cs.p50,
+            cs.p95
+        ));
+    }
+    let boost = shadowing_boost(&p, 120.0, 120.0, n, 23);
+    out.push_str(&format!(
+        "long-range concurrency lognormal boost: {:+.1}%\n",
+        100.0 * boost.boost
+    ));
+    out
+}
+
+/// The Figure 8 barrier analysis: effective isolation of the three leak
+/// paths.
+pub fn barrier_report(_effort: Effort) -> String {
+    use wcs_propagation::barrier::BarrierScenario;
+    let fig8 = BarrierScenario::paper_figure8();
+    let wall = BarrierScenario::interior_wall();
+    let open = BarrierScenario {
+        reflection_loss_db: f64::INFINITY,
+        ..BarrierScenario::paper_figure8()
+    };
+    format!(
+        "# Figure 8 barrier analysis (§3.4): can an obstacle hide a sender?\n\
+         interior wall:                effective loss {:.1} dB\n\
+         metal barrier + far wall:     effective loss {:.1} dB (diffraction alone {:.1} dB)\n\
+         metal barrier, open space:    effective loss {:.1} dB (paper: ≈30 dB)\n\
+         ⇒ none exceeds the ~13 dB carrier-sense margin except the no-reflection fantasy;\n\
+           all are within the σ = 4–12 dB shadowing the model already carries.\n",
+        wall.effective_loss_db(),
+        fig8.effective_loss_db(),
+        fig8.diffraction_loss_db(),
+        open.effective_loss_db(),
+    )
+}

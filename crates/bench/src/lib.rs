@@ -1,0 +1,76 @@
+//! # wcs-bench — the reproduction harness
+//!
+//! One function per table/figure of the paper, each returning the data as
+//! rendered text (the same rows/series the paper reports). The `repro`
+//! binary exposes them as subcommands; the Criterion benches in
+//! `benches/` measure the computational kernels and the ablations called
+//! out in DESIGN.md; the workspace integration tests assert the *shapes*.
+//!
+//! Every function takes an [`Effort`] so tests can run a cheap version of
+//! the same code path the full harness uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+pub mod tables;
+
+pub use experiments::{exposed_vs_rate_report, pathology_report, testbed_report, TestbedCategory};
+
+/// How much compute to spend: `Quick` for CI/tests, `Full` for the
+/// numbers recorded in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Reduced samples / shorter runs (seconds of wall time).
+    Quick,
+    /// Paper-fidelity settings (minutes of wall time).
+    Full,
+}
+
+impl Effort {
+    /// Monte Carlo samples per point for model averages.
+    pub fn mc_samples(self) -> u64 {
+        match self {
+            Effort::Quick => 20_000,
+            Effort::Full => 200_000,
+        }
+    }
+
+    /// Simulated seconds per experiment run.
+    pub fn run_secs(self) -> u64 {
+        match self {
+            Effort::Quick => 3,
+            Effort::Full => 15,
+        }
+    }
+
+    /// Number of pair-of-pairs points per testbed ensemble.
+    pub fn ensemble_points(self) -> usize {
+        match self {
+            Effort::Quick => 12,
+            Effort::Full => 30,
+        }
+    }
+
+    /// Number of D grid points for curve figures.
+    pub fn curve_points(self) -> usize {
+        match self {
+            Effort::Quick => 24,
+            Effort::Full => 48,
+        }
+    }
+}
+
+/// Format a data series as aligned TSV with a `#` comment header.
+pub fn render_series(header: &str, cols: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {header}\n"));
+    out.push_str(&format!("# {}\n", cols.join("\t")));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}

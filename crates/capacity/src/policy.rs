@@ -1,0 +1,72 @@
+//! MAC concurrency policies compared by the paper.
+//!
+//! The model (§3.2.1) abstracts the MAC to "a simple binary choice between
+//! concurrency and multiplexing". Four policies are compared throughout:
+//! always-multiplex, always-concurrent, carrier sense (threshold on the
+//! sensed sender→sender power), and the receiver-aware optimal. The
+//! optimal's single-pair upper bound C_UBmax is kept as a fifth variant
+//! because several figures use it (footnote 10, the starvation criterion
+//! of Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+/// A MAC concurrency policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MacPolicy {
+    /// Ideal TDMA: the two senders split time equally.
+    Multiplexing,
+    /// Both senders always transmit simultaneously.
+    Concurrency,
+    /// Carrier sense: multiplex iff the sensed interferer power exceeds
+    /// the threshold whose no-shadowing switch distance is `d_thresh`
+    /// (P_thresh = d_thresh^(−α)).
+    CarrierSense {
+        /// Threshold distance D_thresh in model units.
+        d_thresh: f64,
+    },
+    /// The optimal binary choice, made jointly over both pairs under the
+    /// equal-resources fairness constraint (§3.2.2).
+    Optimal,
+    /// Per-pair max(concurrent, multiplexing) — an upper bound on optimal
+    /// that ignores the other pair's preference (C_UBmax).
+    OptimalUpperBound,
+}
+
+impl MacPolicy {
+    /// Human-readable label used in reproduced tables/figures.
+    pub fn label(&self) -> String {
+        match self {
+            MacPolicy::Multiplexing => "multiplexing".into(),
+            MacPolicy::Concurrency => "concurrency".into(),
+            MacPolicy::CarrierSense { d_thresh } => format!("carrier-sense(Dthresh={d_thresh})"),
+            MacPolicy::Optimal => "optimal".into(),
+            MacPolicy::OptimalUpperBound => "optimal-upper-bound".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            MacPolicy::Multiplexing.label(),
+            MacPolicy::Concurrency.label(),
+            MacPolicy::CarrierSense { d_thresh: 55.0 }.label(),
+            MacPolicy::Optimal.label(),
+            MacPolicy::OptimalUpperBound.label(),
+        ];
+        for i in 0..labels.len() {
+            for j in (i + 1)..labels.len() {
+                assert_ne!(labels[i], labels[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn carrier_sense_label_carries_threshold() {
+        assert!(MacPolicy::CarrierSense { d_thresh: 40.0 }.label().contains("40"));
+    }
+}

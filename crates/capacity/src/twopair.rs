@@ -1,0 +1,341 @@
+//! The paper's two-pair capacity formulas (§3.2.2), per configuration.
+//!
+//! Scenario: sender S1 at the origin with receiver R1 at polar (r₁, θ₁);
+//! interfering sender S2 at (−D, 0) with its own receiver R2 at polar
+//! (r₂, θ₂) around S2. By symmetry both pairs use the same formulas with
+//! their own coordinates. All capacities are spectral efficiencies from
+//! the crate's [`CapacityModel`]; expected values over configurations are
+//! computed in `wcs-core`.
+
+use crate::shannon::CapacityModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wcs_propagation::geometry::interferer_distance;
+use wcs_propagation::model::PropagationModel;
+
+/// The random shadowing draws entering one two-pair configuration.
+///
+/// Independent lognormal factors (paper footnote 14: "we assume that the
+/// shadowing distributions are uncorrelated"):
+/// signal links Lσ (S1→R1, S2→R2), interference links L′σ (S2→R1, S1→R2),
+/// and the sense link L″σ (S2→S1 = S1→S2, one value — the senders'
+/// mutual channel is reciprocal).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowDraws {
+    /// Lσ for pair 1's signal link S1→R1.
+    pub signal1: f64,
+    /// Lσ for pair 2's signal link S2→R2.
+    pub signal2: f64,
+    /// L′σ for the interference link S2→R1.
+    pub interference1: f64,
+    /// L′σ for the interference link S1→R2.
+    pub interference2: f64,
+    /// L″σ for the sense link S1↔S2.
+    pub sense: f64,
+}
+
+impl ShadowDraws {
+    /// The deterministic σ = 0 draws (all factors unity).
+    pub const UNITY: ShadowDraws = ShadowDraws {
+        signal1: 1.0,
+        signal2: 1.0,
+        interference1: 1.0,
+        interference2: 1.0,
+        sense: 1.0,
+    };
+
+    /// Draw all five factors independently from the model's shadowing.
+    pub fn sample<R: Rng + ?Sized>(model: &PropagationModel, rng: &mut R) -> Self {
+        ShadowDraws {
+            signal1: model.shadowing.sample_linear(rng),
+            signal2: model.shadowing.sample_linear(rng),
+            interference1: model.shadowing.sample_linear(rng),
+            interference2: model.shadowing.sample_linear(rng),
+            sense: model.shadowing.sample_linear(rng),
+        }
+    }
+}
+
+/// One receiver placement: polar coordinates around its own sender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairSample {
+    /// Distance from the sender (0 < r ≤ Rmax).
+    pub r: f64,
+    /// Angle; θ = π points at the other sender.
+    pub theta: f64,
+}
+
+impl PairSample {
+    /// Uniform placement over the Rmax disc (area-uniform: r = Rmax·√U).
+    pub fn sample_uniform<R: Rng + ?Sized>(rmax: f64, rng: &mut R) -> Self {
+        let u: f64 = rng.gen();
+        PairSample {
+            r: rmax * u.sqrt(),
+            theta: rng.gen_range(0.0..std::f64::consts::TAU),
+        }
+    }
+}
+
+/// The carrier-sense decision for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CsDecision {
+    /// Sensed power above threshold: the senders take turns.
+    Multiplex,
+    /// Sensed power below threshold: the senders transmit concurrently.
+    Concurrent,
+}
+
+/// A fully-specified two-pair configuration plus the models to score it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPairScenario {
+    /// Receiver placement of pair 1 (sender at origin).
+    pub pair1: PairSample,
+    /// Receiver placement of pair 2 (sender at (−D, 0)).
+    pub pair2: PairSample,
+    /// Sender–sender distance D.
+    pub d: f64,
+    /// Shadowing draws for the five links.
+    pub shadows: ShadowDraws,
+    /// Propagation model (α, σ, noise floor).
+    pub prop: PropagationModel,
+    /// Capacity model (Shannon, scaled, or capped).
+    pub cap: CapacityModel,
+}
+
+impl TwoPairScenario {
+    /// C_single for pair 1: log(1 + r^(−α)·Lσ/N).
+    pub fn c_single_1(&self) -> f64 {
+        let gain = self.prop.median_gain(self.pair1.r) * self.shadows.signal1;
+        self.cap.capacity(gain / self.prop.noise)
+    }
+
+    /// C_single for pair 2.
+    pub fn c_single_2(&self) -> f64 {
+        let gain = self.prop.median_gain(self.pair2.r) * self.shadows.signal2;
+        self.cap.capacity(gain / self.prop.noise)
+    }
+
+    /// C_multiplexing for pair 1: half of C_single.
+    pub fn c_multiplexing_1(&self) -> f64 {
+        self.c_single_1() / 2.0
+    }
+
+    /// C_multiplexing for pair 2.
+    pub fn c_multiplexing_2(&self) -> f64 {
+        self.c_single_2() / 2.0
+    }
+
+    /// Interferer→receiver distance Δr for pair 1.
+    pub fn delta_r_1(&self) -> f64 {
+        interferer_distance(self.pair1.r, self.pair1.theta, self.d)
+    }
+
+    /// Interferer→receiver distance Δr for pair 2.
+    pub fn delta_r_2(&self) -> f64 {
+        interferer_distance(self.pair2.r, self.pair2.theta, self.d)
+    }
+
+    /// C_concurrent for pair 1:
+    /// log(1 + r^(−α)·Lσ / (N + L′σ·Δr^(−α))).
+    pub fn c_concurrent_1(&self) -> f64 {
+        let signal = self.prop.median_gain(self.pair1.r) * self.shadows.signal1;
+        let interf = self.prop.median_gain(self.delta_r_1()) * self.shadows.interference1;
+        self.cap.capacity(signal / (self.prop.noise + interf))
+    }
+
+    /// C_concurrent for pair 2.
+    pub fn c_concurrent_2(&self) -> f64 {
+        let signal = self.prop.median_gain(self.pair2.r) * self.shadows.signal2;
+        let interf = self.prop.median_gain(self.delta_r_2()) * self.shadows.interference2;
+        self.cap.capacity(signal / (self.prop.noise + interf))
+    }
+
+    /// The carrier-sense decision at threshold distance `d_thresh`:
+    /// multiplex iff D^(−α)·L″σ > P_thresh = d_thresh^(−α).
+    pub fn cs_decision(&self, d_thresh: f64) -> CsDecision {
+        let sensed = self.prop.median_gain(self.d) * self.shadows.sense;
+        let p_thresh = self.prop.median_gain(d_thresh);
+        if sensed > p_thresh {
+            CsDecision::Multiplex
+        } else {
+            CsDecision::Concurrent
+        }
+    }
+
+    /// C_cs for pair 1 at threshold `d_thresh` (piecewise, §3.2.2).
+    pub fn c_cs_1(&self, d_thresh: f64) -> f64 {
+        match self.cs_decision(d_thresh) {
+            CsDecision::Multiplex => self.c_multiplexing_1(),
+            CsDecision::Concurrent => self.c_concurrent_1(),
+        }
+    }
+
+    /// C_cs for pair 2 at threshold `d_thresh`.
+    pub fn c_cs_2(&self, d_thresh: f64) -> f64 {
+        match self.cs_decision(d_thresh) {
+            CsDecision::Multiplex => self.c_multiplexing_2(),
+            CsDecision::Concurrent => self.c_concurrent_2(),
+        }
+    }
+
+    /// The optimal MAC's per-pair average throughput:
+    /// ½·Max[C_conc1 + C_conc2, C_mux1 + C_mux2] (§3.2.2).
+    pub fn c_max(&self) -> f64 {
+        let conc = self.c_concurrent_1() + self.c_concurrent_2();
+        let mux = self.c_multiplexing_1() + self.c_multiplexing_2();
+        0.5 * conc.max(mux)
+    }
+
+    /// Whether the joint optimum chooses concurrency for this
+    /// configuration.
+    pub fn optimal_prefers_concurrency(&self) -> bool {
+        self.c_concurrent_1() + self.c_concurrent_2()
+            > self.c_multiplexing_1() + self.c_multiplexing_2()
+    }
+
+    /// C_UBmax for pair 1: Max[C_concurrent, C_multiplexing] — the
+    /// convenient upper bound that ignores the other pair.
+    pub fn c_ub_max_1(&self) -> f64 {
+        self.c_concurrent_1().max(self.c_multiplexing_1())
+    }
+
+    /// C_UBmax for pair 2.
+    pub fn c_ub_max_2(&self) -> f64 {
+        self.c_concurrent_2().max(self.c_multiplexing_2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wcs_stats::rng::seeded_rng;
+
+    fn scenario(r1: f64, t1: f64, r2: f64, t2: f64, d: f64) -> TwoPairScenario {
+        TwoPairScenario {
+            pair1: PairSample { r: r1, theta: t1 },
+            pair2: PairSample { r: r2, theta: t2 },
+            d,
+            shadows: ShadowDraws::UNITY,
+            prop: PropagationModel::paper_no_shadowing(),
+            cap: CapacityModel::SHANNON,
+        }
+    }
+
+    #[test]
+    fn multiplexing_is_half_single() {
+        let s = scenario(20.0, 1.0, 30.0, 2.0, 55.0);
+        assert!((s.c_multiplexing_1() - s.c_single_1() / 2.0).abs() < 1e-12);
+        assert!((s.c_multiplexing_2() - s.c_single_2() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_below_single() {
+        let s = scenario(20.0, 1.0, 30.0, 2.0, 55.0);
+        assert!(s.c_concurrent_1() < s.c_single_1());
+        assert!(s.c_concurrent_2() < s.c_single_2());
+    }
+
+    #[test]
+    fn far_interferer_concurrent_approaches_single() {
+        let s = scenario(20.0, 1.0, 20.0, 1.0, 1e6);
+        assert!((s.c_concurrent_1() - s.c_single_1()).abs() / s.c_single_1() < 1e-6);
+    }
+
+    #[test]
+    fn coincident_senders_near_zero_dB_sinr() {
+        // D = 0: "no receiver has an SNR better than 0 dB" (§3.2.3) —
+        // because signal and interference travel the same distance only
+        // when the receiver is on the axis; in general SINR < signal/interf
+        // at D→0 is bounded by the geometry. Check capacity is far below
+        // multiplexing for a typical receiver.
+        let s = scenario(20.0, 1.0, 20.0, 1.0, 1e-3);
+        assert!(s.c_concurrent_1() < s.c_multiplexing_1());
+    }
+
+    #[test]
+    fn cs_decision_threshold_boundary() {
+        let s = scenario(20.0, 1.0, 20.0, 1.0, 54.0);
+        assert_eq!(s.cs_decision(55.0), CsDecision::Multiplex); // D < Dthresh: sensed > thresh
+        let s2 = scenario(20.0, 1.0, 20.0, 1.0, 56.0);
+        assert_eq!(s2.cs_decision(55.0), CsDecision::Concurrent);
+    }
+
+    #[test]
+    fn shadowing_flips_cs_decision() {
+        // With a deep shadow on the sense link, a close interferer can
+        // appear beyond threshold — the §3.4 mis-sense mechanism.
+        let mut s = scenario(20.0, 1.0, 20.0, 1.0, 30.0);
+        assert_eq!(s.cs_decision(55.0), CsDecision::Multiplex);
+        s.shadows.sense = 10f64.powf(-20.0 / 10.0); // −20 dB shadow
+        assert_eq!(s.cs_decision(55.0), CsDecision::Concurrent);
+    }
+
+    #[test]
+    fn c_max_definition() {
+        let s = scenario(25.0, 0.7, 40.0, 2.9, 55.0);
+        let conc = s.c_concurrent_1() + s.c_concurrent_2();
+        let mux = s.c_multiplexing_1() + s.c_multiplexing_2();
+        assert!((s.c_max() - 0.5 * conc.max(mux)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_snr_anchor_in_capacity_terms() {
+        // r = 20 at −65 dB noise ⇒ SNR ≈ 26 dB ⇒ C_single ≈ log2(1+398) ≈ 8.6.
+        let s = scenario(20.0, 0.0, 20.0, 0.0, 1e9);
+        assert!((s.c_single_1() - 8.64).abs() < 0.05, "{}", s.c_single_1());
+    }
+
+    proptest! {
+        #[test]
+        fn ub_max_dominates(
+            r1 in 1.0..120.0f64, t1 in 0.0..std::f64::consts::TAU,
+            r2 in 1.0..120.0f64, t2 in 0.0..std::f64::consts::TAU,
+            d in 1.0..300.0f64,
+        ) {
+            let s = scenario(r1, t1, r2, t2, d);
+            // C_max ≤ ½(C_UB1 + C_UB2) — the footnote-10 gap is one-sided.
+            prop_assert!(s.c_max() <= 0.5 * (s.c_ub_max_1() + s.c_ub_max_2()) + 1e-12);
+            // CS lies between min and max of its two branches.
+            for dt in [20.0, 55.0, 120.0] {
+                let c1 = s.c_cs_1(dt);
+                prop_assert!(c1 <= s.c_ub_max_1() + 1e-12);
+                prop_assert!(c1 >= s.c_concurrent_1().min(s.c_multiplexing_1()) - 1e-12);
+            }
+        }
+
+        #[test]
+        fn concurrent_monotone_in_d_beyond_rmax(
+            r in 1.0..100.0f64, t in 0.0..std::f64::consts::TAU,
+            d in 100.0..500.0f64, scale in 1.05..3.0f64,
+        ) {
+            // Pushing the interferer further away helps whenever D ≥ r
+            // (then ∂Δr/∂D = (r·cosθ + D)/Δr ≥ 0 for every θ). For D < r a
+            // receiver beyond the interferer can see Δr shrink as D grows,
+            // so monotonicity genuinely does not hold there.
+            let near = scenario(r, t, r, t, d);
+            let far = scenario(r, t, r, t, d * scale);
+            prop_assert!(far.c_concurrent_1() >= near.c_concurrent_1() - 1e-12);
+        }
+
+        #[test]
+        fn capacities_nonnegative_with_shadowing(
+            r in 1.0..120.0f64, t in 0.0..std::f64::consts::TAU, d in 1.0..300.0f64, seed in 0u64..1000
+        ) {
+            let mut rng = seeded_rng(seed);
+            let prop = PropagationModel::paper_default();
+            let s = TwoPairScenario {
+                pair1: PairSample { r, theta: t },
+                pair2: PairSample { r, theta: t },
+                d,
+                shadows: ShadowDraws::sample(&prop, &mut rng),
+                prop,
+                cap: CapacityModel::SHANNON,
+            };
+            prop_assert!(s.c_single_1() >= 0.0);
+            prop_assert!(s.c_concurrent_1() >= 0.0);
+            prop_assert!(s.c_cs_1(55.0) >= 0.0);
+            prop_assert!(s.c_max() >= 0.0);
+        }
+    }
+}

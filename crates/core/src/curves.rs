@@ -1,0 +1,236 @@
+//! Throughput-vs-interferer-distance curves (Figures 4, 5 and 9).
+//!
+//! For a given Rmax, sweep the sender–sender distance D and record the
+//! average throughput of multiplexing, concurrency, carrier sense and the
+//! optimal MAC, normalised — as in the paper — to the Rmax = 20, D = ∞
+//! throughput. The σ = 0 path uses quadrature for the mux/concurrency
+//! branches (carrier sense is exactly piecewise there); the shadowed path
+//! is Monte Carlo throughout and exhibits the paper's smooth interpolation
+//! of C_cs between the two branches (Figure 9).
+
+use crate::average::{mc_averages, quad_concurrency, quad_multiplexing, quad_single};
+use crate::params::ModelParams;
+use serde::{Deserialize, Serialize};
+
+/// One point of the throughput curves at a given D.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Sender–sender distance D.
+    pub d: f64,
+    /// ⟨C_multiplexing⟩ (normalised).
+    pub multiplexing: f64,
+    /// ⟨C_concurrent⟩ (normalised).
+    pub concurrency: f64,
+    /// ⟨C_cs⟩ at the chosen threshold (normalised).
+    pub carrier_sense: f64,
+    /// ⟨C_max⟩ (normalised).
+    pub optimal: f64,
+}
+
+/// A full set of curves for one Rmax.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputCurves {
+    /// Network range Rmax.
+    pub rmax: f64,
+    /// Carrier-sense threshold distance used for the C_cs series.
+    pub d_thresh: f64,
+    /// The normalisation constant: ⟨C_single⟩ at Rmax = 20 (σ = 0).
+    pub normaliser: f64,
+    /// Curve points, ascending in D.
+    pub points: Vec<CurvePoint>,
+}
+
+/// The paper's normalisation: throughput as a fraction of the Rmax = 20,
+/// D = ∞ average. Computed on the σ = 0 model so that Figure 9's shadowed
+/// and unshadowed curves share axes.
+pub fn paper_normaliser(params: &ModelParams) -> f64 {
+    let sigma0 = ModelParams {
+        prop: wcs_propagation::model::PropagationModel {
+            shadowing: wcs_propagation::shadowing::Shadowing::NONE,
+            ..params.prop
+        },
+        cap: params.cap,
+    };
+    quad_single(&sigma0, 20.0)
+}
+
+/// Compute the throughput curves for `rmax` over the D grid `ds`.
+///
+/// `n_mc` controls the Monte Carlo sample count per point when σ > 0 (or
+/// for the optimal curve, which always needs sampling).
+pub fn throughput_curves(
+    params: &ModelParams,
+    rmax: f64,
+    d_thresh: f64,
+    ds: &[f64],
+    n_mc: u64,
+    seed: u64,
+) -> ThroughputCurves {
+    let norm = paper_normaliser(params);
+    let deterministic = params.is_deterministic();
+    let q_mux = if deterministic { quad_multiplexing(params, rmax) } else { 0.0 };
+    let mut points = Vec::with_capacity(ds.len());
+    for (i, &d) in ds.iter().enumerate() {
+        let mc = mc_averages(params, rmax, d, d_thresh, n_mc, seed.wrapping_add(i as u64));
+        let (mux, conc, cs) = if deterministic {
+            // Quadrature branches; CS is exactly piecewise at σ = 0.
+            let conc = quad_concurrency(params, rmax, d);
+            let cs = if d < d_thresh { q_mux } else { conc };
+            (q_mux, conc, cs)
+        } else {
+            (mc.multiplexing.mean, mc.concurrency.mean, mc.carrier_sense.mean)
+        };
+        points.push(CurvePoint {
+            d,
+            multiplexing: mux / norm,
+            concurrency: conc / norm,
+            carrier_sense: cs / norm,
+            optimal: mc.optimal.mean / norm,
+        });
+    }
+    ThroughputCurves { rmax, d_thresh, normaliser: norm, points }
+}
+
+impl ThroughputCurves {
+    /// Maximum slope magnitude of the concurrency curve over the sampled
+    /// grid, by central differences — used to verify the paper's footnote
+    /// 12 bound (≤ 1.37/Rmax in normalised units for D > Rmax, α = 3,
+    /// σ = 0).
+    pub fn max_concurrency_slope_beyond(&self, d_min: f64) -> f64 {
+        let mut max_slope: f64 = 0.0;
+        for w in self.points.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.d >= d_min {
+                let slope = ((b.concurrency - a.concurrency) / (b.d - a.d)).abs();
+                max_slope = max_slope.max(slope);
+            }
+        }
+        max_slope
+    }
+
+    /// D of the concurrency/multiplexing crossover on this grid (linear
+    /// interpolation), if the curves cross.
+    pub fn crossover_d(&self) -> Option<f64> {
+        for w in self.points.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let fa = a.concurrency - a.multiplexing;
+            let fb = b.concurrency - b.multiplexing;
+            if fa <= 0.0 && fb > 0.0 {
+                let t = -fa / (fb - fa);
+                return Some(a.d + t * (b.d - a.d));
+            }
+        }
+        None
+    }
+}
+
+/// A standard D grid for curve figures: `n` log-spaced points on
+/// [d_min, d_max] (log spacing resolves the near region where curves bend).
+pub fn log_d_grid(d_min: f64, d_max: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && d_max > d_min && d_min > 0.0);
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            d_min * (d_max / d_min).powf(t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigma0_curves(rmax: f64) -> ThroughputCurves {
+        let p = ModelParams::paper_sigma0();
+        let ds = log_d_grid(5.0, 400.0, 40);
+        throughput_curves(&p, rmax, 55.0, &ds, 4_000, 1)
+    }
+
+    #[test]
+    fn multiplexing_flat_concurrency_rising() {
+        let c = sigma0_curves(55.0);
+        let first = &c.points[0];
+        let last = c.points.last().unwrap();
+        assert!((first.multiplexing - last.multiplexing).abs() < 1e-9);
+        assert!(last.concurrency > first.concurrency);
+        // Far limit: concurrency ≈ 2 × multiplexing.
+        assert!((last.concurrency / last.multiplexing - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn optimal_approaches_cs_at_both_ends() {
+        // §3.3.1: "optimal throughput approaches carrier sense throughput
+        // at both ends of the graph".
+        let c = sigma0_curves(55.0);
+        let first = &c.points[0];
+        let last = c.points.last().unwrap();
+        assert!(
+            (first.optimal - first.carrier_sense) / first.carrier_sense < 0.05,
+            "near end gap too large: {} vs {}",
+            first.optimal,
+            first.carrier_sense
+        );
+        assert!(
+            (last.optimal - last.carrier_sense) / last.carrier_sense < 0.05,
+            "far end gap too large"
+        );
+    }
+
+    #[test]
+    fn optimal_dominates_both_branches() {
+        let c = sigma0_curves(55.0);
+        for p in &c.points {
+            // MC noise on optimal ~ 1%; allow small slack.
+            assert!(p.optimal >= p.multiplexing - 0.02);
+            assert!(p.optimal >= p.concurrency - 0.02);
+        }
+    }
+
+    #[test]
+    fn crossover_near_paper_value_for_rmax55() {
+        // §3.3.3 example: Rmax = 20 → Dthresh* ≈ 40; the Rmax = 55 curve
+        // crosses near its own optimum ≈ 55–65.
+        let c = sigma0_curves(55.0);
+        let x = c.crossover_d().expect("curves must cross");
+        assert!((40.0..90.0).contains(&x), "crossover {x}");
+    }
+
+    #[test]
+    fn footnote12_slope_bound() {
+        // Slope of the concurrency curve (normalised to Rmax = 20 units)
+        // bounded by 1.37/Rmax for all D > Rmax (α = 3, σ = 0).
+        for rmax in [20.0, 55.0, 120.0] {
+            let p = ModelParams::paper_sigma0();
+            let ds = log_d_grid(rmax, 600.0, 60);
+            let c = throughput_curves(&p, rmax, 55.0, &ds, 1_000, 2);
+            let slope = c.max_concurrency_slope_beyond(rmax);
+            assert!(
+                slope <= 1.37 / rmax * 1.05,
+                "Rmax {rmax}: slope {slope} vs bound {}",
+                1.37 / rmax
+            );
+        }
+    }
+
+    #[test]
+    fn shadowed_cs_interpolates_smoothly() {
+        // Figure 9: with σ = 8 dB the CS curve hangs below the exact
+        // piecewise max near the threshold but between the two branches.
+        let p = ModelParams::paper_default();
+        let ds = log_d_grid(10.0, 300.0, 24);
+        let c = throughput_curves(&p, 55.0, 55.0, &ds, 20_000, 3);
+        for pt in &c.points {
+            let lo = pt.multiplexing.min(pt.concurrency) - 0.03;
+            let hi = pt.multiplexing.max(pt.concurrency) + 0.03;
+            assert!(pt.carrier_sense >= lo && pt.carrier_sense <= hi, "point {pt:?}");
+        }
+    }
+
+    #[test]
+    fn log_grid_endpoints() {
+        let g = log_d_grid(5.0, 400.0, 11);
+        assert!((g[0] - 5.0).abs() < 1e-12);
+        assert!((g[10] - 400.0).abs() < 1e-9);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+}

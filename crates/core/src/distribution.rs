@@ -1,0 +1,188 @@
+//! Per-receiver throughput *distributions* under each policy.
+//!
+//! The paper's averages hide a fairness story it tells in §3.3.3 and
+//! §3.4: long-range concurrency produces "some nodes … all but
+//! disconnected, while other nodes will have surprisingly good links".
+//! This module computes the full distribution of per-pair throughput over
+//! configurations — quantiles, starvation mass, and the lognormal-boost
+//! asymmetry — so those sentences become measurable.
+
+use crate::average::sample_scenario;
+use crate::params::ModelParams;
+use serde::{Deserialize, Serialize};
+use wcs_capacity::policy::MacPolicy;
+use wcs_stats::rng::split_rng;
+use wcs_stats::summary::quantile;
+
+/// Distributional summary of per-pair throughput under one policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputDistribution {
+    /// Mean.
+    pub mean: f64,
+    /// 5th percentile (the unlucky receivers).
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile (the lucky ones).
+    pub p95: f64,
+    /// Fraction of pairs below 10 % of the mean — a starvation measure.
+    pub below_tenth_of_mean: f64,
+}
+
+/// Sample the per-pair throughput distribution for `policy` at
+/// (`rmax`, `d`).
+pub fn throughput_distribution(
+    params: &ModelParams,
+    rmax: f64,
+    d: f64,
+    policy: MacPolicy,
+    n: u64,
+    seed: u64,
+) -> ThroughputDistribution {
+    let mut rng = split_rng(seed, 0xd157);
+    let mut xs = Vec::with_capacity(2 * n as usize);
+    for _ in 0..n {
+        let s = sample_scenario(params, rmax, d, &mut rng);
+        let (a, b) = match policy {
+            MacPolicy::Multiplexing => (s.c_multiplexing_1(), s.c_multiplexing_2()),
+            MacPolicy::Concurrency => (s.c_concurrent_1(), s.c_concurrent_2()),
+            MacPolicy::CarrierSense { d_thresh } => (s.c_cs_1(d_thresh), s.c_cs_2(d_thresh)),
+            MacPolicy::Optimal => {
+                // Per-pair allocation of the optimal joint choice.
+                if s.optimal_prefers_concurrency() {
+                    (s.c_concurrent_1(), s.c_concurrent_2())
+                } else {
+                    (s.c_multiplexing_1(), s.c_multiplexing_2())
+                }
+            }
+            MacPolicy::OptimalUpperBound => (s.c_ub_max_1(), s.c_ub_max_2()),
+        };
+        xs.push(a);
+        xs.push(b);
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let starved = xs.iter().filter(|&&x| x < 0.1 * mean).count() as f64 / xs.len() as f64;
+    ThroughputDistribution {
+        mean,
+        p5: quantile(&xs, 0.05),
+        p50: quantile(&xs, 0.50),
+        p95: quantile(&xs, 0.95),
+        below_tenth_of_mean: starved,
+    }
+}
+
+/// The §3.4 lognormal-boost decomposition: mean concurrency throughput
+/// with and without shadowing, at the same geometry. Positive `boost`
+/// is the "you can't make a bad link worse than no link, but you can
+/// make it a whole lot better" effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingBoost {
+    /// Mean under σ = 0.
+    pub mean_sigma0: f64,
+    /// Mean under the params' σ.
+    pub mean_shadowed: f64,
+    /// Relative change (shadowed/σ0 − 1).
+    pub boost: f64,
+}
+
+/// Measure the shadowing boost for concurrency at (`rmax`, `d`).
+pub fn shadowing_boost(
+    params: &ModelParams,
+    rmax: f64,
+    d: f64,
+    n: u64,
+    seed: u64,
+) -> ShadowingBoost {
+    let sigma0 = ModelParams {
+        prop: wcs_propagation::model::PropagationModel {
+            shadowing: wcs_propagation::shadowing::Shadowing::NONE,
+            ..params.prop
+        },
+        cap: params.cap,
+    };
+    let a = crate::average::mc_averages(&sigma0, rmax, d, 55.0, n, seed).concurrency.mean;
+    let b = crate::average::mc_averages(params, rmax, d, 55.0, n, seed + 1).concurrency.mean;
+    ShadowingBoost { mean_sigma0: a, mean_shadowed: b, boost: b / a - 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let p = ModelParams::paper_default();
+        for policy in [
+            MacPolicy::Multiplexing,
+            MacPolicy::Concurrency,
+            MacPolicy::CarrierSense { d_thresh: 55.0 },
+            MacPolicy::Optimal,
+        ] {
+            let d = throughput_distribution(&p, 55.0, 55.0, policy, 10_000, 1);
+            assert!(d.p5 <= d.p50 && d.p50 <= d.p95, "{policy:?}: {d:?}");
+            assert!(d.mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn long_range_concurrency_has_heavy_lower_tail() {
+        // §3.3.3: long-range concurrency starves a small nearby fraction.
+        let p = ModelParams::paper_sigma0();
+        let conc = throughput_distribution(&p, 120.0, 70.0, MacPolicy::Concurrency, 20_000, 2);
+        let mux = throughput_distribution(&p, 120.0, 70.0, MacPolicy::Multiplexing, 20_000, 3);
+        // Concurrency's 5th percentile is crushed relative to its median
+        // much more than multiplexing's.
+        let conc_tail = conc.p5 / conc.p50;
+        let mux_tail = mux.p5 / mux.p50;
+        assert!(conc_tail < mux_tail, "conc tail {conc_tail} vs mux {mux_tail}");
+    }
+
+    #[test]
+    fn short_range_cs_has_no_starvation_mass() {
+        let p = ModelParams::paper_sigma0();
+        let d = throughput_distribution(
+            &p,
+            20.0,
+            30.0,
+            MacPolicy::CarrierSense { d_thresh: 55.0 },
+            20_000,
+            4,
+        );
+        assert!(d.below_tenth_of_mean < 0.01, "{d:?}");
+    }
+
+    #[test]
+    fn shadowing_boosts_long_range_concurrency() {
+        // §3.4: "in the long range, concurrency fares surprisingly well"
+        // once shadowing is added.
+        let p = ModelParams::paper_default();
+        let b = shadowing_boost(&p, 120.0, 120.0, 40_000, 5);
+        assert!(b.boost > 0.05, "{b:?}");
+    }
+
+    #[test]
+    fn shadowing_boost_small_at_short_range_high_snr() {
+        // At high SNR the log compresses the lognormal asymmetry.
+        let p = ModelParams::paper_default();
+        let b = shadowing_boost(&p, 20.0, 200.0, 40_000, 6);
+        assert!(b.boost.abs() < 0.06, "{b:?}");
+    }
+
+    #[test]
+    fn optimal_upper_bound_dominates_distributionally() {
+        let p = ModelParams::paper_default();
+        let ub =
+            throughput_distribution(&p, 55.0, 55.0, MacPolicy::OptimalUpperBound, 10_000, 7);
+        let cs = throughput_distribution(
+            &p,
+            55.0,
+            55.0,
+            MacPolicy::CarrierSense { d_thresh: 55.0 },
+            10_000,
+            7,
+        );
+        assert!(ub.mean >= cs.mean);
+        assert!(ub.p50 >= cs.p50 * 0.999);
+    }
+}

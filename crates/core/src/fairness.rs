@@ -1,0 +1,126 @@
+//! Fairness and starvation metrics (§3.3.3's short-vs-long-range fairness
+//! asymmetry; §3.4's "worsening the already poor fairness of long range
+//! networks").
+//!
+//! The paper's qualitative claims: in short-range networks "every receiver
+//! has a reasonable share"; in long-range networks a small fraction of
+//! receivers near an in-network interferer "gets smothered in
+//! interference". We measure this as the probability that a pair's
+//! carrier-sense throughput falls below 10 % of its own C_UBmax, plus a
+//! Jain index over per-pair throughputs.
+
+use crate::average::sample_scenario;
+use crate::params::ModelParams;
+use serde::{Deserialize, Serialize};
+use wcs_stats::rng::split_rng;
+
+/// Jain's fairness index: (Σx)²/(n·Σx²) ∈ (0, 1]; 1 = perfectly equal.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let sum: f64 = xs.iter().sum();
+    let sum2: f64 = xs.iter().map(|x| x * x).sum();
+    if sum2 == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sum2)
+}
+
+/// Fairness statistics for carrier sense at one (Rmax, D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessStats {
+    /// Fraction of pairs receiving < 10 % of their C_UBmax under CS.
+    pub starvation_fraction: f64,
+    /// Jain index over per-pair CS throughputs.
+    pub jain: f64,
+    /// Mean per-pair CS throughput.
+    pub mean_throughput: f64,
+    /// 5th-percentile per-pair CS throughput (the unlucky receivers).
+    pub p5_throughput: f64,
+}
+
+/// Measure carrier-sense fairness by Monte Carlo over configurations.
+pub fn cs_fairness(
+    params: &ModelParams,
+    rmax: f64,
+    d: f64,
+    d_thresh: f64,
+    n: u64,
+    seed: u64,
+) -> FairnessStats {
+    let mut rng = split_rng(seed, 0xfa1e);
+    let mut throughputs = Vec::with_capacity(2 * n as usize);
+    let mut starved = 0u64;
+    for _ in 0..n {
+        let s = sample_scenario(params, rmax, d, &mut rng);
+        for (c, ub) in [(s.c_cs_1(d_thresh), s.c_ub_max_1()), (s.c_cs_2(d_thresh), s.c_ub_max_2())]
+        {
+            if ub > 0.0 && c < 0.10 * ub {
+                starved += 1;
+            }
+            throughputs.push(c);
+        }
+    }
+    throughputs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
+    let p5 = wcs_stats::summary::quantile(&throughputs, 0.05);
+    FairnessStats {
+        starvation_fraction: starved as f64 / (2 * n) as f64,
+        jain: jain_index(&throughputs),
+        mean_throughput: mean,
+        p5_throughput: p5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One node hogging everything among n: index = 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_range_no_starvation() {
+        // §3.3.3: "In short range networks… every receiver has a
+        // reasonable share".
+        let p = ModelParams::paper_sigma0();
+        // Rmax = 20 with an interferer right at the threshold edge.
+        let f = cs_fairness(&p, 20.0, 56.0, 55.0, 20_000, 1);
+        assert!(f.starvation_fraction < 0.02, "{f:?}");
+    }
+
+    #[test]
+    fn long_range_starves_a_minority() {
+        // §3.3.3: in long range, an interferer inside the network range
+        // operating under concurrency smothers a small nearby fraction.
+        let p = ModelParams::paper_sigma0();
+        // Rmax = 120, interferer at D = 70 with threshold 55 ⇒ concurrency.
+        let f = cs_fairness(&p, 120.0, 70.0, 55.0, 20_000, 2);
+        assert!(
+            f.starvation_fraction > 0.01 && f.starvation_fraction < 0.35,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn long_range_less_fair_than_short() {
+        let p = ModelParams::paper_default();
+        let short = cs_fairness(&p, 20.0, 40.0, 55.0, 15_000, 3);
+        let long = cs_fairness(&p, 120.0, 70.0, 55.0, 15_000, 4);
+        assert!(long.jain < short.jain, "long {} vs short {}", long.jain, short.jain);
+    }
+
+    #[test]
+    fn shadowing_worsens_long_range_fairness() {
+        // §3.4: concurrency's shadowing bonus comes "at the expense of
+        // worsening the already poor fairness of long range networks".
+        let s0 = ModelParams::paper_sigma0();
+        let s8 = ModelParams::paper_default();
+        let f0 = cs_fairness(&s0, 120.0, 90.0, 55.0, 20_000, 5);
+        let f8 = cs_fairness(&s8, 120.0, 90.0, 55.0, 20_000, 6);
+        assert!(f8.jain < f0.jain + 0.02, "σ=8 jain {} vs σ=0 {}", f8.jain, f0.jain);
+    }
+}

@@ -1,0 +1,208 @@
+//! The fixed-bitrate counterfactual (§3.3.2).
+//!
+//! The paper's optimality argument hinges on adaptive bitrate smoothing
+//! the interference landscape: "A fixed bitrate modulation, unable to
+//! survive at low SNR and unable to advantageously exploit high SNR,
+//! would transform this smooth SNR gradient into a step-like drop in
+//! throughput … no one threshold could satisfy receivers on both sides
+//! of the step." This module re-runs the carrier-sense efficiency
+//! analysis with the Shannon curve replaced by the 802.11a staircase
+//! (and by a single fixed rate), so that claim — the historical root of
+//! the hidden/exposed terminal literature — is measurable.
+
+use crate::params::ModelParams;
+use serde::{Deserialize, Serialize};
+use wcs_capacity::rates::RateTable;
+use wcs_capacity::twopair::{CsDecision, PairSample, ShadowDraws};
+use wcs_propagation::geometry::interferer_distance;
+use wcs_stats::rng::split_rng;
+
+/// Throughput model used in the counterfactual analysis.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ThroughputShape {
+    /// Shannon log₂(1+SNR) — the paper's adaptive-bitrate proxy.
+    Shannon,
+    /// The discrete multi-rate staircase (idealised rate adaptation over
+    /// a real rate set).
+    Staircase(RateTable),
+    /// One fixed modulation: full rate above its SNR requirement, zero
+    /// below — the classic pre-adaptive-radio assumption.
+    SingleRate {
+        /// Rate in Mbit/s (must exist in the 802.11a table).
+        mbps: f64,
+    },
+}
+
+impl ThroughputShape {
+    /// Throughput (arbitrary units: bits/s/Hz for Shannon, Mbit/s for
+    /// the discrete shapes) at linear SINR.
+    pub fn throughput(&self, sinr: f64) -> f64 {
+        let snr_db = 10.0 * sinr.max(1e-300).log10();
+        match self {
+            ThroughputShape::Shannon => (1.0 + sinr).log2(),
+            ThroughputShape::Staircase(t) => t.staircase_throughput_mbps(snr_db),
+            ThroughputShape::SingleRate { mbps } => {
+                let t = RateTable::fixed(*mbps);
+                if snr_db >= t.base_rate().min_snr_db {
+                    *mbps
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Efficiency of carrier sense (⟨C_cs⟩/⟨C_max⟩) under an arbitrary
+/// throughput shape, by common-random-number Monte Carlo (the units of
+/// the shape cancel in the ratio).
+pub fn cs_efficiency_with_shape(
+    params: &ModelParams,
+    shape: &ThroughputShape,
+    rmax: f64,
+    d: f64,
+    d_thresh: f64,
+    n: u64,
+    seed: u64,
+) -> f64 {
+    let prop = params.prop;
+    let mut rng = split_rng(seed, 0xf1bd);
+    let (mut cs_sum, mut opt_sum) = (0.0, 0.0);
+    for _ in 0..n {
+        let p1 = PairSample::sample_uniform(rmax, &mut rng);
+        let p2 = PairSample::sample_uniform(rmax, &mut rng);
+        let sh = ShadowDraws::sample(&prop, &mut rng);
+
+        let eval = |p: &PairSample, sig_shadow: f64, int_shadow: f64| -> (f64, f64) {
+            let signal = prop.median_gain(p.r) * sig_shadow;
+            let dr = interferer_distance(p.r, p.theta, d);
+            let interf = prop.median_gain(dr) * int_shadow;
+            let conc = shape.throughput(signal / (prop.noise + interf));
+            let mux = shape.throughput(signal / prop.noise) / 2.0;
+            (conc, mux)
+        };
+        let (c1, m1) = eval(&p1, sh.signal1, sh.interference1);
+        let (c2, m2) = eval(&p2, sh.signal2, sh.interference2);
+
+        let sensed = prop.median_gain(d) * sh.sense;
+        let decision = if sensed > prop.median_gain(d_thresh) {
+            CsDecision::Multiplex
+        } else {
+            CsDecision::Concurrent
+        };
+        let cs = match decision {
+            CsDecision::Multiplex => 0.5 * (m1 + m2),
+            CsDecision::Concurrent => 0.5 * (c1 + c2),
+        };
+        let opt = 0.5 * (c1 + c2).max(m1 + m2);
+        cs_sum += cs;
+        opt_sum += opt;
+    }
+    cs_sum / opt_sum
+}
+
+/// The §3.3.2 comparison at one parameter point: Shannon vs staircase vs
+/// single-rate carrier-sense efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapeComparison {
+    /// Efficiency under Shannon (adaptive bitrate).
+    pub shannon: f64,
+    /// Efficiency under the 802.11a staircase.
+    pub staircase: f64,
+    /// Efficiency under a single fixed 12 Mbps modulation.
+    pub single_rate: f64,
+}
+
+/// Run the comparison.
+pub fn compare_shapes(
+    params: &ModelParams,
+    rmax: f64,
+    d: f64,
+    d_thresh: f64,
+    n: u64,
+    seed: u64,
+) -> ShapeComparison {
+    ShapeComparison {
+        shannon: cs_efficiency_with_shape(params, &ThroughputShape::Shannon, rmax, d, d_thresh, n, seed),
+        staircase: cs_efficiency_with_shape(
+            params,
+            &ThroughputShape::Staircase(RateTable::full_11a()),
+            rmax,
+            d,
+            d_thresh,
+            n,
+            seed,
+        ),
+        single_rate: cs_efficiency_with_shape(
+            params,
+            &ThroughputShape::SingleRate { mbps: 12.0 },
+            rmax,
+            d,
+            d_thresh,
+            n,
+            seed,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_agree_on_extremes() {
+        let s = ThroughputShape::Staircase(RateTable::full_11a());
+        assert_eq!(s.throughput(0.0), 0.0);
+        assert_eq!(s.throughput(1e6), 54.0);
+        let f = ThroughputShape::SingleRate { mbps: 12.0 };
+        assert_eq!(f.throughput(1e6), 12.0);
+        assert_eq!(f.throughput(1.0), 0.0); // 0 dB < 8 dB requirement
+    }
+
+    #[test]
+    fn fixed_bitrate_hurts_carrier_sense_in_transition() {
+        // §3.3.2: the smooth-capacity world is where carrier sense shines;
+        // a single fixed modulation's throughput cliff makes the
+        // transition region genuinely contentious.
+        let p = ModelParams::paper_default();
+        let c = compare_shapes(&p, 55.0, 55.0, 55.0, 40_000, 1);
+        assert!(
+            c.single_rate < c.shannon - 0.02,
+            "single-rate {} should trail Shannon {}",
+            c.single_rate,
+            c.shannon
+        );
+        // The multi-rate staircase sits between the extremes (it is the
+        // discretised version of adaptation).
+        assert!(c.staircase > c.single_rate, "{c:?}");
+        assert!(c.shannon > 0.8);
+    }
+
+    #[test]
+    fn all_shapes_fine_in_the_far_limit() {
+        // When all receivers agree (D >> Rmax), even fixed bitrate can't
+        // make carrier sense wrong.
+        let p = ModelParams::paper_sigma0();
+        let c = compare_shapes(&p, 20.0, 400.0, 55.0, 20_000, 2);
+        assert!(c.shannon > 0.99, "{c:?}");
+        assert!(c.staircase > 0.99, "{c:?}");
+        assert!(c.single_rate > 0.99, "{c:?}");
+    }
+
+    #[test]
+    fn ratio_is_unit_free() {
+        // Scaling a discrete shape's units (Mbps vs bits/s/Hz) cancels in
+        // the efficiency ratio: staircase efficiency must be within [0,1].
+        let p = ModelParams::paper_default();
+        let e = cs_efficiency_with_shape(
+            &p,
+            &ThroughputShape::Staircase(RateTable::paper_subset()),
+            40.0,
+            55.0,
+            55.0,
+            20_000,
+            3,
+        );
+        assert!((0.0..=1.0 + 1e-9).contains(&e), "{e}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Hidden/exposed-terminal inefficiency decomposition (Figure 6, §3.3.1).
+//!
+//! With adaptive bitrate the traditional binary hidden/exposed terminal
+//! notions dissolve into *inefficiencies*: the gap between carrier-sense
+//! and optimal throughput to the right of the threshold is "hidden
+//! terminal inefficiency" (undesired concurrency), to the left "exposed
+//! terminal inefficiency" (undesired multiplexing). A mis-placed
+//! threshold adds a wrong-branch "triangle": the region between the
+//! threshold and the curve crossover where carrier sense sits on the
+//! lower of the two branches.
+
+use crate::average::{quad_concurrency, quad_multiplexing};
+use crate::params::ModelParams;
+use crate::threshold::optimal_threshold_sigma0;
+use serde::{Deserialize, Serialize};
+use wcs_stats::montecarlo::MonteCarlo;
+
+/// Point-wise decomposition of the carrier-sense/optimal gap at one D.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapPoint {
+    /// Sender–sender distance.
+    pub d: f64,
+    /// ⟨C_multiplexing⟩.
+    pub multiplexing: f64,
+    /// ⟨C_concurrent⟩.
+    pub concurrency: f64,
+    /// ⟨C_cs⟩ (exact piecewise at σ = 0).
+    pub carrier_sense: f64,
+    /// ⟨C_max⟩ (Monte Carlo).
+    pub optimal: f64,
+    /// optimal − cs when carrier sense is multiplexing (exposed side).
+    pub exposed_gap: f64,
+    /// optimal − cs when carrier sense is concurrent (hidden side).
+    pub hidden_gap: f64,
+    /// The wrong-branch component: cs sitting below
+    /// max(multiplexing, concurrency) — the Figure 6 "triangle".
+    pub wrong_branch_gap: f64,
+}
+
+/// The Figure 6 decomposition over a D grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapDecomposition {
+    /// Network range.
+    pub rmax: f64,
+    /// The threshold analysed.
+    pub d_thresh: f64,
+    /// The throughput-optimal threshold for comparison.
+    pub optimal_thresh: f64,
+    /// Point-wise gaps, ascending in D.
+    pub points: Vec<GapPoint>,
+}
+
+impl GapDecomposition {
+    /// D-integrated exposed inefficiency (trapezoid over the grid).
+    pub fn integrated_exposed(&self) -> f64 {
+        integrate(&self.points, |p| p.exposed_gap)
+    }
+
+    /// D-integrated hidden inefficiency.
+    pub fn integrated_hidden(&self) -> f64 {
+        integrate(&self.points, |p| p.hidden_gap)
+    }
+
+    /// D-integrated wrong-branch (triangle) inefficiency.
+    pub fn integrated_wrong_branch(&self) -> f64 {
+        integrate(&self.points, |p| p.wrong_branch_gap)
+    }
+}
+
+fn integrate(points: &[GapPoint], f: impl Fn(&GapPoint) -> f64) -> f64 {
+    points
+        .windows(2)
+        .map(|w| 0.5 * (f(&w[0]) + f(&w[1])) * (w[1].d - w[0].d))
+        .sum()
+}
+
+/// Compute the σ = 0 Figure 6 decomposition for `rmax` at carrier-sense
+/// threshold `d_thresh` over the D grid `ds`.
+pub fn gap_decomposition(
+    params: &ModelParams,
+    rmax: f64,
+    d_thresh: f64,
+    ds: &[f64],
+    n_mc_optimal: u64,
+    seed: u64,
+) -> GapDecomposition {
+    assert!(params.is_deterministic(), "Figure 6 is a σ = 0 analysis");
+    let mux = quad_multiplexing(params, rmax);
+    let optimal_thresh = optimal_threshold_sigma0(params, rmax, None)
+        .crossing()
+        .unwrap_or(f64::NAN);
+    let mut points = Vec::with_capacity(ds.len());
+    for (i, &d) in ds.iter().enumerate() {
+        let conc = quad_concurrency(params, rmax, d);
+        let cs = if d < d_thresh { mux } else { conc };
+        // ⟨C_max⟩ needs the joint two-pair sample.
+        let mut mc = MonteCarlo::new();
+        let mut rng = wcs_stats::rng::split_rng(seed, i as u64);
+        for _ in 0..n_mc_optimal {
+            let s = crate::average::sample_scenario(params, rmax, d, &mut rng);
+            mc.add(s.c_max());
+        }
+        let optimal = mc.estimate().mean;
+        let gap = (optimal - cs).max(0.0);
+        let (exposed, hidden) = if d < d_thresh { (gap, 0.0) } else { (0.0, gap) };
+        let wrong = (mux.max(conc) - cs).max(0.0);
+        points.push(GapPoint {
+            d,
+            multiplexing: mux,
+            concurrency: conc,
+            carrier_sense: cs,
+            optimal,
+            exposed_gap: exposed,
+            hidden_gap: hidden,
+            wrong_branch_gap: wrong,
+        });
+    }
+    GapDecomposition { rmax, d_thresh, optimal_thresh, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::log_d_grid;
+
+    fn decomp(d_thresh: f64) -> GapDecomposition {
+        let p = ModelParams::paper_sigma0();
+        let ds = log_d_grid(5.0, 300.0, 36);
+        gap_decomposition(&p, 55.0, d_thresh, &ds, 4_000, 1)
+    }
+
+    #[test]
+    fn optimal_threshold_has_no_triangle() {
+        // §3.3.3: at the crossover threshold both wrong-branch triangles
+        // vanish.
+        let p = ModelParams::paper_sigma0();
+        let opt = optimal_threshold_sigma0(&p, 55.0, None).crossing().unwrap();
+        let d = decomp(opt);
+        assert!(
+            d.integrated_wrong_branch() < 0.02 * d.integrated_exposed().max(d.integrated_hidden()).max(1e-9) + 1e-3,
+            "triangle {} should be ~0 at the optimal threshold",
+            d.integrated_wrong_branch()
+        );
+    }
+
+    #[test]
+    fn mis_threshold_creates_triangle() {
+        let p = ModelParams::paper_sigma0();
+        let opt = optimal_threshold_sigma0(&p, 55.0, None).crossing().unwrap();
+        let left = decomp(opt * 0.6);
+        let right = decomp(opt * 1.6);
+        assert!(left.integrated_wrong_branch() > 1e-3, "leftward threshold should add a triangle");
+        assert!(right.integrated_wrong_branch() > 1e-3, "rightward threshold should add a triangle");
+        // And both integrate more total inefficiency than the optimum.
+        let optd = decomp(opt);
+        let tot = |g: &GapDecomposition| g.integrated_exposed() + g.integrated_hidden();
+        assert!(tot(&left) > tot(&optd));
+        assert!(tot(&right) > tot(&optd));
+    }
+
+    #[test]
+    fn gaps_concentrate_in_transition_region() {
+        let d = decomp(55.0);
+        // The largest gap point should lie in the transition region
+        // (between ~0.5× and ~2.5× the threshold), not at the extremes.
+        let max_pt = d
+            .points
+            .iter()
+            .max_by(|a, b| {
+                (a.exposed_gap + a.hidden_gap)
+                    .partial_cmp(&(b.exposed_gap + b.hidden_gap))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            max_pt.d > 20.0 && max_pt.d < 150.0,
+            "max gap at D = {} is outside the transition region",
+            max_pt.d
+        );
+    }
+
+    #[test]
+    fn cs_matches_branch_selection() {
+        let d = decomp(55.0);
+        for p in &d.points {
+            if p.d < 55.0 {
+                assert_eq!(p.carrier_sense, p.multiplexing);
+                assert_eq!(p.hidden_gap, 0.0);
+            } else {
+                assert_eq!(p.carrier_sense, p.concurrency);
+                assert_eq!(p.exposed_gap, 0.0);
+            }
+        }
+    }
+}

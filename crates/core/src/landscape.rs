@@ -1,0 +1,187 @@
+//! Capacity "landscape" maps (Figure 2).
+//!
+//! Link capacity as a function of receiver position around the sender at
+//! the origin, with the interferer on the −x axis at distance D. The
+//! paper's plots use σ = 0 ("for clarity, in these plots we ignore
+//! shadowing") and show: the tall peak at the transmitter, the smooth
+//! falloff, the "hole" dimpled around the interferer under concurrency,
+//! and the global (non-cookie-cutter) depression as D shrinks.
+
+use crate::params::ModelParams;
+use serde::{Deserialize, Serialize};
+use wcs_propagation::geometry::Point2;
+
+/// Which landscape to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LandscapeKind {
+    /// C_single: no competition.
+    NoCompetition,
+    /// C_multiplexing: half of C_single, independent of interferer.
+    Multiplexing,
+    /// C_concurrent with the interferer at (−D, 0).
+    Concurrency,
+}
+
+/// A rectangular capacity map over receiver positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityMap {
+    /// Which capacity function this map shows.
+    pub kind: LandscapeKind,
+    /// Interferer distance D (meaningful for `Concurrency` only).
+    pub d: f64,
+    /// Half-extent of the square map: x, y ∈ [−extent, extent].
+    pub extent: f64,
+    /// Grid resolution per axis.
+    pub resolution: usize,
+    /// Row-major capacity values; row i is y = −extent + i·step.
+    pub values: Vec<f64>,
+}
+
+impl CapacityMap {
+    /// Value at grid cell (ix, iy).
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.values[iy * self.resolution + ix]
+    }
+
+    /// World coordinates of a grid cell centre.
+    pub fn cell_center(&self, ix: usize, iy: usize) -> Point2 {
+        let step = 2.0 * self.extent / self.resolution as f64;
+        Point2::new(
+            -self.extent + (ix as f64 + 0.5) * step,
+            -self.extent + (iy as f64 + 0.5) * step,
+        )
+    }
+
+    /// Minimum value over the map.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value over the map.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Render a capacity landscape (σ is forced to 0 as in the paper's plots).
+pub fn capacity_map(
+    params: &ModelParams,
+    kind: LandscapeKind,
+    d: f64,
+    extent: f64,
+    resolution: usize,
+) -> CapacityMap {
+    assert!(resolution >= 2 && extent > 0.0);
+    let prop = params.prop;
+    let cap = params.cap;
+    let interferer = Point2::new(-d, 0.0);
+    let origin = Point2::new(0.0, 0.0);
+    let mut values = Vec::with_capacity(resolution * resolution);
+    let step = 2.0 * extent / resolution as f64;
+    for iy in 0..resolution {
+        let y = -extent + (iy as f64 + 0.5) * step;
+        for ix in 0..resolution {
+            let x = -extent + (ix as f64 + 0.5) * step;
+            let rx = Point2::new(x, y);
+            let r = rx.distance(&origin);
+            let signal = prop.median_gain(r);
+            let c = match kind {
+                LandscapeKind::NoCompetition => cap.capacity(signal / prop.noise),
+                LandscapeKind::Multiplexing => cap.capacity(signal / prop.noise) / 2.0,
+                LandscapeKind::Concurrency => {
+                    let interf = prop.median_gain(rx.distance(&interferer));
+                    cap.capacity(signal / (prop.noise + interf))
+                }
+            };
+            values.push(c);
+        }
+    }
+    CapacityMap { kind, d, extent, resolution, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(kind: LandscapeKind, d: f64) -> CapacityMap {
+        capacity_map(&ModelParams::paper_sigma0(), kind, d, 130.0, 65)
+    }
+
+    #[test]
+    fn peak_is_at_transmitter() {
+        let m = map(LandscapeKind::NoCompetition, 55.0);
+        // The max cell should be one of the four cells nearest the origin.
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for iy in 0..m.resolution {
+            for ix in 0..m.resolution {
+                if m.at(ix, iy) > best.2 {
+                    best = (ix, iy, m.at(ix, iy));
+                }
+            }
+        }
+        let c = m.cell_center(best.0, best.1);
+        assert!(c.norm() < 2.0 * 2.0 * 130.0 / 65.0, "peak at {c:?}");
+    }
+
+    #[test]
+    fn multiplexing_is_half_everywhere() {
+        let a = map(LandscapeKind::NoCompetition, 55.0);
+        let b = map(LandscapeKind::Multiplexing, 55.0);
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((y - x / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn concurrency_hole_around_interferer() {
+        let m = map(LandscapeKind::Concurrency, 55.0);
+        // Capacity near the interferer (−55, 0) far below the mirror point
+        // (+55, 0): the Figure 2 "dimple on the x-axis".
+        let step = 2.0 * m.extent / m.resolution as f64;
+        let ix_near = ((-55.0f64 + m.extent) / step) as usize;
+        let ix_far = ((55.0f64 + m.extent) / step) as usize;
+        let iy = m.resolution / 2;
+        assert!(m.at(ix_near, iy) < 0.25 * m.at(ix_far, iy));
+    }
+
+    #[test]
+    fn closer_interferer_depresses_everything() {
+        // §3.2.3: as the interferer approaches, "capacity throughout the
+        // landscape trends downward". This holds for the region receivers
+        // actually occupy (around the sender); cells sitting next to the
+        // *old* interferer position trivially improve when it moves away,
+        // so restrict the check to the disc of radius 60 about the origin.
+        let far = map(LandscapeKind::Concurrency, 120.0);
+        let near = map(LandscapeKind::Concurrency, 20.0);
+        let (mut lower, mut total) = (0usize, 0usize);
+        for iy in 0..near.resolution {
+            for ix in 0..near.resolution {
+                if near.cell_center(ix, iy).norm() < 60.0 {
+                    total += 1;
+                    if near.at(ix, iy) <= far.at(ix, iy) {
+                        lower += 1;
+                    }
+                }
+            }
+        }
+        assert!(lower as f64 / total as f64 > 0.99, "{lower}/{total}");
+    }
+
+    #[test]
+    fn coincident_interferer_no_cell_above_1bit() {
+        // D → 0: SINR ≤ 0 dB everywhere except atop the transmitter
+        // (§3.2.3: "no receiver has an SNR better than 0 dB"), so capacity
+        // ≤ log2(1 + 1) = 1 bit. At any finite D the SIR limit is
+        // ((r+D)/r)^α, hence pick D tiny relative to the cell size.
+        let m = map(LandscapeKind::Concurrency, 0.05);
+        let step = 2.0 * m.extent / m.resolution as f64;
+        for iy in 0..m.resolution {
+            for ix in 0..m.resolution {
+                let c = m.cell_center(ix, iy);
+                if c.norm() > 2.0 * step {
+                    assert!(m.at(ix, iy) <= 1.05, "cell {c:?} has {}", m.at(ix, iy));
+                }
+            }
+        }
+    }
+}

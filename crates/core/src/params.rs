@@ -1,0 +1,65 @@
+//! Model parameters shared across the analysis modules.
+
+use serde::{Deserialize, Serialize};
+use wcs_capacity::shannon::CapacityModel;
+use wcs_propagation::model::PropagationModel;
+
+/// The propagation + capacity parameterisation of the analytical model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Radio propagation model (α, σ, noise floor N = N₀/P₀).
+    pub prop: PropagationModel,
+    /// Capacity model (Shannon by default).
+    pub cap: CapacityModel,
+}
+
+impl ModelParams {
+    /// The paper's main analysis setting: α = 3, σ = 8 dB, N = −65 dB,
+    /// pure Shannon capacity.
+    pub fn paper_default() -> Self {
+        ModelParams { prop: PropagationModel::paper_default(), cap: CapacityModel::SHANNON }
+    }
+
+    /// The §3.3 simplified model: σ = 0.
+    pub fn paper_sigma0() -> Self {
+        ModelParams { prop: PropagationModel::paper_no_shadowing(), cap: CapacityModel::SHANNON }
+    }
+
+    /// Override the path-loss exponent.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.prop = self.prop.with_alpha(alpha);
+        self
+    }
+
+    /// Override the shadowing σ (dB).
+    pub fn with_sigma_db(mut self, sigma_db: f64) -> Self {
+        self.prop = self.prop.with_sigma_db(sigma_db);
+        self
+    }
+
+    /// True when shadowing is disabled, enabling deterministic quadrature.
+    pub fn is_deterministic(&self) -> bool {
+        self.prop.shadowing.sigma_db == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ModelParams::paper_default();
+        assert_eq!(p.prop.path_loss.alpha, 3.0);
+        assert_eq!(p.prop.shadowing.sigma_db, 8.0);
+        assert!(!p.is_deterministic());
+        assert!(ModelParams::paper_sigma0().is_deterministic());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = ModelParams::paper_default().with_alpha(2.5).with_sigma_db(12.0);
+        assert_eq!(p.prop.path_loss.alpha, 2.5);
+        assert_eq!(p.prop.shadowing.sigma_db, 12.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Receiver preference regions and starvation maps (Figure 3).
+//!
+//! For each candidate receiver position, classify whether it prefers
+//! concurrency (C_concurrent ≥ C_multiplexing), prefers multiplexing, or
+//! would be *starved* without multiplexing — the paper's white regions,
+//! defined as receiving "<10 % of C_UBmax" under concurrency. The area
+//! fractions over the Rmax disc quantify the "agreement" argument of
+//! §3.2.4: in the near and far limits essentially all receivers agree,
+//! and only the transition region splits them.
+
+use crate::params::ModelParams;
+use serde::{Deserialize, Serialize};
+use wcs_propagation::geometry::interferer_distance;
+use wcs_stats::quadrature::integrate_polar_disc;
+
+/// Classification of one receiver position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preference {
+    /// Prefers concurrency (dark grey in Figure 3).
+    Concurrency,
+    /// Prefers multiplexing (light grey).
+    Multiplexing,
+    /// Prefers multiplexing *and* would be starved without it — under
+    /// concurrency it gets < `starvation_fraction` of C_UBmax (white).
+    Starved,
+}
+
+/// The starvation criterion used by the paper's Figure 3.
+pub const STARVATION_FRACTION: f64 = 0.10;
+
+/// Classify a receiver at polar (r, θ) for interferer distance `d`
+/// (σ = 0; the figure is deterministic).
+pub fn classify(params: &ModelParams, r: f64, theta: f64, d: f64) -> Preference {
+    let prop = params.prop;
+    let cap = params.cap;
+    let signal = prop.median_gain(r);
+    let interf = prop.median_gain(interferer_distance(r, theta, d));
+    let c_conc = cap.capacity(signal / (prop.noise + interf));
+    let c_mux = cap.capacity(signal / prop.noise) / 2.0;
+    if c_conc >= c_mux {
+        Preference::Concurrency
+    } else if c_conc < STARVATION_FRACTION * c_conc.max(c_mux) {
+        Preference::Starved
+    } else {
+        Preference::Multiplexing
+    }
+}
+
+/// Area fractions of the three classes over the Rmax disc.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreferenceFractions {
+    /// Fraction preferring concurrency.
+    pub concurrency: f64,
+    /// Fraction preferring multiplexing (not starved).
+    pub multiplexing: f64,
+    /// Fraction starved under concurrency.
+    pub starved: f64,
+}
+
+impl PreferenceFractions {
+    /// The agreement level: the larger of the two camps. 1.0 = everyone
+    /// agrees; 0.5 = receivers split down the middle (the D = 55 case of
+    /// Figure 3).
+    pub fn agreement(&self) -> f64 {
+        self.concurrency.max(self.multiplexing + self.starved)
+    }
+}
+
+/// Compute the area fractions by high-order polar quadrature of the
+/// indicator functions.
+pub fn preference_fractions(params: &ModelParams, rmax: f64, d: f64) -> PreferenceFractions {
+    let conc = integrate_polar_disc(
+        |r, t| {
+            if classify(params, r, t, d) == Preference::Concurrency {
+                1.0
+            } else {
+                0.0
+            }
+        },
+        rmax,
+        96,
+        96,
+    );
+    let starved = integrate_polar_disc(
+        |r, t| {
+            if classify(params, r, t, d) == Preference::Starved {
+                1.0
+            } else {
+                0.0
+            }
+        },
+        rmax,
+        96,
+        96,
+    );
+    PreferenceFractions {
+        concurrency: conc,
+        multiplexing: (1.0 - conc - starved).max(0.0),
+        starved,
+    }
+}
+
+/// A rasterised preference map for rendering Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreferenceMap {
+    /// Interferer distance D.
+    pub d: f64,
+    /// Half-extent of the square map.
+    pub extent: f64,
+    /// Grid resolution per axis.
+    pub resolution: usize,
+    /// Row-major classes.
+    pub cells: Vec<Preference>,
+}
+
+/// Rasterise the preference classification over a square around the
+/// sender.
+pub fn preference_map(params: &ModelParams, d: f64, extent: f64, resolution: usize) -> PreferenceMap {
+    let mut cells = Vec::with_capacity(resolution * resolution);
+    let step = 2.0 * extent / resolution as f64;
+    for iy in 0..resolution {
+        let y = -extent + (iy as f64 + 0.5) * step;
+        for ix in 0..resolution {
+            let x = -extent + (ix as f64 + 0.5) * step;
+            let r = (x * x + y * y).sqrt();
+            let theta = y.atan2(x);
+            cells.push(classify(params, r, theta, d));
+        }
+    }
+    PreferenceMap { d, extent, resolution, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_interferer_all_prefer_multiplexing() {
+        // Figure 3, D = 20: "a single choice, multiplexing, is optimal for
+        // all Rmax up to about 100".
+        let p = ModelParams::paper_sigma0();
+        let f = preference_fractions(&p, 100.0, 20.0);
+        assert!(f.concurrency < 0.03, "{f:?}");
+        assert!(f.agreement() > 0.97);
+    }
+
+    #[test]
+    fn far_interferer_concurrency_optimal_on_average() {
+        // Figure 3, D = 120: "pure concurrency is optimal for all Rmax up
+        // to about 50" — a statement about the aggregated policy choice
+        // (a minority of edge receivers facing the interferer still prefer
+        // multiplexing individually).
+        let p = ModelParams::paper_sigma0();
+        let f = preference_fractions(&p, 50.0, 120.0);
+        assert!(f.concurrency > 0.6, "{f:?}");
+        let conc = crate::average::quad_concurrency(&p, 50.0, 120.0);
+        let mux = crate::average::quad_multiplexing(&p, 50.0);
+        assert!(conc > mux, "⟨C_conc⟩ {conc} must beat ⟨C_mux⟩ {mux}");
+        // And at a smaller Rmax the unanimity is much stronger.
+        let f20 = preference_fractions(&p, 20.0, 120.0);
+        assert!(f20.concurrency > 0.95, "{f20:?}");
+    }
+
+    #[test]
+    fn transition_splits_receivers() {
+        // Figure 3, D = 55: "receivers are split nearly down the middle".
+        let p = ModelParams::paper_sigma0();
+        let f = preference_fractions(&p, 100.0, 55.0);
+        assert!(f.concurrency > 0.25 && f.concurrency < 0.75, "{f:?}");
+    }
+
+    #[test]
+    fn starved_region_hugs_interferer() {
+        let p = ModelParams::paper_sigma0();
+        // A receiver essentially on top of the interferer is starved…
+        assert_eq!(classify(&p, 54.0, std::f64::consts::PI, 55.0), Preference::Starved);
+        // …while one on the opposite side at the same radius is not.
+        assert_ne!(classify(&p, 54.0, 0.0, 55.0), Preference::Starved);
+    }
+
+    #[test]
+    fn starved_fraction_small_but_nonzero_in_transition() {
+        let p = ModelParams::paper_sigma0();
+        let f = preference_fractions(&p, 100.0, 55.0);
+        assert!(f.starved > 0.001 && f.starved < 0.2, "{f:?}");
+    }
+
+    #[test]
+    fn map_matches_classify() {
+        let p = ModelParams::paper_sigma0();
+        let m = preference_map(&p, 55.0, 120.0, 24);
+        let step = 2.0 * m.extent / m.resolution as f64;
+        let (ix, iy) = (3usize, 17usize);
+        let x = -m.extent + (ix as f64 + 0.5) * step;
+        let y = -m.extent + (iy as f64 + 0.5) * step;
+        let r = (x * x + y * y).sqrt();
+        let theta = y.atan2(x);
+        assert_eq!(m.cells[iy * m.resolution + ix], classify(&p, r, theta, 55.0));
+    }
+}

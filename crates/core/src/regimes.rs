@@ -1,0 +1,128 @@
+//! Short/long-range regime classification (§3.3.3–3.3.4, Figure 7).
+//!
+//! The paper's quantitative criterion: a network is *long range* when the
+//! optimal threshold's equivalent distance falls inside the network
+//! boundary (R_thresh < Rmax) and *short range* when it lies well outside
+//! (R_thresh > 2·Rmax). The intermediate band — "for typical α ≈ 3 …
+//! roughly 18 < Rmax < 60, equivalent to 12 dB < SNR < 27 dB at the edge
+//! of the network" — is precisely the operating regime data-networking
+//! hardware targets, which is the paper's explanation for why factory
+//! thresholds work.
+
+use crate::params::ModelParams;
+use crate::threshold::{optimal_threshold_sigma0, ThresholdSolve};
+use serde::{Deserialize, Serialize};
+
+/// The behavioural regime of a network of a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RangeRegime {
+    /// R_thresh > 2·Rmax: interference smothers the whole network before
+    /// internal differences matter; carrier sense performs superbly.
+    Short,
+    /// Rmax ≤ R_thresh ≤ 2·Rmax: the hardware sweet spot.
+    Intermediate,
+    /// R_thresh < Rmax: noise-dominated, interference localised; carrier
+    /// sense still good on average but fairness can suffer.
+    Long,
+    /// Concurrency unconditionally optimal (footnote 11's CDMA regime).
+    ExtremeLong,
+}
+
+/// Classify a regime from an optimal threshold distance and Rmax.
+pub fn classify_regime(threshold: ThresholdSolve, rmax: f64) -> RangeRegime {
+    match threshold {
+        ThresholdSolve::ConcurrencyAlways => RangeRegime::ExtremeLong,
+        ThresholdSolve::MultiplexingAlways => RangeRegime::Short,
+        ThresholdSolve::Crossing(d) => {
+            if d > 2.0 * rmax {
+                RangeRegime::Short
+            } else if d < rmax {
+                RangeRegime::Long
+            } else {
+                RangeRegime::Intermediate
+            }
+        }
+    }
+}
+
+/// Classify a σ = 0 network size directly.
+pub fn classify_network(params: &ModelParams, rmax: f64) -> RangeRegime {
+    classify_regime(optimal_threshold_sigma0(params, rmax, None), rmax)
+}
+
+/// Median SNR (dB) at the network edge — the paper's alternative
+/// expression of network size (Rmax = 20 ↔ 26 dB, Rmax = 120 ↔ 2.6 dB).
+pub fn edge_snr_db(params: &ModelParams, rmax: f64) -> f64 {
+    params.prop.median_snr_db(rmax)
+}
+
+/// The Rmax at which the regime transitions happen for these params:
+/// returns `(rmax_short_boundary, rmax_long_boundary)` where the short
+/// boundary satisfies R_thresh = 2·Rmax and the long boundary
+/// R_thresh = Rmax. Solved by bisection on the monotone-ish criterion.
+pub fn regime_boundaries(params: &ModelParams) -> (f64, f64) {
+    let solve = |target_ratio: f64| -> f64 {
+        // Find rmax where threshold(rmax)/rmax = target_ratio.
+        let f = |rmax: f64| -> f64 {
+            match optimal_threshold_sigma0(params, rmax, None) {
+                ThresholdSolve::Crossing(d) => d / rmax - target_ratio,
+                ThresholdSolve::ConcurrencyAlways => -target_ratio,
+                ThresholdSolve::MultiplexingAlways => 1e6,
+            }
+        };
+        wcs_stats::rootfind::bisect(f, 3.0, 400.0, 0.05).unwrap_or(f64::NAN)
+    };
+    (solve(2.0), solve(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_classify_correctly() {
+        let p = ModelParams::paper_sigma0();
+        assert_eq!(classify_network(&p, 20.0), RangeRegime::Short);
+        assert_eq!(classify_network(&p, 120.0), RangeRegime::Long);
+        assert_eq!(classify_network(&p, 40.0), RangeRegime::Intermediate);
+    }
+
+    #[test]
+    fn boundaries_near_paper_values() {
+        // §3.3.4: "for typical α ≈ 3, this range is roughly 18 < Rmax < 60".
+        let p = ModelParams::paper_sigma0();
+        let (short_b, long_b) = regime_boundaries(&p);
+        assert!((12.0..30.0).contains(&short_b), "short boundary {short_b}");
+        assert!((45.0..90.0).contains(&long_b), "long boundary {long_b}");
+        assert!(short_b < long_b);
+    }
+
+    #[test]
+    fn edge_snr_matches_anchors() {
+        let p = ModelParams::paper_sigma0();
+        assert!((edge_snr_db(&p, 20.0) - 26.0).abs() < 0.5);
+        assert!((edge_snr_db(&p, 120.0) - 2.6).abs() < 0.5);
+    }
+
+    #[test]
+    fn boundary_snrs_near_paper_window() {
+        // The intermediate band should correspond to roughly
+        // 12 dB < edge SNR < 27 dB.
+        let p = ModelParams::paper_sigma0();
+        let (short_b, long_b) = regime_boundaries(&p);
+        let snr_hi = edge_snr_db(&p, short_b); // small Rmax ⇒ high SNR
+        let snr_lo = edge_snr_db(&p, long_b);
+        assert!(snr_hi > 22.0 && snr_hi < 35.0, "high-SNR boundary {snr_hi}");
+        assert!(snr_lo > 6.0 && snr_lo < 18.0, "low-SNR boundary {snr_lo}");
+    }
+
+    #[test]
+    fn extreme_long_range_detected() {
+        // Push the noise floor way up (very weak links): concurrency
+        // should dominate at every D — the CDMA regime.
+        let p = ModelParams::paper_sigma0();
+        let noisy = ModelParams { prop: p.prop.with_noise_db(-20.0), cap: p.cap };
+        let t = optimal_threshold_sigma0(&noisy, 50.0, None);
+        assert_eq!(classify_regime(t, 50.0), RangeRegime::ExtremeLong);
+    }
+}

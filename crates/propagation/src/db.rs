@@ -1,0 +1,119 @@
+//! Decibel arithmetic with a strong type.
+//!
+//! RF quantities mix dB and linear representations constantly, and a
+//! misplaced `10*log10` is the classic propagation-code bug. [`Db`] is a
+//! thin newtype around the dB value that supports only the operations that
+//! are physically meaningful (adding gains, subtracting losses, comparing),
+//! with explicit named conversions to and from linear power ratios.
+
+use serde::{Deserialize, Serialize};
+
+/// Convert a linear power ratio to decibels: 10·log₁₀(x).
+#[inline]
+pub fn linear_to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+/// Convert decibels to a linear power ratio: 10^(x/10).
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// A power *ratio* in decibels (gain if positive, loss if negative).
+///
+/// `Db` deliberately has no `Mul<Db>`: multiplying two ratios in the linear
+/// domain is *adding* in dB, which is what `+` does here.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+impl Db {
+    /// Zero dB (unity gain).
+    pub const ZERO: Db = Db(0.0);
+
+    /// Construct from a linear power ratio.
+    pub fn from_linear(linear: f64) -> Db {
+        Db(linear_to_db(linear))
+    }
+
+    /// The linear power ratio 10^(dB/10).
+    pub fn to_linear(self) -> f64 {
+        db_to_linear(self.0)
+    }
+
+    /// The raw dB value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl std::fmt::Display for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for &x in &[1e-9, 0.5, 1.0, 3.0, 1e6] {
+            let db = linear_to_db(x);
+            assert!((db_to_linear(db) - x).abs() / x < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((linear_to_db(10.0) - 10.0).abs() < 1e-12);
+        assert!((linear_to_db(100.0) - 20.0).abs() < 1e-12);
+        assert!((db_to_linear(3.0) - 1.995_262_314_968_88).abs() < 1e-10);
+        assert!((db_to_linear(-65.0) - 10f64.powf(-6.5)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn db_type_arithmetic() {
+        let g = Db(20.0) + Db(-3.0);
+        assert!((g.value() - 17.0).abs() < 1e-12);
+        let d = Db(20.0) - Db(23.0);
+        assert!((d.value() + 3.0).abs() < 1e-12);
+        assert_eq!(-Db(5.0), Db(-5.0));
+        assert!(Db(10.0) > Db(9.0));
+    }
+
+    #[test]
+    fn db_linear_composition() {
+        // Adding dB == multiplying linear.
+        let a = Db(7.0);
+        let b = Db(4.0);
+        assert!(((a + b).to_linear() - a.to_linear() * b.to_linear()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Db(3.456)), "3.46 dB");
+    }
+}

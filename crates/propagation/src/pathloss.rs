@@ -1,0 +1,116 @@
+//! Power-law path loss (the deterministic component of the paper's model).
+//!
+//! Received power ∝ d^(−α). The exponent α is 2 in free space, "typically
+//! 2 to 4" in practice (§2, citing Vaughan03 and ITU-R P.1238); the paper's
+//! own 2.4 GHz testbed fit gives α ≈ 3.5.
+
+use serde::{Deserialize, Serialize};
+
+/// Power-law path loss with exponent α.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathLoss {
+    /// The path-loss exponent α.
+    pub alpha: f64,
+}
+
+impl PathLoss {
+    /// Free-space propagation (α = 2).
+    pub const FREE_SPACE: PathLoss = PathLoss { alpha: 2.0 };
+
+    /// The paper's default indoor analysis value (α = 3).
+    pub const INDOOR_TYPICAL: PathLoss = PathLoss { alpha: 3.0 };
+
+    /// The paper's measured testbed value (α ≈ 3.5; Figure 14 ML fit 3.6).
+    pub const TESTBED_MEASURED: PathLoss = PathLoss { alpha: 3.5 };
+
+    /// Create with an explicit exponent. Exponents below 1 (long corridors
+    /// can dip under 2 but not under 1) or above 8 are rejected as
+    /// unphysical.
+    pub fn new(alpha: f64) -> Self {
+        assert!((1.0..=8.0).contains(&alpha), "unphysical path-loss exponent {alpha}");
+        PathLoss { alpha }
+    }
+
+    /// Linear power gain at distance `d` (relative to unit distance):
+    /// g = d^(−α). Distances are clamped below at a small ε to keep the
+    /// near-field singularity from producing infinities; the paper notes
+    /// the unbounded peak at the transmitter "is of little practical
+    /// significance".
+    #[inline]
+    pub fn gain(&self, d: f64) -> f64 {
+        const NEAR_FIELD_EPS: f64 = 1e-6;
+        d.max(NEAR_FIELD_EPS).powf(-self.alpha)
+    }
+
+    /// Path loss at distance `d` in dB (positive number = loss).
+    pub fn loss_db(&self, d: f64) -> f64 {
+        -10.0 * self.gain(d).log10()
+    }
+
+    /// The distance at which the gain equals `gain` (inverse of [`gain`]).
+    pub fn distance_for_gain(&self, gain: f64) -> f64 {
+        assert!(gain > 0.0);
+        gain.powf(-1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_distance_is_unity_gain() {
+        assert!((PathLoss::new(3.0).gain(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_space_inverse_square() {
+        let pl = PathLoss::FREE_SPACE;
+        assert!((pl.gain(2.0) - 0.25).abs() < 1e-12);
+        assert!((pl.gain(10.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha3_decade_is_30db() {
+        let pl = PathLoss::INDOOR_TYPICAL;
+        assert!((pl.loss_db(10.0) - 30.0).abs() < 1e-9);
+        // Doubling distance at α = 3 costs ≈ 9.03 dB (the §3.4 "2x ⇒ 9 dB").
+        assert!((pl.loss_db(2.0) - 9.030_899_869_919_435).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_for_gain_inverts() {
+        let pl = PathLoss::new(3.5);
+        for &d in &[0.5, 1.0, 20.0, 120.0] {
+            let g = pl.gain(d);
+            assert!((pl.distance_for_gain(g) - d).abs() / d < 1e-9);
+        }
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let pl = PathLoss::new(4.0);
+        assert!(pl.gain(0.0).is_finite());
+        assert_eq!(pl.gain(0.0), pl.gain(1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unphysical_alpha() {
+        let _ = PathLoss::new(0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn gain_monotone_decreasing(a in 1.5..6.0f64, d1 in 0.1..500.0f64, scale in 1.01..10.0f64) {
+            let pl = PathLoss::new(a);
+            prop_assert!(pl.gain(d1 * scale) < pl.gain(d1));
+        }
+
+        #[test]
+        fn higher_alpha_decays_faster(d in 1.5..300.0f64) {
+            prop_assert!(PathLoss::new(4.0).gain(d) < PathLoss::new(2.0).gain(d));
+        }
+    }
+}

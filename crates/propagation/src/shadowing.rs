@@ -1,0 +1,153 @@
+//! Lognormal shadowing: per-draw sampling and frozen per-link fields.
+//!
+//! Shadowing models the place-to-place variation from obstacles and
+//! reflections; it is lognormal by the central-limit argument the paper
+//! recounts in §3.4/§9, with σ typically 4–12 dB. Two abstractions:
+//!
+//! * [`Shadowing`] — a distribution you draw fresh independent values
+//!   from, as the analytical model's Monte Carlo does (one draw per link
+//!   per configuration, uncorrelated across links; paper footnote 14).
+//! * [`ShadowField`] — a *frozen* field for the simulator: each unordered
+//!   node pair gets one persistent draw, deterministic in the field seed,
+//!   the way a real building presents one fixed shadowing value per link.
+//!   Channel symmetry (A→B equals B→A) matches the paper's Figure 14
+//!   symmetric-channel assumption.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wcs_stats::dist::LogNormalDb;
+use wcs_stats::rng::split_rng;
+
+/// A lognormal shadowing distribution (thin wrapper adding dB helpers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shadowing {
+    /// Standard deviation in dB (σ). Zero disables shadowing.
+    pub sigma_db: f64,
+}
+
+impl Shadowing {
+    /// No shadowing (σ = 0): every draw is unity gain.
+    pub const NONE: Shadowing = Shadowing { sigma_db: 0.0 };
+
+    /// The paper's default analysis value, σ = 8 dB.
+    pub const PAPER_DEFAULT: Shadowing = Shadowing { sigma_db: 8.0 };
+
+    /// Create with explicit σ in dB.
+    pub fn new(sigma_db: f64) -> Self {
+        assert!((0.0..=40.0).contains(&sigma_db), "unreasonable σ {sigma_db}");
+        Shadowing { sigma_db }
+    }
+
+    /// Draw a linear multiplicative factor 10^(X/10), X ~ N(0, σ²).
+    pub fn sample_linear<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        LogNormalDb::new(self.sigma_db).sample_linear(rng)
+    }
+
+    /// Draw the dB value X ~ N(0, σ²).
+    pub fn sample_db<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        LogNormalDb::new(self.sigma_db).sample_db(rng)
+    }
+
+    /// Mean of the linear factor (> 1 for σ > 0; the §3.4 asymmetry).
+    pub fn mean_linear(&self) -> f64 {
+        LogNormalDb::new(self.sigma_db).mean_linear()
+    }
+}
+
+/// A frozen, deterministic shadowing field over node pairs.
+///
+/// The draw for pair (a, b) depends only on (field seed, min(a,b),
+/// max(a,b)), so it is symmetric, stable across queries, and reproducible
+/// across runs. Values are memoised.
+#[derive(Debug, Clone)]
+pub struct ShadowField {
+    seed: u64,
+    shadowing: Shadowing,
+    cache: HashMap<(u32, u32), f64>,
+}
+
+impl ShadowField {
+    /// Create a field with the given distribution and seed.
+    pub fn new(shadowing: Shadowing, seed: u64) -> Self {
+        ShadowField { seed, shadowing, cache: HashMap::new() }
+    }
+
+    /// The σ of the underlying distribution.
+    pub fn shadowing(&self) -> Shadowing {
+        self.shadowing
+    }
+
+    /// Linear shadowing gain for the unordered pair (a, b).
+    pub fn gain_linear(&mut self, a: u32, b: u32) -> f64 {
+        10f64.powf(self.gain_db(a, b) / 10.0)
+    }
+
+    /// dB shadowing value for the unordered pair (a, b).
+    pub fn gain_db(&mut self, a: u32, b: u32) -> f64 {
+        let key = (a.min(b), a.max(b));
+        if let Some(&v) = self.cache.get(&key) {
+            return v;
+        }
+        let label = ((key.0 as u64) << 32) | key.1 as u64;
+        let mut rng = split_rng(self.seed, label);
+        let v = self.shadowing.sample_db(&mut rng);
+        self.cache.insert(key, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcs_stats::rng::seeded_rng;
+    use wcs_stats::Summary;
+
+    #[test]
+    fn sigma_zero_always_unity() {
+        let mut rng = seeded_rng(1);
+        for _ in 0..20 {
+            assert_eq!(Shadowing::NONE.sample_linear(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn field_is_symmetric_and_stable() {
+        let mut f = ShadowField::new(Shadowing::PAPER_DEFAULT, 42);
+        let ab = f.gain_db(3, 7);
+        let ba = f.gain_db(7, 3);
+        assert_eq!(ab, ba);
+        assert_eq!(f.gain_db(3, 7), ab);
+        // Linear is consistent with dB.
+        assert!((f.gain_linear(3, 7) - 10f64.powf(ab / 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_is_deterministic_in_seed() {
+        let mut f1 = ShadowField::new(Shadowing::PAPER_DEFAULT, 42);
+        let mut f2 = ShadowField::new(Shadowing::PAPER_DEFAULT, 42);
+        let mut f3 = ShadowField::new(Shadowing::PAPER_DEFAULT, 43);
+        assert_eq!(f1.gain_db(0, 1), f2.gain_db(0, 1));
+        assert_ne!(f1.gain_db(0, 1), f3.gain_db(0, 1));
+    }
+
+    #[test]
+    fn field_links_are_decorrelated() {
+        let mut f = ShadowField::new(Shadowing::new(8.0), 7);
+        let mut s = Summary::new();
+        for a in 0..40u32 {
+            for b in (a + 1)..40u32 {
+                s.add(f.gain_db(a, b));
+            }
+        }
+        // 780 draws: mean near 0, sd near 8.
+        assert!(s.mean().abs() < 1.0, "mean {}", s.mean());
+        assert!((s.std_dev() - 8.0).abs() < 0.8, "sd {}", s.std_dev());
+    }
+
+    #[test]
+    fn mean_linear_matches_theory() {
+        let s = Shadowing::new(8.0);
+        let expected = ((8.0 * std::f64::consts::LN_10 / 10.0f64).powi(2) / 2.0).exp();
+        assert!((s.mean_linear() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! The deterministic event queue.
+//!
+//! A binary heap keyed by (time, sequence number): ties in simulated time
+//! are broken by insertion order, so a given seed always produces the
+//! identical event interleaving — the property every reproduction figure
+//! in this repository relies on.
+
+use crate::time::SimTime;
+use crate::world::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A node's MAC intends to start transmitting now (validated against
+    /// `plan_generation` — stale plans are ignored).
+    PlannedTxStart {
+        /// The transmitting node.
+        node: NodeId,
+        /// The MAC plan generation this event belongs to.
+        generation: u64,
+    },
+    /// A transmission ends.
+    TxEnd {
+        /// The transmitting node.
+        node: NodeId,
+        /// The transmission id (index into the simulator's record table).
+        tx_id: u64,
+    },
+    /// Deadline for an expected response (ACK/CTS) — if it fires before
+    /// the response arrives, the exchange failed.
+    ResponseTimeout {
+        /// The node waiting for the response.
+        node: NodeId,
+        /// Generation guard (a received response bumps it).
+        generation: u64,
+    },
+    /// End of a NAV (virtual carrier sense) reservation at a node.
+    NavExpire {
+        /// The node whose NAV expires.
+        node: NodeId,
+    },
+    /// A SIFS-scheduled control/response transmission (ACK, CTS, or the
+    /// DATA following a successful RTS/CTS exchange) — bypasses CCA and
+    /// backoff per the 802.11 DCF rules.
+    ControlTxStart {
+        /// The responding node.
+        node: NodeId,
+        /// Key into the simulator's pending-control-frame table.
+        ctrl_id: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// New empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u32) -> Event {
+        Event::NavExpire { node: NodeId(n) }
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), ev(0));
+        q.push(SimTime(10), ev(1));
+        q.push(SimTime(20), ev(2));
+        assert_eq!(q.pop().unwrap().0, SimTime(10));
+        assert_eq!(q.pop().unwrap().0, SimTime(20));
+        assert_eq!(q.pop().unwrap().0, SimTime(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), ev(10));
+        q.push(SimTime(5), ev(11));
+        q.push(SimTime(5), ev(12));
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![ev(10), ev(11), ev(12)]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), ev(0));
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), ev(0));
+        q.push(SimTime(1), ev(1));
+        assert_eq!(q.pop().unwrap().0, SimTime(1));
+        q.push(SimTime(5), ev(2));
+        assert_eq!(q.pop().unwrap().0, SimTime(5));
+        assert_eq!(q.pop().unwrap().0, SimTime(10));
+    }
+}

@@ -1,0 +1,287 @@
+//! MAC configuration and per-node MAC state.
+//!
+//! The state machine itself is driven by the simulator's event loop
+//! (`sim.rs`); this module defines the knobs the paper discusses:
+//!
+//! * **CCA mode** — energy detection against a power threshold (the
+//!   common thread of §3.1), a preamble-detect mode (whose blind spot is
+//!   §5's "chain collisions"), or disabled (the concurrency baseline,
+//!   matching the paper's OpenHAL driver hack),
+//! * the **threshold** itself, expressed in dB above the noise floor —
+//!   the paper's D_thresh = 55 at α = 3 is ≈13 dB,
+//! * per-node threshold offsets to inject §5's **threshold asymmetry**,
+//! * ACK policy (the paper's experiments are broadcast/no-ACK),
+//! * RTS/CTS policy, including the paper's proposed **loss-triggered**
+//!   variant (§5: enable protection "only when, for example, a sender
+//!   discovered that it was experiencing an extremely high loss rate to
+//!   some receiver in spite of a high RSSI").
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Clear-channel-assessment implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcaMode {
+    /// Never defer (carrier sense disabled — the concurrency baseline).
+    Disabled,
+    /// Defer while total received power exceeds the threshold.
+    EnergyDetect,
+    /// Defer only while locked on a decodable frame (preamble detect).
+    /// Misses frames whose preambles were buried under another
+    /// transmission — the §5 chain-collision mechanism.
+    PreambleDetect,
+}
+
+/// Acknowledgement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AckPolicy {
+    /// Broadcast frames: no ACK, no retry, fixed CW_min contention window
+    /// (what the paper's §4 experiments used).
+    Broadcast,
+    /// Unicast with ACK and binary-exponential backoff up to
+    /// `retry_limit` retransmissions per frame.
+    Unicast {
+        /// Maximum retransmissions before the frame is dropped.
+        retry_limit: u32,
+    },
+}
+
+/// RTS/CTS policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RtsCtsPolicy {
+    /// Never use RTS/CTS.
+    Off,
+    /// Always precede data with RTS/CTS (the 802.11 option the paper
+    /// criticises as wasteful when unconditional).
+    Always,
+    /// The paper's §5 proposal: arm RTS/CTS only when the recent delivery
+    /// rate over `window` frames drops below `loss_threshold` *despite*
+    /// a sender→receiver RSSI above `min_rssi_db` (high loss at high RSSI
+    /// = interference, not range). Disarm when delivery recovers above
+    /// `rearm_threshold`.
+    LossTriggered {
+        /// Delivery-rate floor that arms protection.
+        loss_threshold: f64,
+        /// Minimum RSSI (dB over noise) for arming.
+        min_rssi_db: f64,
+        /// Sliding window length in frames.
+        window: usize,
+        /// Delivery rate above which protection disarms.
+        rearm_threshold: f64,
+    },
+}
+
+/// MAC parameters (shared by all nodes; per-node quirks live in
+/// [`MacState`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacConfig {
+    /// CCA implementation.
+    pub cca_mode: CcaMode,
+    /// Energy-detect threshold, dB above the noise floor. The paper's
+    /// analysis threshold D_thresh = 55 corresponds to ≈13 dB.
+    pub cca_threshold_db: f64,
+    /// Minimum contention window (slots).
+    pub cw_min: u32,
+    /// Maximum contention window (slots).
+    pub cw_max: u32,
+    /// ACK policy.
+    pub ack: AckPolicy,
+    /// RTS/CTS policy (only meaningful for unicast).
+    pub rts_cts: RtsCtsPolicy,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            cca_mode: CcaMode::EnergyDetect,
+            cca_threshold_db: 13.0,
+            cw_min: crate::timing::CW_MIN,
+            cw_max: crate::timing::CW_MAX,
+            ack: AckPolicy::Broadcast,
+            rts_cts: RtsCtsPolicy::Off,
+        }
+    }
+}
+
+impl MacConfig {
+    /// The paper's broadcast experiment MAC with carrier sense enabled.
+    pub fn paper_cs() -> Self {
+        MacConfig::default()
+    }
+
+    /// Carrier sense disabled (pure concurrency runs).
+    pub fn paper_concurrency() -> Self {
+        MacConfig { cca_mode: CcaMode::Disabled, ..MacConfig::default() }
+    }
+}
+
+/// What the MAC is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacPhase {
+    /// Counting down DIFS + backoff toward a transmission.
+    Contending,
+    /// A frame is on the air.
+    Transmitting,
+    /// Waiting for an ACK or CTS.
+    AwaitingResponse,
+    /// No traffic to send (pure receiver).
+    Quiet,
+}
+
+/// Per-node MAC state.
+#[derive(Debug, Clone)]
+pub struct MacState {
+    /// Whether this node's sender is active.
+    pub enabled: bool,
+    /// Per-node CCA threshold offset in dB (positive = deafer node);
+    /// the §5 threshold-asymmetry injection.
+    pub cca_offset_db: f64,
+    /// Invalidates stale PlannedTxStart events.
+    pub generation: u64,
+    /// Remaining backoff slots.
+    pub backoff_slots: u32,
+    /// When the current DIFS+backoff countdown began (None while the
+    /// medium is busy for this node).
+    pub countdown_start: Option<SimTime>,
+    /// The fire time of the currently scheduled PlannedTxStart.
+    pub planned_fire: Option<SimTime>,
+    /// Current contention window (slots).
+    pub cw: u32,
+    /// Retransmissions used on the current frame.
+    pub retries: u32,
+    /// Phase.
+    pub phase: MacPhase,
+    /// Virtual carrier sense: medium reserved until this time.
+    pub nav_until: SimTime,
+    /// Guards ResponseTimeout events (bumped when the response arrives).
+    pub response_generation: u64,
+    /// Whether loss-triggered RTS/CTS protection is currently armed.
+    pub rts_armed: bool,
+    /// Sliding window of recent delivery outcomes (unicast mode).
+    pub recent_outcomes: VecDeque<bool>,
+    /// Data frames sent (including retries) — MAC-level counter.
+    pub frames_transmitted: u64,
+}
+
+impl MacState {
+    /// Fresh state for a node; `enabled` marks active senders.
+    pub fn new(enabled: bool, cw_min: u32) -> Self {
+        MacState {
+            enabled,
+            cca_offset_db: 0.0,
+            generation: 0,
+            backoff_slots: 0,
+            countdown_start: None,
+            planned_fire: None,
+            cw: cw_min,
+            retries: 0,
+            phase: if enabled { MacPhase::Contending } else { MacPhase::Quiet },
+            nav_until: SimTime::ZERO,
+            response_generation: 0,
+            rts_armed: false,
+            recent_outcomes: VecDeque::new(),
+            frames_transmitted: 0,
+        }
+    }
+
+    /// Record a delivery outcome and re-evaluate the loss-triggered
+    /// RTS/CTS arming decision.
+    pub fn record_outcome(&mut self, success: bool, policy: RtsCtsPolicy, link_rssi_db: f64) {
+        if let RtsCtsPolicy::LossTriggered {
+            loss_threshold,
+            min_rssi_db,
+            window,
+            rearm_threshold,
+        } = policy
+        {
+            self.recent_outcomes.push_back(success);
+            while self.recent_outcomes.len() > window {
+                self.recent_outcomes.pop_front();
+            }
+            if self.recent_outcomes.len() >= window.min(10) {
+                let delivered = self.recent_outcomes.iter().filter(|&&b| b).count() as f64
+                    / self.recent_outcomes.len() as f64;
+                if !self.rts_armed && delivered < loss_threshold && link_rssi_db >= min_rssi_db {
+                    self.rts_armed = true;
+                } else if self.rts_armed && delivered > rearm_threshold {
+                    self.rts_armed = false;
+                }
+            }
+        }
+    }
+
+    /// Whether the next data frame should be protected by RTS/CTS.
+    pub fn wants_rts(&self, policy: RtsCtsPolicy) -> bool {
+        match policy {
+            RtsCtsPolicy::Off => false,
+            RtsCtsPolicy::Always => true,
+            RtsCtsPolicy::LossTriggered { .. } => self.rts_armed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MacConfig::default();
+        assert_eq!(c.cca_mode, CcaMode::EnergyDetect);
+        assert!((c.cca_threshold_db - 13.0).abs() < 1e-12);
+        assert_eq!(c.cw_min, 15);
+        assert_eq!(c.ack, AckPolicy::Broadcast);
+    }
+
+    #[test]
+    fn loss_triggered_arms_and_disarms() {
+        let policy = RtsCtsPolicy::LossTriggered {
+            loss_threshold: 0.5,
+            min_rssi_db: 10.0,
+            window: 20,
+            rearm_threshold: 0.8,
+        };
+        let mut m = MacState::new(true, 15);
+        // 20 failures at high RSSI → armed.
+        for _ in 0..20 {
+            m.record_outcome(false, policy, 25.0);
+        }
+        assert!(m.rts_armed);
+        assert!(m.wants_rts(policy));
+        // Sustained success → disarmed.
+        for _ in 0..20 {
+            m.record_outcome(true, policy, 25.0);
+        }
+        assert!(!m.rts_armed);
+    }
+
+    #[test]
+    fn loss_triggered_ignores_low_rssi_losses() {
+        // Losses on a weak link are range, not interference: stay off.
+        let policy = RtsCtsPolicy::LossTriggered {
+            loss_threshold: 0.5,
+            min_rssi_db: 10.0,
+            window: 20,
+            rearm_threshold: 0.8,
+        };
+        let mut m = MacState::new(true, 15);
+        for _ in 0..40 {
+            m.record_outcome(false, policy, 5.0);
+        }
+        assert!(!m.rts_armed);
+    }
+
+    #[test]
+    fn always_and_off_policies() {
+        let m = MacState::new(true, 15);
+        assert!(m.wants_rts(RtsCtsPolicy::Always));
+        assert!(!m.wants_rts(RtsCtsPolicy::Off));
+    }
+
+    #[test]
+    fn quiet_nodes_start_quiet() {
+        assert_eq!(MacState::new(false, 15).phase, MacPhase::Quiet);
+        assert_eq!(MacState::new(true, 15).phase, MacPhase::Contending);
+    }
+}

@@ -1,0 +1,467 @@
+//! The PHY: frames on the air, SINR bookkeeping, capture and decoding.
+//!
+//! Reception model: a receiver *locks* onto a frame if, at the frame's
+//! start, the frame's power exceeds the current noise + interference at
+//! the receiver by the preamble-detection margin. Once locked it stays
+//! locked until the frame ends — **no receive abort**, as on the paper's
+//! Atheros hardware ("we … did not have receive abort enabled, making it
+//! impossible to identify the desired packet at the MAC layer", §4.2) —
+//! so a later, stronger frame is lost even if it would have been
+//! decodable. The frame decodes successfully iff the *worst* SINR seen
+//! during its airtime meets the bitrate's SNR requirement (optionally a
+//! logistic roll-off instead of a hard threshold).
+
+use crate::time::SimTime;
+use crate::world::{NodeId, World};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wcs_capacity::rates::Bitrate;
+
+/// What a frame is, MAC-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A data frame for `dst` (broadcast experiments still name the
+    /// intended receiver so the harness can count deliveries; `ack`
+    /// says whether the receiver should respond).
+    Data {
+        /// Intended receiver.
+        dst: NodeId,
+        /// Whether an ACK is expected.
+        ack: bool,
+    },
+    /// An acknowledgement for `dst`.
+    Ack {
+        /// The node being acknowledged.
+        dst: NodeId,
+    },
+    /// Request-to-send: reserves the medium until `nav_until`.
+    Rts {
+        /// Addressed receiver.
+        dst: NodeId,
+        /// NAV reservation end carried in the frame.
+        nav_until: SimTime,
+    },
+    /// Clear-to-send.
+    Cts {
+        /// The node being cleared.
+        dst: NodeId,
+        /// NAV reservation end carried in the frame.
+        nav_until: SimTime,
+    },
+}
+
+/// A frame being transmitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frame {
+    /// MAC meaning.
+    pub kind: FrameKind,
+    /// Modulation used.
+    pub rate: Bitrate,
+    /// MPDU size in bytes (drives airtime).
+    pub mpdu_bytes: usize,
+    /// Sequence number (per sender).
+    pub seq: u64,
+}
+
+/// How decode success is decided from the worst-case SINR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReceptionModel {
+    /// Success iff min-SINR ≥ the rate's requirement. Deterministic.
+    HardThreshold,
+    /// Logistic success probability centred on the requirement:
+    /// p = 1/(1 + exp(−(sinr − req)/width)). Models the soft PER curve
+    /// of real radios; `width_db` ≈ 1–2 dB is typical.
+    Sigmoid {
+        /// Transition width in dB.
+        width_db: f64,
+    },
+}
+
+/// PHY configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhyConfig {
+    /// Margin (dB) by which a preamble must exceed noise + interference
+    /// to be detected and locked.
+    pub preamble_snr_db: f64,
+    /// Decode-success model.
+    pub reception: ReceptionModel,
+}
+
+impl Default for PhyConfig {
+    fn default() -> Self {
+        PhyConfig { preamble_snr_db: 4.0, reception: ReceptionModel::HardThreshold }
+    }
+}
+
+/// An in-flight transmission.
+#[derive(Debug, Clone)]
+pub struct ActiveTx {
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// The frame.
+    pub frame: Frame,
+    /// Cached received power at every node (index = NodeId).
+    pub rx_power: Vec<f64>,
+    /// Scheduled end time.
+    pub end: SimTime,
+}
+
+/// An ongoing locked reception at some node.
+#[derive(Debug, Clone, Copy)]
+struct ActiveRx {
+    tx_id: u64,
+    signal: f64,
+    /// Worst SINR (linear) observed so far during the frame.
+    min_sinr: f64,
+}
+
+/// Outcome of a completed reception attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeResult {
+    /// The node that was locked on the frame.
+    pub receiver: NodeId,
+    /// The frame.
+    pub frame: Frame,
+    /// The transmitting node.
+    pub sender: NodeId,
+    /// Whether it decoded.
+    pub success: bool,
+    /// Worst SINR during the frame, dB.
+    pub min_sinr_db: f64,
+}
+
+/// The shared medium: ambient power and reception state per node.
+#[derive(Debug)]
+pub struct Medium {
+    cfg: PhyConfig,
+    noise: f64,
+    /// Sum of rx power at each node from all active transmissions
+    /// (the node's own transmission contributes nothing to itself).
+    ambient: Vec<f64>,
+    active: HashMap<u64, ActiveTx>,
+    rx: Vec<Option<ActiveRx>>,
+    /// Nodes currently transmitting (cannot lock).
+    transmitting: Vec<bool>,
+}
+
+impl Medium {
+    /// New idle medium over `n` nodes.
+    pub fn new(n: usize, noise: f64, cfg: PhyConfig) -> Self {
+        Medium {
+            cfg,
+            noise,
+            ambient: vec![0.0; n],
+            active: HashMap::new(),
+            rx: vec![None; n],
+            transmitting: vec![false; n],
+        }
+    }
+
+    /// Total non-own received power at `node` (the CCA energy input).
+    pub fn ambient(&self, node: NodeId) -> f64 {
+        self.ambient[node.0 as usize]
+    }
+
+    /// Whether `node` is currently locked on an incoming frame.
+    pub fn is_receiving(&self, node: NodeId) -> bool {
+        self.rx[node.0 as usize].is_some()
+    }
+
+    /// Whether `node` is currently transmitting.
+    pub fn is_transmitting(&self, node: NodeId) -> bool {
+        self.transmitting[node.0 as usize]
+    }
+
+    /// Number of in-flight transmissions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Begin transmission `tx_id` of `frame` from `sender`, ending at
+    /// `end`. Updates ambient powers, degrades SINR of every ongoing
+    /// reception, and attempts preamble locks at idle nodes.
+    ///
+    /// If the sender was itself locked on a frame, that reception is
+    /// abandoned (half-duplex radio).
+    #[allow(clippy::needless_range_loop)] // loops index several parallel per-node arrays
+    pub fn begin_tx(&mut self, world: &mut World, tx_id: u64, sender: NodeId, frame: Frame, end: SimTime) {
+        assert!(!self.transmitting[sender.0 as usize], "{sender} already transmitting");
+        let n = self.ambient.len();
+        let mut rx_power = vec![0.0; n];
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            if node == sender {
+                continue;
+            }
+            rx_power[i] = world.rx_power(sender, node);
+        }
+
+        // Half-duplex: a sender abandons any reception in progress.
+        self.rx[sender.0 as usize] = None;
+        self.transmitting[sender.0 as usize] = true;
+
+        // Raise ambient power and degrade ongoing receptions.
+        for i in 0..n {
+            if NodeId(i as u32) == sender {
+                continue;
+            }
+            self.ambient[i] += rx_power[i];
+            if let Some(arx) = self.rx[i].as_mut() {
+                // Interference for the locked frame = ambient − its own signal.
+                let interf = (self.ambient[i] - arx.signal).max(0.0);
+                let sinr = arx.signal / (self.noise + interf);
+                if sinr < arx.min_sinr {
+                    arx.min_sinr = sinr;
+                }
+            }
+        }
+
+        // Preamble lock attempts at idle, non-transmitting nodes.
+        let lock_margin = 10f64.powf(self.cfg.preamble_snr_db / 10.0);
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            if node == sender || self.transmitting[i] || self.rx[i].is_some() {
+                continue;
+            }
+            let signal = rx_power[i];
+            let interf = (self.ambient[i] - signal).max(0.0);
+            if signal >= lock_margin * (self.noise + interf) {
+                self.rx[i] = Some(ActiveRx {
+                    tx_id,
+                    signal,
+                    min_sinr: signal / (self.noise + interf),
+                });
+            }
+        }
+
+        self.active.insert(tx_id, ActiveTx { sender, frame, rx_power, end });
+    }
+
+    /// End transmission `tx_id`; returns the decode outcomes of every
+    /// node that was locked on it. `rng` drives the sigmoid reception
+    /// model (unused under `HardThreshold`).
+    pub fn end_tx<R: Rng + ?Sized>(&mut self, tx_id: u64, rng: &mut R) -> Vec<DecodeResult> {
+        let tx = self.active.remove(&tx_id).expect("unknown tx_id");
+        let n = self.ambient.len();
+        // Drop ambient contributions.
+        for i in 0..n {
+            if NodeId(i as u32) == tx.sender {
+                continue;
+            }
+            self.ambient[i] -= tx.rx_power[i];
+            if self.ambient[i] < 0.0 {
+                // Exact cancellation can leave −0.0 or tiny negatives from
+                // FP non-associativity when many txs overlap; clamp.
+                self.ambient[i] = 0.0;
+            }
+        }
+        self.transmitting[tx.sender.0 as usize] = false;
+
+        // Resolve receptions locked on this frame.
+        let mut out = Vec::new();
+        for i in 0..n {
+            let locked = matches!(self.rx[i], Some(arx) if arx.tx_id == tx_id);
+            if !locked {
+                continue;
+            }
+            let arx = self.rx[i].take().unwrap();
+            let min_sinr_db = 10.0 * arx.min_sinr.log10();
+            let success = match self.cfg.reception {
+                ReceptionModel::HardThreshold => min_sinr_db >= tx.frame.rate.min_snr_db,
+                ReceptionModel::Sigmoid { width_db } => {
+                    let x = (min_sinr_db - tx.frame.rate.min_snr_db) / width_db;
+                    let p = 1.0 / (1.0 + (-x).exp());
+                    rng.gen::<f64>() < p
+                }
+            };
+            out.push(DecodeResult {
+                receiver: NodeId(i as u32),
+                frame: tx.frame,
+                sender: tx.sender,
+                success,
+                min_sinr_db,
+            });
+        }
+        out
+    }
+
+    /// The active transmission record, if in flight.
+    pub fn active_tx(&self, tx_id: u64) -> Option<&ActiveTx> {
+        self.active.get(&tx_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ChannelConfig;
+    use wcs_capacity::rates::RATES_11A;
+    use wcs_propagation::geometry::Point2;
+    use wcs_stats::rng::seeded_rng;
+
+    fn world(positions: Vec<Point2>) -> World {
+        World::new(positions, ChannelConfig::paper_analysis().without_shadowing(), 1)
+    }
+
+    fn data(dst: u32, rate_idx: usize) -> Frame {
+        Frame {
+            kind: FrameKind::Data { dst: NodeId(dst), ack: false },
+            rate: RATES_11A[rate_idx],
+            mpdu_bytes: 1432,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn clean_frame_decodes() {
+        // Sender at origin, receiver 20 away: 26 dB SNR, decodes 54 Mbps.
+        let mut w = world(vec![Point2::new(0.0, 0.0), Point2::new(20.0, 0.0)]);
+        let mut m = Medium::new(2, w.config().noise, PhyConfig::default());
+        let mut rng = seeded_rng(1);
+        m.begin_tx(&mut w, 0, NodeId(0), data(1, 7), SimTime(100));
+        assert!(m.is_receiving(NodeId(1)));
+        assert!(m.is_transmitting(NodeId(0)));
+        let res = m.end_tx(0, &mut rng);
+        assert_eq!(res.len(), 1);
+        assert!(res[0].success);
+        assert!((res[0].min_sinr_db - 26.0).abs() < 0.5);
+        assert!(!m.is_transmitting(NodeId(0)));
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn weak_frame_fails_at_high_rate_but_not_base() {
+        // Receiver at 90 → SNR ≈ 6.4 dB: 6 Mbps OK, 24 Mbps fails.
+        let mut w = world(vec![Point2::new(0.0, 0.0), Point2::new(90.0, 0.0)]);
+        let mut rng = seeded_rng(2);
+        let mut m = Medium::new(2, w.config().noise, PhyConfig::default());
+        m.begin_tx(&mut w, 0, NodeId(0), data(1, 0), SimTime(100));
+        assert!(m.end_tx(0, &mut rng)[0].success);
+        m.begin_tx(&mut w, 1, NodeId(0), data(1, 4), SimTime(200));
+        assert!(!m.end_tx(1, &mut rng)[0].success);
+    }
+
+    #[test]
+    fn interference_mid_frame_corrupts() {
+        // Node 0 → node 1 at distance 20 (26 dB); node 2 sits 25 from the
+        // receiver: its interference drops SINR to ≈ 10·log10(20⁻³/25⁻³)
+        // ≈ 2.9 dB < even the base-rate requirement.
+        let mut w = world(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(20.0, 0.0),
+            Point2::new(45.0, 0.0),
+        ]);
+        let mut rng = seeded_rng(3);
+        let mut m = Medium::new(3, w.config().noise, PhyConfig::default());
+        m.begin_tx(&mut w, 0, NodeId(0), data(1, 0), SimTime(1000));
+        m.begin_tx(&mut w, 1, NodeId(2), data(1, 0), SimTime(900));
+        let res = m.end_tx(0, &mut rng);
+        let r1 = res.iter().find(|r| r.receiver == NodeId(1)).unwrap();
+        assert!(!r1.success, "min SINR {} dB should fail", r1.min_sinr_db);
+    }
+
+    #[test]
+    fn no_receive_abort() {
+        // Receiver locks the weak frame first; a stronger later frame
+        // does NOT steal the lock (and itself goes unreceived).
+        let mut w = world(vec![
+            Point2::new(0.0, 0.0),    // weak sender, 60 away from rx
+            Point2::new(60.0, 0.0),   // receiver
+            Point2::new(70.0, 0.0),   // strong sender, 10 away from rx
+        ]);
+        let mut rng = seeded_rng(4);
+        let mut m = Medium::new(3, w.config().noise, PhyConfig::default());
+        m.begin_tx(&mut w, 0, NodeId(0), data(1, 0), SimTime(1000));
+        assert!(m.is_receiving(NodeId(1)));
+        m.begin_tx(&mut w, 1, NodeId(2), data(1, 0), SimTime(900));
+        // Still locked on tx 0 (which is now hopeless), not on tx 1.
+        let res0 = m.end_tx(0, &mut rng);
+        let r = res0.iter().find(|r| r.receiver == NodeId(1)).unwrap();
+        assert!(!r.success);
+        // tx 1 ends with no receiver locked on it.
+        let res1 = m.end_tx(1, &mut rng);
+        assert!(res1.iter().all(|r| r.receiver != NodeId(1)));
+    }
+
+    #[test]
+    fn preamble_below_margin_not_locked() {
+        // A frame arriving under existing strong interference is never
+        // locked (the §5 chain-collision ingredient).
+        let mut w = world(vec![
+            Point2::new(0.0, 0.0),   // interferer near rx
+            Point2::new(10.0, 0.0),  // receiver
+            Point2::new(80.0, 0.0),  // weak sender
+        ]);
+        let mut rng = seeded_rng(5);
+        let mut m = Medium::new(3, w.config().noise, PhyConfig::default());
+        m.begin_tx(&mut w, 0, NodeId(0), data(1, 0), SimTime(1000));
+        // Node 1 locks the strong frame; now the weak one arrives.
+        m.begin_tx(&mut w, 1, NodeId(2), data(1, 0), SimTime(1000));
+        // End the strong frame; node 1 was locked on it, decodes fine.
+        let res = m.end_tx(0, &mut rng);
+        assert!(res.iter().any(|r| r.receiver == NodeId(1) && r.success));
+        // The weak frame finds no lock at node 1 (it appeared mid-burst)
+        // and is too weak to have locked anyone else.
+        let res1 = m.end_tx(1, &mut rng);
+        assert!(res1.is_empty());
+    }
+
+    #[test]
+    fn ambient_power_books_balance() {
+        let mut w = world(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(20.0, 0.0),
+            Point2::new(40.0, 0.0),
+        ]);
+        let mut rng = seeded_rng(6);
+        let mut m = Medium::new(3, w.config().noise, PhyConfig::default());
+        m.begin_tx(&mut w, 0, NodeId(0), data(1, 0), SimTime(1000));
+        m.begin_tx(&mut w, 1, NodeId(2), data(1, 0), SimTime(1000));
+        assert!(m.ambient(NodeId(1)) > 0.0);
+        let _ = m.end_tx(0, &mut rng);
+        let _ = m.end_tx(1, &mut rng);
+        for i in 0..3 {
+            assert_eq!(m.ambient(NodeId(i)), 0.0, "node {i} ambient should be zero");
+        }
+    }
+
+    #[test]
+    fn half_duplex_abandons_reception() {
+        let mut w = world(vec![Point2::new(0.0, 0.0), Point2::new(20.0, 0.0)]);
+        let mut rng = seeded_rng(7);
+        let mut m = Medium::new(2, w.config().noise, PhyConfig::default());
+        m.begin_tx(&mut w, 0, NodeId(0), data(1, 0), SimTime(1000));
+        assert!(m.is_receiving(NodeId(1)));
+        // Node 1 starts its own transmission mid-reception.
+        m.begin_tx(&mut w, 1, NodeId(1), data(0, 0), SimTime(900));
+        assert!(!m.is_receiving(NodeId(1)));
+        // Frame 0 ends with nobody locked.
+        assert!(m.end_tx(0, &mut rng).is_empty());
+        let _ = m.end_tx(1, &mut rng);
+    }
+
+    #[test]
+    fn sigmoid_reception_is_probabilistic() {
+        // At exactly the requirement the sigmoid gives ~50 % success.
+        let mut w = world(vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)]);
+        // Choose geometry: snr huge; instead use rate with requirement
+        // equal to actual snr by placing receiver at SNR = 14 dB for
+        // 24 Mbps: r where r^-3/1e-6.5 = 10^1.4 → r ≈ 50.
+        let mut w2 = world(vec![Point2::new(0.0, 0.0), Point2::new(50.1, 0.0)]);
+        let _ = &mut w;
+        let cfg = PhyConfig { reception: ReceptionModel::Sigmoid { width_db: 1.0 }, ..Default::default() };
+        let mut rng = seeded_rng(8);
+        let mut successes = 0;
+        let n = 2000;
+        for t in 0..n {
+            let mut m = Medium::new(2, w2.config().noise, cfg);
+            m.begin_tx(&mut w2, t, NodeId(0), data(1, 4), SimTime(1000));
+            if m.end_tx(t, &mut rng)[0].success {
+                successes += 1;
+            }
+        }
+        let frac = successes as f64 / n as f64;
+        assert!(frac > 0.2 && frac < 0.8, "{frac}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Frame-level event tracing.
+//!
+//! An optional bounded recorder the simulator writes one entry per
+//! transmission start/end into. Used by the pathology analyses (to see
+//! chains of overlapping frames), by debugging sessions, and by tests
+//! that assert *sequencing* properties which aggregate counters cannot
+//! express (e.g. "no two mutually-sensing senders ever overlap except
+//! when their frames started in the same slot").
+
+use crate::phy::FrameKind;
+use crate::time::SimTime;
+use crate::world::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// What a trace entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A transmission started.
+    TxStart,
+    /// A transmission ended; `delivered` says whether the *intended*
+    /// receiver decoded it (meaningful for data frames).
+    TxEnd {
+        /// Decoded by the addressed receiver.
+        delivered: bool,
+    },
+}
+
+/// A compact tag for the frame type (avoids carrying frame payload data
+/// in the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameTag {
+    /// Data frame.
+    Data,
+    /// Acknowledgement.
+    Ack,
+    /// Request-to-send.
+    Rts,
+    /// Clear-to-send.
+    Cts,
+}
+
+impl FrameTag {
+    /// Derive the tag from a PHY frame kind.
+    pub fn of(kind: FrameKind) -> FrameTag {
+        match kind {
+            FrameKind::Data { .. } => FrameTag::Data,
+            FrameKind::Ack { .. } => FrameTag::Ack,
+            FrameKind::Rts { .. } => FrameTag::Rts,
+            FrameKind::Cts { .. } => FrameTag::Cts,
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Event time.
+    pub time: SimTime,
+    /// Start or end.
+    pub kind: TraceKind,
+    /// Transmitting node.
+    pub node: NodeId,
+    /// Frame type.
+    pub frame: FrameTag,
+    /// Bitrate in Mbit/s.
+    pub mbps: f64,
+    /// Sender-scoped sequence number.
+    pub seq: u64,
+}
+
+/// A bounded in-memory trace. Oldest entries are dropped once `capacity`
+/// is reached (the usual mode for long runs where only the tail
+/// matters); `dropped()` reports how many.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: std::collections::VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace bounded at `capacity` entries.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Trace { entries: std::collections::VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Record one entry.
+    pub fn push(&mut self, e: TraceEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(e);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of transmissions in flight simultaneously over the
+    /// retained window.
+    pub fn max_concurrency(&self) -> usize {
+        let mut cur = 0usize;
+        let mut max = 0usize;
+        for e in &self.entries {
+            match e.kind {
+                TraceKind::TxStart => {
+                    cur += 1;
+                    max = max.max(cur);
+                }
+                TraceKind::TxEnd { .. } => cur = cur.saturating_sub(1),
+            }
+        }
+        max
+    }
+
+    /// Pairs of retained entries where two *data* transmissions from
+    /// different nodes started at the identical microsecond — the slot-
+    /// collision signature.
+    pub fn same_tick_starts(&self) -> usize {
+        let starts: Vec<&TraceEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.kind == TraceKind::TxStart && e.frame == FrameTag::Data)
+            .collect();
+        let mut n = 0;
+        for w in starts.windows(2) {
+            if w[0].time == w[1].time && w[0].node != w[1].node {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Render as text (one line per entry) — the simulator's `tcpdump`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let k = match e.kind {
+                TraceKind::TxStart => "start".to_string(),
+                TraceKind::TxEnd { delivered } => {
+                    format!("end [{}]", if delivered { "ok" } else { "lost" })
+                }
+            };
+            out.push_str(&format!(
+                "{:>12} µs  {}  {:?} seq={} @{} Mbps  {}\n",
+                e.time.as_micros(),
+                e.node,
+                e.frame,
+                e.seq,
+                e.mbps,
+                k
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64, kind: TraceKind, node: u32, seq: u64) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_micros(t),
+            kind,
+            node: NodeId(node),
+            frame: FrameTag::Data,
+            mbps: 12.0,
+            seq,
+        }
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut t = Trace::bounded(3);
+        for i in 0..5 {
+            t.push(entry(i, TraceKind::TxStart, 0, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.seq, 2);
+    }
+
+    #[test]
+    fn concurrency_counting() {
+        let mut t = Trace::bounded(16);
+        t.push(entry(0, TraceKind::TxStart, 0, 0));
+        t.push(entry(5, TraceKind::TxStart, 1, 0));
+        t.push(entry(8, TraceKind::TxStart, 2, 0));
+        t.push(entry(9, TraceKind::TxEnd { delivered: true }, 0, 0));
+        t.push(entry(10, TraceKind::TxEnd { delivered: false }, 1, 0));
+        t.push(entry(11, TraceKind::TxEnd { delivered: true }, 2, 0));
+        assert_eq!(t.max_concurrency(), 3);
+    }
+
+    #[test]
+    fn same_tick_detection() {
+        let mut t = Trace::bounded(8);
+        t.push(entry(100, TraceKind::TxStart, 0, 0));
+        t.push(entry(100, TraceKind::TxStart, 1, 0));
+        t.push(entry(200, TraceKind::TxStart, 0, 1));
+        assert_eq!(t.same_tick_starts(), 1);
+    }
+
+    #[test]
+    fn render_lines() {
+        let mut t = Trace::bounded(4);
+        t.push(entry(1, TraceKind::TxStart, 0, 0));
+        t.push(entry(2, TraceKind::TxEnd { delivered: false }, 0, 0));
+        let s = t.render();
+        assert!(s.contains("start"));
+        assert!(s.contains("lost"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn frame_tags() {
+        assert_eq!(
+            FrameTag::of(FrameKind::Data { dst: NodeId(1), ack: false }),
+            FrameTag::Data
+        );
+        assert_eq!(FrameTag::of(FrameKind::Ack { dst: NodeId(1) }), FrameTag::Ack);
+    }
+}

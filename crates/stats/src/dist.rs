@@ -1,0 +1,262 @@
+//! Samplers for the propagation-model distributions.
+//!
+//! The paper's channel model (§2, appendix §9) is built from three random
+//! components: lognormal shadowing (a Gaussian in dB), Rayleigh fading
+//! (no line of sight) and Rician fading (with line of sight). All samplers
+//! here are allocation-free and take any [`rand::Rng`].
+
+use rand::Rng;
+
+/// Draw a standard normal variate via the Marsaglia polar method.
+///
+/// We deliberately avoid `rand_distr` (not in the sanctioned dependency
+/// set); the polar method is exact and branch-light.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Lognormal shadowing expressed in dB: `L = 10^(X/10)`, `X ~ N(0, σ_dB²)`.
+///
+/// This is the paper's `Lσ` random variable. `sample_linear` returns the
+/// multiplicative power factor; `sample_db` returns the underlying Gaussian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalDb {
+    /// Standard deviation of the dB-domain Gaussian (the paper's σ, 4–12 dB).
+    pub sigma_db: f64,
+}
+
+impl LogNormalDb {
+    /// Create a shadowing distribution with the given σ in dB.
+    pub fn new(sigma_db: f64) -> Self {
+        assert!(sigma_db >= 0.0, "shadowing σ must be non-negative");
+        LogNormalDb { sigma_db }
+    }
+
+    /// Draw the dB-domain Gaussian X ~ N(0, σ²).
+    pub fn sample_db<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma_db == 0.0 {
+            0.0
+        } else {
+            self.sigma_db * standard_normal(rng)
+        }
+    }
+
+    /// Draw the multiplicative (linear power) shadowing factor 10^(X/10).
+    pub fn sample_linear<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        10f64.powf(self.sample_db(rng) / 10.0)
+    }
+
+    /// Mean of the linear factor: E[10^(X/10)] = exp((σ·ln10/10)²/2).
+    ///
+    /// This is > 1 — the "you can't make a bad link worse than no link, but
+    /// you can make it a whole lot better" asymmetry the paper exploits in
+    /// §3.4 (zero-mean dB variation has positive mean in linear power).
+    pub fn mean_linear(&self) -> f64 {
+        let s = self.sigma_db * std::f64::consts::LN_10 / 10.0;
+        (s * s / 2.0).exp()
+    }
+}
+
+/// Rayleigh-distributed amplitude (non-line-of-sight fast fading).
+///
+/// Parameterised by `sigma`, the per-component Gaussian std-dev; the mean
+/// *power* (amplitude²) is `2σ²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rayleigh {
+    /// Scale parameter σ of the underlying bivariate Gaussian.
+    pub sigma: f64,
+}
+
+impl Rayleigh {
+    /// A Rayleigh distribution with unit mean power (σ = 1/√2).
+    pub fn unit_power() -> Self {
+        Rayleigh { sigma: std::f64::consts::FRAC_1_SQRT_2 }
+    }
+
+    /// Create with explicit scale parameter.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0);
+        Rayleigh { sigma }
+    }
+
+    /// Draw an amplitude by inverse-CDF sampling: σ√(−2 ln U).
+    pub fn sample_amplitude<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.sigma * (-2.0 * u.ln()).sqrt()
+    }
+
+    /// Draw a power (amplitude²); exponential with mean 2σ².
+    pub fn sample_power<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let a = self.sample_amplitude(rng);
+        a * a
+    }
+
+    /// Mean power 2σ².
+    pub fn mean_power(&self) -> f64 {
+        2.0 * self.sigma * self.sigma
+    }
+}
+
+/// Rician-distributed amplitude (line-of-sight fast fading).
+///
+/// Sum of a deterministic LOS phasor of amplitude `v` and a scattered
+/// component with per-axis std-dev `sigma`. The K-factor is v²/(2σ²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rician {
+    /// LOS component amplitude.
+    pub v: f64,
+    /// Scattered component per-axis standard deviation.
+    pub sigma: f64,
+}
+
+impl Rician {
+    /// Construct from the Rician K-factor (linear, not dB) with unit mean
+    /// power: K = v²/(2σ²), mean power v² + 2σ² = 1.
+    pub fn from_k_factor(k: f64) -> Self {
+        assert!(k >= 0.0);
+        let two_sigma2 = 1.0 / (k + 1.0);
+        let v2 = k * two_sigma2;
+        Rician { v: v2.sqrt(), sigma: (two_sigma2 / 2.0).sqrt() }
+    }
+
+    /// The Rician K-factor v²/(2σ²).
+    pub fn k_factor(&self) -> f64 {
+        self.v * self.v / (2.0 * self.sigma * self.sigma)
+    }
+
+    /// Draw an amplitude: |v + (σ·Z₁ + iσ·Z₂)|.
+    pub fn sample_amplitude<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let re = self.v + self.sigma * standard_normal(rng);
+        let im = self.sigma * standard_normal(rng);
+        (re * re + im * im).sqrt()
+    }
+
+    /// Draw a power (amplitude²).
+    pub fn sample_power<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let a = self.sample_amplitude(rng);
+        a * a
+    }
+
+    /// Mean power v² + 2σ².
+    pub fn mean_power(&self) -> f64 {
+        self.v * self.v + 2.0 * self.sigma * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded_rng(1);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_db_moments() {
+        let d = LogNormalDb::new(8.0);
+        let mut rng = seeded_rng(2);
+        let n = 200_000;
+        let mut sum_db = 0.0;
+        let mut sum_db2 = 0.0;
+        let mut sum_lin = 0.0;
+        for _ in 0..n {
+            let x = d.sample_db(&mut rng);
+            sum_db += x;
+            sum_db2 += x * x;
+            sum_lin += 10f64.powf(x / 10.0);
+        }
+        let mean_db = sum_db / n as f64;
+        let sd_db = (sum_db2 / n as f64 - mean_db * mean_db).sqrt();
+        assert!(mean_db.abs() < 0.1);
+        assert!((sd_db - 8.0).abs() < 0.1, "sd {sd_db}");
+        let mean_lin = sum_lin / n as f64;
+        assert!(
+            (mean_lin - d.mean_linear()).abs() / d.mean_linear() < 0.05,
+            "mean_lin {mean_lin} vs {}",
+            d.mean_linear()
+        );
+    }
+
+    #[test]
+    fn lognormal_mean_linear_exceeds_one() {
+        // The §3.4 positive-mean effect: zero-mean dB → >1 mean linear power.
+        assert!(LogNormalDb::new(8.0).mean_linear() > 1.5);
+        assert!((LogNormalDb::new(0.0).mean_linear() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_zero_is_deterministic() {
+        let d = LogNormalDb::new(0.0);
+        let mut rng = seeded_rng(3);
+        for _ in 0..10 {
+            assert_eq!(d.sample_linear(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn rayleigh_mean_power() {
+        let d = Rayleigh::unit_power();
+        let mut rng = seeded_rng(4);
+        let n = 200_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += d.sample_power(&mut rng);
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean power {mean}");
+    }
+
+    #[test]
+    fn rician_k0_is_rayleigh() {
+        let d = Rician::from_k_factor(0.0);
+        assert!(d.v == 0.0);
+        assert!((d.mean_power() - 1.0).abs() < 1e-12);
+        let mut rng = seeded_rng(5);
+        let n = 100_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += d.sample_power(&mut rng);
+        }
+        assert!((acc / n as f64 - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn rician_high_k_concentrates() {
+        let d = Rician::from_k_factor(100.0);
+        assert!((d.k_factor() - 100.0).abs() < 1e-9);
+        let mut rng = seeded_rng(6);
+        let n = 50_000;
+        let mut acc = 0.0;
+        let mut acc2 = 0.0;
+        for _ in 0..n {
+            let p = d.sample_power(&mut rng);
+            acc += p;
+            acc2 += p * p;
+        }
+        let mean = acc / n as f64;
+        let var = acc2 / n as f64 - mean * mean;
+        assert!((mean - 1.0).abs() < 0.02);
+        // High K ⇒ nearly deterministic power.
+        assert!(var < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used by the model layer to solve for the optimal carrier-sense threshold
+//! — the D at which the concurrency and multiplexing throughput curves cross
+//! (§3.3.3) — and for the short/long-range regime boundaries of Figure 7.
+
+/// Error from a root-finding routine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// The supplied bracket does not straddle a sign change.
+    NotBracketed {
+        /// f(a) at the left end.
+        fa: f64,
+        /// f(b) at the right end.
+        fb: f64,
+    },
+    /// The iteration budget was exhausted before convergence.
+    NoConvergence,
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NotBracketed { fa, fb } => {
+                write!(f, "root not bracketed: f(a)={fa}, f(b)={fb}")
+            }
+            RootError::NoConvergence => write!(f, "root finder failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Bisection on `[a, b]`; requires f(a)·f(b) ≤ 0. Robust but linear.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(RootError::NotBracketed { fa, fb });
+    }
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fa * fm < 0.0 {
+            b = m;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    Err(RootError::NoConvergence)
+}
+
+/// Brent's method on `[a, b]`; requires f(a)·f(b) ≤ 0.
+///
+/// Superlinear in the typical case, never worse than bisection.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(RootError::NotBracketed { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+    for _ in 0..200 {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((lo.min(b) < s) && (s < lo.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::NoConvergence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2_fast() {
+        let mut evals = 0;
+        let r = brent(
+            |x| {
+                evals += 1;
+                x * x - 2.0
+            },
+            0.0,
+            2.0,
+            1e-14,
+        )
+        .unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!(evals < 60, "brent used {evals} evals");
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let r = brent(|x: f64| x.cos() - x, 0.0, 1.0, 1e-14).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_bracketed_is_reported() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(RootError::NotBracketed { .. })
+        ));
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(RootError::NotBracketed { .. })
+        ));
+    }
+
+    #[test]
+    fn endpoint_roots_returned() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-9).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brent_steep_function() {
+        let r = brent(|x: f64| x.powi(9), -1.0, 2.0, 1e-12).unwrap();
+        assert!(r.abs() < 1e-2, "{r}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Descriptive statistics: Welford summaries, percentiles, histograms.
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// New empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Build a summary from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another summary (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Return the `q`-quantile (0 ≤ q ≤ 1) of a data set using linear
+/// interpolation between order statistics (type-7, the R/NumPy default).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q));
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Fixed-bin histogram over a closed range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Create a histogram of `n_bins` equal bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(hi > lo && n_bins > 0);
+        Histogram { lo, hi, bins: vec![0; n_bins], below: 0, above: 0 }
+    }
+
+    /// Record an observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts (within range).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below the range.
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+
+    /// Count of observations at-or-above the range's upper bound.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.below + self.above + self.bins.iter().sum::<u64>()
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Fraction of in-range mass at or below `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let edge = self.lo + (i as f64 + 1.0) * w;
+            if edge <= x {
+                acc += c;
+            } else {
+                break;
+            }
+        }
+        acc as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_whole() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::from_slice(&xs);
+        let mut a = Summary::from_slice(&xs[..317]);
+        let b = Summary::from_slice(&xs[317..]);
+        a.merge(&b);
+        assert_eq!(a.n(), whole.n());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_slice(&[1.0, 2.0]);
+        let before = (a.n(), a.mean(), a.variance());
+        a.merge(&Summary::new());
+        assert_eq!(before, (a.n(), a.mean(), a.variance()));
+        let mut e = Summary::new();
+        e.merge(&a);
+        assert_eq!(e.n(), a.n());
+        assert!((e.mean() - a.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 / 10.0); // 0.0 .. 9.9
+        }
+        h.add(-1.0);
+        h.add(42.0);
+        assert_eq!(h.total(), 102);
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 1);
+        assert_eq!(h.bins().iter().sum::<u64>(), 100);
+        assert!((h.cdf(5.0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+}

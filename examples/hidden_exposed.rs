@@ -1,0 +1,81 @@
+//! Hidden and exposed terminals under adaptive bitrate (§3.3.1, §5).
+//!
+//! Builds the classic hidden-terminal geometry in the packet simulator
+//! and shows the paper's two points:
+//!
+//! 1. with a *fixed* bitrate the hidden terminal is a catastrophe, but
+//!    with rate adaptation it is merely "a less-than-ideal bitrate is
+//!    needed to succeed";
+//! 2. the paper's future-work fix — RTS/CTS armed only when loss is high
+//!    despite high RSSI — recovers reliability without the blanket
+//!    overhead of always-on RTS/CTS.
+//!
+//! Run with: `cargo run --release --example hidden_exposed`
+
+use in_defense_of_carrier_sense::propagation::geometry::Point2;
+use in_defense_of_carrier_sense::sim::mac::{AckPolicy, MacConfig, RtsCtsPolicy};
+use in_defense_of_carrier_sense::sim::rate::RatePolicy;
+use in_defense_of_carrier_sense::sim::sim::{SimConfig, Simulator};
+use in_defense_of_carrier_sense::sim::time::Duration;
+use in_defense_of_carrier_sense::sim::world::{ChannelConfig, NodeId, World};
+
+/// Hidden-terminal layout: senders 120 apart (below the 13 dB sense
+/// threshold at α = 3), receiver R1 sitting in the crossfire.
+fn world() -> World {
+    World::new(
+        vec![
+            Point2::new(0.0, 0.0),    // S1
+            Point2::new(40.0, 0.0),   // R1 — in the crossfire (SIR ≈ 9 dB)
+            Point2::new(120.0, 0.0),  // S2 (hidden from S1)
+            Point2::new(120.0, 60.0), // R2 — in the clear
+        ],
+        ChannelConfig::paper_analysis().without_shadowing(),
+        0,
+    )
+}
+
+fn run(rate: RatePolicy, rts: RtsCtsPolicy, label: &str) {
+    let mac = MacConfig {
+        ack: AckPolicy::Unicast { retry_limit: 4 },
+        rts_cts: rts,
+        ..MacConfig::default()
+    };
+    let mut sim = Simulator::new(world(), SimConfig { mac, seed: 3, ..Default::default() });
+    sim.add_flow(NodeId(0), NodeId(1), rate.clone());
+    sim.add_flow(NodeId(2), NodeId(3), rate);
+    let dur = Duration::from_secs(10);
+    sim.run_for(dur);
+    let a = sim.flow_stats(0);
+    let b = sim.flow_stats(1);
+    println!(
+        "{label:<42} victim: {:>5.0} pkt/s ({:>4.1}% delivery, {:>4} RTS)   clear: {:>5.0} pkt/s",
+        a.throughput_pps(dur),
+        100.0 * a.delivery_rate(),
+        a.rts_sent,
+        b.throughput_pps(dur),
+    );
+}
+
+fn main() {
+    println!("Hidden terminal: S1→R1 with S2 transmitting 120 away, unheard by S1.\nR1 sits 40 from S1 and 80 from S2: SIR ≈ 9 dB — enough for low rates only.\n");
+    run(RatePolicy::fixed(24.0), RtsCtsPolicy::Off, "fixed 24 Mbps, no protection");
+    run(RatePolicy::fixed(6.0), RtsCtsPolicy::Off, "fixed 6 Mbps, no protection");
+    run(RatePolicy::sample_paper_subset(), RtsCtsPolicy::Off, "SampleRate adaptation, no protection");
+    run(RatePolicy::fixed(24.0), RtsCtsPolicy::Always, "fixed 24 Mbps, RTS/CTS always");
+    run(
+        RatePolicy::sample_paper_subset(),
+        RtsCtsPolicy::LossTriggered {
+            loss_threshold: 0.5,
+            min_rssi_db: 10.0,
+            window: 20,
+            rearm_threshold: 0.8,
+        },
+        "SampleRate + loss-triggered RTS/CTS (§5)",
+    );
+    println!(
+        "\nReading: rate adaptation already converts the \"catastrophe\" into a\n\
+         slower-but-working link (the paper's §3.3.1 reframing); loss-triggered\n\
+         RTS/CTS then buys back reliability only where it is needed, armed by\n\
+         the high-loss-despite-high-RSSI heuristic the paper proposes in §5."
+    );
+}

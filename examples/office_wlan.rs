@@ -1,0 +1,73 @@
+//! Office WLAN scenario: two access points with clients, analytical model
+//! and packet-level simulation side by side.
+//!
+//! Sweeps the AP–AP separation D across the near / transition / far
+//! regimes and prints, for each D: the model's predicted per-pair
+//! throughput under multiplexing, concurrency, carrier sense and optimal
+//! (§3 machinery), next to a discrete-event simulation of the same
+//! geometry running real CSMA/CA with 802.11a timing (§4 machinery).
+//!
+//! Run with: `cargo run --release --example office_wlan`
+
+use in_defense_of_carrier_sense::model::average::mc_averages;
+use in_defense_of_carrier_sense::model::params::ModelParams;
+use in_defense_of_carrier_sense::sim::mac::MacConfig;
+use in_defense_of_carrier_sense::sim::rate::RatePolicy;
+use in_defense_of_carrier_sense::sim::sim::{SimConfig, Simulator};
+use in_defense_of_carrier_sense::sim::time::Duration;
+use in_defense_of_carrier_sense::sim::world::{ChannelConfig, NodeId, World};
+use in_defense_of_carrier_sense::propagation::geometry::Point2;
+
+/// Simulate one AP pair at separation `d`, client offset `r`; return
+/// combined delivered pkt/s under (carrier sense, concurrency).
+fn simulate(d: f64, r: f64, rate: f64) -> (f64, f64) {
+    let run = |mac: MacConfig| -> f64 {
+        let world = World::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(0.0, r),
+                Point2::new(-d, 0.0),
+                Point2::new(-d, -r),
+            ],
+            ChannelConfig::paper_analysis().without_shadowing(),
+            0,
+        );
+        let mut sim = Simulator::new(world, SimConfig { mac, seed: 11, ..Default::default() });
+        sim.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(rate));
+        sim.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(rate));
+        let dur = Duration::from_secs(5);
+        sim.run_for(dur);
+        sim.flow_stats(0).throughput_pps(dur) + sim.flow_stats(1).throughput_pps(dur)
+    };
+    (run(MacConfig::paper_cs()), run(MacConfig::paper_concurrency()))
+}
+
+fn main() {
+    let params = ModelParams::paper_sigma0();
+    let rmax = 20.0;
+    println!("Two APs, clients within Rmax = {rmax} — model vs simulation\n");
+    println!(
+        "{:>6} | {:>7} {:>7} {:>7} {:>7} | {:>9} {:>9}",
+        "D", "mux", "conc", "cs", "opt", "sim cs", "sim conc"
+    );
+    println!("{:-<6}-+-{:-<31}-+-{:-<19}", "", "", "");
+    for d in [10.0, 20.0, 35.0, 55.0, 80.0, 120.0, 200.0, 400.0] {
+        let avg = mc_averages(&params, rmax, d, 55.0, 30_000, d as u64);
+        let (sim_cs, sim_conc) = simulate(d, 15.0, 12.0);
+        println!(
+            "{d:>6.0} | {:>7.3} {:>7.3} {:>7.3} {:>7.3} | {:>9.0} {:>9.0}",
+            avg.multiplexing.mean,
+            avg.concurrency.mean,
+            avg.carrier_sense.mean,
+            avg.optimal.mean,
+            sim_cs,
+            sim_conc,
+        );
+    }
+    println!(
+        "\nModel columns are spectral efficiency (bits/s/Hz per pair); sim columns are pkt/s.\n\
+         Watch the same three regimes in both: multiplexing wins when D is small,\n\
+         the curves cross in the transition region, and concurrency wins far out —\n\
+         carrier sense (threshold 55 ≈ 13 dB) tracks the winner at both ends."
+    );
+}

@@ -1,0 +1,48 @@
+//! Does the carrier-sense threshold need tuning? (§3.3.3–3.3.4)
+//!
+//! Sweeps the sense threshold across two decades for short-, mid- and
+//! long-range networks and several propagation exponents, printing the
+//! efficiency achieved at each threshold. The flat plateaus around the
+//! optima — and the overlap of the plateaus across environments — are the
+//! paper's argument that one factory default (~13 dB) is enough.
+//!
+//! Run with: `cargo run --release --example threshold_tuning`
+
+use in_defense_of_carrier_sense::model::efficiency::cs_efficiency;
+use in_defense_of_carrier_sense::model::params::ModelParams;
+use in_defense_of_carrier_sense::model::regimes::{classify_network, edge_snr_db};
+use in_defense_of_carrier_sense::model::threshold::optimal_threshold_sigma0;
+
+fn main() {
+    let thresholds = [20.0, 28.0, 40.0, 55.0, 78.0, 110.0, 155.0];
+
+    println!("Efficiency (⟨C_cs⟩/⟨C_max⟩, %) vs threshold distance, σ = 8 dB, D = Rmax:\n");
+    print!("{:>24} |", "network");
+    for t in thresholds {
+        print!(" {t:>5.0}");
+    }
+    println!("  | σ=0 optimum, regime");
+
+    for (alpha, rmax) in [(3.0, 20.0), (3.0, 40.0), (3.0, 120.0), (2.5, 40.0), (3.5, 40.0)] {
+        let params = ModelParams::paper_default().with_alpha(alpha);
+        let sigma0 = ModelParams::paper_sigma0().with_alpha(alpha);
+        print!("α={alpha:>3}, Rmax={rmax:>4.0} ({:>4.1} dB) |", edge_snr_db(&params, rmax));
+        for &t in &thresholds {
+            let cell = cs_efficiency(&params, rmax, rmax, t, 20_000, (t + rmax) as u64);
+            print!(" {:>5.0}", 100.0 * cell.efficiency);
+        }
+        let opt = optimal_threshold_sigma0(&sigma0, rmax, None);
+        println!(
+            "  | {:>5.0?}, {:?}",
+            opt.crossing().unwrap_or(f64::NAN),
+            classify_network(&sigma0, rmax)
+        );
+    }
+
+    println!(
+        "\nEvery row stays within a few points of its own maximum across a wide\n\
+         threshold span, and the spans overlap: the fixed default D_thresh = 55\n\
+         (≈13 dB over the noise floor) is near-optimal for all of them. That is\n\
+         the paper's threshold-robustness result (§3.3.4)."
+    );
+}

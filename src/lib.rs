@@ -1,0 +1,10 @@
+//! Facade crate for the *In Defense of Wireless Carrier Sense* reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! downstream users can depend on a single package.
+
+pub use wcs_capacity as capacity;
+pub use wcs_core as model;
+pub use wcs_propagation as propagation;
+pub use wcs_sim as sim;
+pub use wcs_stats as stats;

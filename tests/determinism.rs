@@ -1,0 +1,43 @@
+//! Reproducibility: the entire pipeline — model averages, threshold
+//! solves, testbed generation, packet simulation, harness text — must be
+//! bit-for-bit identical across runs with the same seeds.
+
+use in_defense_of_carrier_sense::model::average::mc_averages;
+use in_defense_of_carrier_sense::model::params::ModelParams;
+use wcs_bench::{figures, tables, Effort};
+
+#[test]
+fn model_averages_reproduce_exactly() {
+    let p = ModelParams::paper_default();
+    let a = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 123);
+    let b = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 123);
+    assert_eq!(a.carrier_sense.mean.to_bits(), b.carrier_sense.mean.to_bits());
+    assert_eq!(a.optimal.mean.to_bits(), b.optimal.mean.to_bits());
+    assert_eq!(a.multiplex_fraction.to_bits(), b.multiplex_fraction.to_bits());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let p = ModelParams::paper_default();
+    let a = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 1);
+    let b = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 2);
+    assert_ne!(a.carrier_sense.mean.to_bits(), b.carrier_sense.mean.to_bits());
+}
+
+#[test]
+fn harness_text_is_stable() {
+    assert_eq!(tables::table1(Effort::Quick), tables::table1(Effort::Quick));
+    assert_eq!(
+        figures::shadow_example_report(Effort::Quick),
+        figures::shadow_example_report(Effort::Quick)
+    );
+    assert_eq!(figures::fig3(Effort::Quick), figures::fig3(Effort::Quick));
+}
+
+#[test]
+fn testbed_experiment_is_stable() {
+    use wcs_bench::TestbedCategory;
+    let a = wcs_bench::testbed_report(TestbedCategory::ShortRange, Effort::Quick);
+    let b = wcs_bench::testbed_report(TestbedCategory::ShortRange, Effort::Quick);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,122 @@
+//! Cross-crate property tests: invariants that must hold across the
+//! whole stack for arbitrary parameters, not just the paper's points.
+
+use in_defense_of_carrier_sense::capacity::shannon::CapacityModel;
+use in_defense_of_carrier_sense::capacity::twopair::{PairSample, ShadowDraws, TwoPairScenario};
+use in_defense_of_carrier_sense::model::average::mc_averages;
+use in_defense_of_carrier_sense::model::params::ModelParams;
+use in_defense_of_carrier_sense::propagation::model::PropagationModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimal MAC dominates every implementable policy in
+    /// expectation, and the upper bound dominates the optimal, for any
+    /// (α, σ, Rmax, D, threshold).
+    #[test]
+    fn policy_dominance_everywhere(
+        alpha in 2.0..4.0f64,
+        sigma in 0.0..12.0f64,
+        rmax in 10.0..150.0f64,
+        d in 5.0..300.0f64,
+        thresh in 20.0..120.0f64,
+        seed in 0u64..1000,
+    ) {
+        let p = ModelParams::paper_default().with_alpha(alpha).with_sigma_db(sigma);
+        let a = mc_averages(&p, rmax, d, thresh, 4_000, seed);
+        let slack = 3.0 * (a.optimal.std_error + a.carrier_sense.std_error);
+        prop_assert!(a.optimal.mean + slack >= a.carrier_sense.mean);
+        prop_assert!(a.optimal.mean + slack >= a.multiplexing.mean);
+        prop_assert!(a.optimal.mean + slack >= a.concurrency.mean);
+        prop_assert!(a.upper_bound.mean + 1e-12 >= a.optimal.mean);
+        // Carrier sense is a mixture of the two branches.
+        let lo = a.multiplexing.mean.min(a.concurrency.mean) - slack;
+        let hi = a.multiplexing.mean.max(a.concurrency.mean) + slack;
+        prop_assert!(a.carrier_sense.mean >= lo && a.carrier_sense.mean <= hi);
+    }
+
+    /// Per-configuration: C_cs always equals one of its two branches, and
+    /// the branch choice is monotone in the threshold (a larger
+    /// threshold distance can only move the decision toward multiplexing
+    /// ... i.e. toward concurrency — a larger D_thresh means a *lower*
+    /// power threshold, i.e. more deferral).
+    #[test]
+    fn cs_branch_selection_monotone_in_threshold(
+        r1 in 1.0..120.0f64, t1 in 0.0..std::f64::consts::TAU,
+        r2 in 1.0..120.0f64, t2 in 0.0..std::f64::consts::TAU,
+        d in 2.0..300.0f64,
+        th_lo in 10.0..100.0f64,
+        extra in 1.0..100.0f64,
+    ) {
+        let s = TwoPairScenario {
+            pair1: PairSample { r: r1, theta: t1 },
+            pair2: PairSample { r: r2, theta: t2 },
+            d,
+            shadows: ShadowDraws::UNITY,
+            prop: PropagationModel::paper_no_shadowing(),
+            cap: CapacityModel::SHANNON,
+        };
+        let th_hi = th_lo + extra;
+        use in_defense_of_carrier_sense::capacity::twopair::CsDecision;
+        // Raising D_thresh lowers P_thresh: once a sender defers at th_lo
+        // it must still defer at th_hi.
+        if s.cs_decision(th_lo) == CsDecision::Multiplex {
+            prop_assert_eq!(s.cs_decision(th_hi), CsDecision::Multiplex);
+        }
+        // And C_cs equals the branch selected.
+        let c = s.c_cs_1(th_lo);
+        let m = s.c_multiplexing_1();
+        let q = s.c_concurrent_1();
+        prop_assert!((c - m).abs() < 1e-12 || (c - q).abs() < 1e-12);
+    }
+
+    /// Scale invariance (§3.2.2: "changing the power level … is
+    /// equivalent to rescaling the distances"): multiplying all distances
+    /// by k and dividing the noise by k^α leaves every capacity unchanged.
+    #[test]
+    fn distance_power_scale_invariance(
+        r in 1.0..100.0f64, t in 0.0..std::f64::consts::TAU, d in 2.0..200.0f64,
+        k in 0.5..3.0f64,
+    ) {
+        let alpha = 3.0;
+        let base = TwoPairScenario {
+            pair1: PairSample { r, theta: t },
+            pair2: PairSample { r, theta: t },
+            d,
+            shadows: ShadowDraws::UNITY,
+            prop: PropagationModel::paper_no_shadowing(),
+            cap: CapacityModel::SHANNON,
+        };
+        let mut scaled_prop = PropagationModel::paper_no_shadowing();
+        scaled_prop.noise = base.prop.noise / k.powf(alpha);
+        let scaled = TwoPairScenario {
+            pair1: PairSample { r: r * k, theta: t },
+            pair2: PairSample { r: r * k, theta: t },
+            d: d * k,
+            shadows: ShadowDraws::UNITY,
+            prop: scaled_prop,
+            cap: CapacityModel::SHANNON,
+        };
+        prop_assert!((base.c_single_1() - scaled.c_single_1()).abs() < 1e-9);
+        prop_assert!((base.c_concurrent_1() - scaled.c_concurrent_1()).abs() < 1e-9);
+        prop_assert!((base.c_max() - scaled.c_max()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn efficiency_is_scale_free_in_seed_count() {
+    // Doubling MC samples must not move the efficiency estimate by more
+    // than the combined confidence intervals.
+    let p = ModelParams::paper_default();
+    let small = in_defense_of_carrier_sense::model::efficiency::cs_efficiency(
+        &p, 40.0, 55.0, 55.0, 10_000, 1,
+    );
+    let large = in_defense_of_carrier_sense::model::efficiency::cs_efficiency(
+        &p, 40.0, 55.0, 55.0, 80_000, 2,
+    );
+    assert!(
+        (small.efficiency - large.efficiency).abs() < small.ci95 + large.ci95 + 0.01,
+        "{small:?} vs {large:?}"
+    );
+}
