@@ -9,13 +9,13 @@ use std::hint::black_box;
 use std::time::Duration as StdDuration;
 use wcs_core::average::{mc_averages, quad_concurrency};
 use wcs_core::params::ModelParams;
+use wcs_propagation::geometry::Point2;
 use wcs_sim::mac::{AckPolicy, MacConfig, RtsCtsPolicy};
 use wcs_sim::phy::{PhyConfig, ReceptionModel};
 use wcs_sim::rate::RatePolicy;
 use wcs_sim::sim::{SimConfig, Simulator};
 use wcs_sim::time::Duration;
 use wcs_sim::world::{ChannelConfig, NodeId, World};
-use wcs_propagation::geometry::Point2;
 
 fn configured() -> Criterion {
     Criterion::default()
@@ -49,7 +49,15 @@ fn two_pair_sim(phy: PhyConfig, mac: MacConfig, rate: RatePolicy, seed: u64) -> 
         ChannelConfig::paper_analysis().without_shadowing(),
         0,
     );
-    let mut s = Simulator::new(world, SimConfig { phy, mac, seed, ..Default::default() });
+    let mut s = Simulator::new(
+        world,
+        SimConfig {
+            phy,
+            mac,
+            seed,
+            ..Default::default()
+        },
+    );
     s.add_flow(NodeId(0), NodeId(1), rate.clone());
     s.add_flow(NodeId(2), NodeId(3), rate);
     s.run_for(Duration::from_secs(1));
@@ -64,7 +72,10 @@ fn ablation_reception(c: &mut Criterion) {
         ("hard_threshold", PhyConfig::default()),
         (
             "sigmoid_4db",
-            PhyConfig { reception: ReceptionModel::Sigmoid { width_db: 4.0 }, ..Default::default() },
+            PhyConfig {
+                reception: ReceptionModel::Sigmoid { width_db: 4.0 },
+                ..Default::default()
+            },
         ),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &phy, |b, phy| {
@@ -90,7 +101,10 @@ fn ablation_samplerate(c: &mut Criterion) {
         b.iter(|| {
             black_box(two_pair_sim(
                 PhyConfig::default(),
-                MacConfig { ack: AckPolicy::Unicast { retry_limit: 4 }, ..Default::default() },
+                MacConfig {
+                    ack: AckPolicy::Unicast { retry_limit: 4 },
+                    ..Default::default()
+                },
                 RatePolicy::fixed(24.0),
                 2,
             ))
@@ -100,7 +114,10 @@ fn ablation_samplerate(c: &mut Criterion) {
         b.iter(|| {
             black_box(two_pair_sim(
                 PhyConfig::default(),
-                MacConfig { ack: AckPolicy::Unicast { retry_limit: 4 }, ..Default::default() },
+                MacConfig {
+                    ack: AckPolicy::Unicast { retry_limit: 4 },
+                    ..Default::default()
+                },
                 RatePolicy::sample_paper_subset(),
                 2,
             ))

@@ -34,7 +34,15 @@ fn bench_table1_efficiency(c: &mut Criterion) {
 fn bench_fig2_landscape(c: &mut Criterion) {
     let p = ModelParams::paper_sigma0();
     c.bench_function("fig2_landscape_65x65", |b| {
-        b.iter(|| black_box(capacity_map(&p, LandscapeKind::Concurrency, 55.0, 130.0, 65)))
+        b.iter(|| {
+            black_box(capacity_map(
+                &p,
+                LandscapeKind::Concurrency,
+                55.0,
+                130.0,
+                65,
+            ))
+        })
     });
 }
 

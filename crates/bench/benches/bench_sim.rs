@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration as StdDuration;
+use wcs_propagation::geometry::Point2;
 use wcs_sim::experiment::{run_pair_experiment, ExperimentConfig, PairExperiment};
 use wcs_sim::mac::MacConfig;
 use wcs_sim::pathology::{
@@ -15,7 +16,6 @@ use wcs_sim::testbed::{Testbed, TestbedConfig};
 use wcs_sim::time::Duration;
 use wcs_sim::world::{ChannelConfig, NodeId, World};
 use wcs_stats::fit::fit_pathloss_shadowing;
-use wcs_propagation::geometry::Point2;
 
 fn configured() -> Criterion {
     Criterion::default()
@@ -52,8 +52,14 @@ fn bench_engine_second(c: &mut Criterion) {
 fn bench_fig10_short_range(c: &mut Criterion) {
     let bed = Testbed::generate(TestbedConfig::default());
     let links = bed.candidate_links(0.94, 1.0);
-    let pairs = PairExperiment { link1: links[0], link2: links[links.len() / 2] };
-    let cfg = ExperimentConfig { run_duration: Duration::from_secs(1), ..Default::default() };
+    let pairs = PairExperiment {
+        link1: links[0],
+        link2: links[links.len() / 2],
+    };
+    let cfg = ExperimentConfig {
+        run_duration: Duration::from_secs(1),
+        ..Default::default()
+    };
     c.bench_function("fig10_pair_experiment_1s", |b| {
         b.iter(|| black_box(run_pair_experiment(&bed, pairs, &cfg, 1)))
     });
@@ -63,8 +69,14 @@ fn bench_fig10_short_range(c: &mut Criterion) {
 fn bench_fig12_long_range(c: &mut Criterion) {
     let bed = Testbed::generate(TestbedConfig::default());
     let links = bed.candidate_links(0.80, 0.95);
-    let pairs = PairExperiment { link1: links[0], link2: links[links.len() / 2] };
-    let cfg = ExperimentConfig { run_duration: Duration::from_secs(1), ..Default::default() };
+    let pairs = PairExperiment {
+        link1: links[0],
+        link2: links[links.len() / 2],
+    };
+    let cfg = ExperimentConfig {
+        run_duration: Duration::from_secs(1),
+        ..Default::default()
+    };
     c.bench_function("fig12_pair_experiment_1s", |b| {
         b.iter(|| black_box(run_pair_experiment(&bed, pairs, &cfg, 2)))
     });
@@ -88,14 +100,22 @@ fn bench_pathologies(c: &mut Criterion) {
         b.iter(|| black_box(chain_collision_scenario(Duration::from_secs(1), 2)))
     });
     c.bench_function("pathology_asymmetry_1s", |b| {
-        b.iter(|| black_box(threshold_asymmetry_scenario(20.0, Duration::from_secs(1), 3)))
+        b.iter(|| {
+            black_box(threshold_asymmetry_scenario(
+                20.0,
+                Duration::from_secs(1),
+                3,
+            ))
+        })
     });
 }
 
 /// MAC config construction cost sanity (should be trivially cheap; guards
 /// against accidental allocation creep in the hot path structs).
 fn bench_config(c: &mut Criterion) {
-    c.bench_function("mac_config_default", |b| b.iter(|| black_box(MacConfig::default())));
+    c.bench_function("mac_config_default", |b| {
+        b.iter(|| black_box(MacConfig::default()))
+    });
 }
 
 criterion_group! {

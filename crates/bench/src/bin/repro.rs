@@ -4,16 +4,22 @@
 //! ```text
 //! repro [--full] <experiment>...
 //! repro [--full] all
+//! repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario]
 //! ```
 //!
 //! Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10-11 fig12-13
 //! fig14 table1 table2 table-short table-long sweep-alpha-sigma
 //! slope-bound shadow-example exposed-vs-rate pathologies.
 //!
+//! `sweep` runs a declarative `wcs-runtime` scenario (default
+//! `figure4-family`) on the multi-threaded engine with the on-disk result
+//! cache; output is bitwise identical for any `--threads` value.
+//!
 //! `--full` uses paper-fidelity sample counts (minutes); the default is a
 //! quick pass (seconds per experiment).
 
 use wcs_bench::{figures, tables, Effort, TestbedCategory};
+use wcs_runtime::{run_sweep, scenarios, Engine, ResultCache};
 
 fn run_one(name: &str, effort: Effort) -> Option<String> {
     let out = match name {
@@ -65,6 +71,63 @@ const ALL: &[&str] = &[
     "fixed-bitrate",
 ];
 
+/// `repro sweep`: run a declarative scenario on the engine.
+fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
+    let mut threads = 0usize; // 0 = auto
+    let mut use_cache = true;
+    let mut format = "render";
+    let mut names: Vec<String> = Vec::new();
+    while !args.is_empty() {
+        match args.remove(0).as_str() {
+            "--threads" => {
+                if args.is_empty() {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                }
+                threads = args.remove(0).parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--no-cache" => use_cache = false,
+            "--csv" => format = "csv",
+            "--json" => format = "json",
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names.push("figure4-family".to_string());
+    }
+    let profile = effort.profile();
+    let engine = Engine::new(threads);
+    let cache = ResultCache::default_location();
+    let cache_ref = if use_cache { Some(&cache) } else { None };
+    for name in &names {
+        let Some(sweep) = scenarios::by_name(name, &profile) else {
+            eprintln!(
+                "unknown scenario '{name}'; known: {}",
+                scenarios::NAMES.join(" ")
+            );
+            std::process::exit(2);
+        };
+        let t0 = std::time::Instant::now();
+        let outcome = run_sweep(&sweep, &engine, cache_ref);
+        match format {
+            "csv" => print!("{}", outcome.report.to_csv()),
+            "json" => println!("{}", outcome.report.to_json()),
+            _ => print!("{}", outcome.report.render()),
+        }
+        eprintln!(
+            "[sweep {name}: {} tasks, {} threads, cache {}, {:.1}s]",
+            outcome.tasks_run,
+            engine.threads(),
+            if outcome.cache_hit { "hit" } else { "miss" },
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let effort = if let Some(pos) = args.iter().position(|a| a == "--full") {
@@ -73,9 +136,16 @@ fn main() {
     } else {
         Effort::Quick
     };
+    if args.first().map(String::as_str) == Some("sweep") {
+        run_sweep_cmd(args.split_off(1), effort);
+    }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!("usage: repro [--full] <experiment>... | all");
+        eprintln!(
+            "       repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario]"
+        );
         eprintln!("experiments: {}", ALL.join(" "));
+        eprintln!("scenarios: {}", wcs_runtime::scenarios::NAMES.join(" "));
         std::process::exit(2);
     }
     let names: Vec<String> = if args.iter().any(|a| a == "all") {

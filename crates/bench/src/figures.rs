@@ -2,13 +2,13 @@
 
 use crate::{render_series, Effort};
 use wcs_core::curves::{log_d_grid, throughput_curves};
+use wcs_core::distribution::{shadowing_boost, throughput_distribution};
+use wcs_core::fairness::cs_fairness;
 use wcs_core::inefficiency::gap_decomposition;
 use wcs_core::landscape::{capacity_map, LandscapeKind};
 use wcs_core::params::ModelParams;
 use wcs_core::preference::{preference_fractions, preference_map, Preference};
 use wcs_core::shadowing_example::shadow_example;
-use wcs_core::distribution::{shadowing_boost, throughput_distribution};
-use wcs_core::fairness::cs_fairness;
 use wcs_core::threshold::{
     equivalent_distance_alpha3, optimal_threshold, optimal_threshold_sigma0,
     short_range_asymptotic_threshold,
@@ -25,7 +25,11 @@ pub fn fig2(_effort: Effort) -> String {
         ("multiplexing".into(), LandscapeKind::Multiplexing, 0.0),
         ("concurrency D=20".into(), LandscapeKind::Concurrency, 20.0),
         ("concurrency D=55".into(), LandscapeKind::Concurrency, 55.0),
-        ("concurrency D=120".into(), LandscapeKind::Concurrency, 120.0),
+        (
+            "concurrency D=120".into(),
+            LandscapeKind::Concurrency,
+            120.0,
+        ),
     ];
     for (label, kind, d) in frames {
         let m = capacity_map(&p, kind, d, 130.0, 33);
@@ -84,10 +88,14 @@ pub fn fig3(_effort: Effort) -> String {
 /// Figures 4 & 5 — σ = 0 average-throughput curves vs D for
 /// Rmax ∈ {20, 55, 120}, with the carrier-sense piecewise overlay at
 /// D_thresh = 55 (Figure 5 is the Rmax = 55 frame).
+///
+/// The three frames are independent tasks executed on the engine; each
+/// keeps its historical seed, so the rendered text is byte-identical to
+/// the serial harness at any thread count.
 pub fn fig4_5(effort: Effort) -> String {
     let p = ModelParams::paper_sigma0();
-    let mut out = String::new();
-    for rmax in [20.0, 55.0, 120.0] {
+    let rmaxes = [20.0, 55.0, 120.0];
+    let frames = crate::engine().map(&rmaxes, |&rmax| {
         let ds = log_d_grid(5.0, 400.0, effort.curve_points());
         let c = throughput_curves(&p, rmax, 55.0, &ds, effort.mc_samples() / 10, 40 + rmax as u64);
         let rows: Vec<Vec<f64>> = c
@@ -95,16 +103,16 @@ pub fn fig4_5(effort: Effort) -> String {
             .iter()
             .map(|pt| vec![pt.d, pt.multiplexing, pt.concurrency, pt.carrier_sense, pt.optimal])
             .collect();
-        out.push_str(&render_series(
+        render_series(
             &format!(
                 "Figure 4/5 frame Rmax = {rmax} (σ = 0, normalised to Rmax = 20, D = ∞; crossover D* = {:?})",
                 c.crossover_d()
             ),
             &["D", "multiplexing", "concurrency", "carrier_sense(55)", "optimal"],
             &rows,
-        ));
-    }
-    out
+        )
+    });
+    frames.concat()
 }
 
 /// Figure 6 — hidden/exposed inefficiency decomposition at Rmax = 55
@@ -114,8 +122,11 @@ pub fn fig6(effort: Effort) -> String {
     let opt = optimal_threshold_sigma0(&p, 55.0, None).crossing().unwrap();
     let ds = log_d_grid(5.0, 300.0, effort.curve_points());
     let mut out = String::new();
-    for (label, thresh) in [("optimal", opt), ("too-low (0.6×)", 0.6 * opt), ("too-high (1.6×)", 1.6 * opt)]
-    {
+    for (label, thresh) in [
+        ("optimal", opt),
+        ("too-low (0.6×)", 0.6 * opt),
+        ("too-high (1.6×)", 1.6 * opt),
+    ] {
         let g = gap_decomposition(&p, 55.0, thresh, &ds, effort.mc_samples() / 10, 6);
         out.push_str(&format!(
             "# Figure 6, Rmax = 55, threshold {label} = {thresh:.1} (optimal = {opt:.1}):\n\
@@ -139,25 +150,44 @@ pub fn fig7(effort: Effort) -> String {
         Effort::Quick => vec![5.0, 10.0, 20.0, 40.0, 80.0, 160.0],
         Effort::Full => vec![5.0, 8.0, 12.0, 18.0, 27.0, 40.0, 60.0, 90.0, 135.0, 200.0],
     };
+    // One engine task per (Rmax, α) cell — the historical per-cell seed 7
+    // is kept, so parallel output matches the old nested loops exactly.
+    let cells: Vec<(f64, f64)> = rmaxes
+        .iter()
+        .flat_map(|&rmax| alphas.iter().map(move |&alpha| (rmax, alpha)))
+        .collect();
+    let solved = crate::engine().map(&cells, |&(rmax, alpha)| {
+        let params = ModelParams::paper_default().with_alpha(alpha);
+        let t = optimal_threshold(&params, rmax, effort.mc_samples() / 4, 7);
+        t.crossing()
+            .map(|d| equivalent_distance_alpha3(d, alpha))
+            .unwrap_or(f64::NAN)
+    });
     let mut rows = Vec::new();
-    for &rmax in &rmaxes {
+    for (ri, &rmax) in rmaxes.iter().enumerate() {
         let mut row = vec![rmax];
-        for &alpha in &alphas {
-            let params = ModelParams::paper_default().with_alpha(alpha);
-            let t = optimal_threshold(&params, rmax, effort.mc_samples() / 4, 7);
-            let equiv = t.crossing().map(|d| equivalent_distance_alpha3(d, alpha));
-            row.push(equiv.unwrap_or(f64::NAN));
-        }
+        row.extend_from_slice(&solved[ri * alphas.len()..(ri + 1) * alphas.len()]);
         // Guide lines and asymptotic at α = 3.
         row.push(rmax);
         row.push(2.0 * rmax);
-        row.push(short_range_asymptotic_threshold(3.0, rmax, 10f64.powf(-6.5)));
+        row.push(short_range_asymptotic_threshold(
+            3.0,
+            rmax,
+            10f64.powf(-6.5),
+        ));
         rows.push(row);
     }
     render_series(
         "Figure 7: optimal threshold (α = 3-equivalent distance) vs Rmax, σ = 8 dB",
         &[
-            "Rmax", "α=2", "α=2.5", "α=3", "α=3.5", "α=4", "Rthresh=Rmax", "Rthresh=2Rmax",
+            "Rmax",
+            "α=2",
+            "α=2.5",
+            "α=3",
+            "α=3.5",
+            "α=4",
+            "Rthresh=Rmax",
+            "Rthresh=2Rmax",
             "footnote13-asymptotic",
         ],
         &rows,
@@ -168,11 +198,25 @@ pub fn fig7(effort: Effort) -> String {
 pub fn fig9(effort: Effort) -> String {
     let s0 = ModelParams::paper_sigma0();
     let s8 = ModelParams::paper_default();
-    let mut out = String::new();
-    for rmax in [20.0, 55.0, 120.0] {
+    // Six engine tasks: (σ, Rmax) combinations, seeds unchanged from the
+    // serial harness (σ = 0 used seed 90, σ = 8 seed 91).
+    let specs: Vec<(f64, bool)> = [20.0, 55.0, 120.0]
+        .iter()
+        .flat_map(|&r| [(r, false), (r, true)])
+        .collect();
+    let curves = crate::engine().map(&specs, |&(rmax, shadowed)| {
         let ds = log_d_grid(5.0, 400.0, effort.curve_points());
-        let c0 = throughput_curves(&s0, rmax, 55.0, &ds, effort.mc_samples() / 10, 90);
-        let c8 = throughput_curves(&s8, rmax, 55.0, &ds, effort.mc_samples() / 4, 91);
+        if shadowed {
+            throughput_curves(&s8, rmax, 55.0, &ds, effort.mc_samples() / 4, 91)
+        } else {
+            throughput_curves(&s0, rmax, 55.0, &ds, effort.mc_samples() / 10, 90)
+        }
+    });
+    let mut out = String::new();
+    for (i, rmax) in [20.0, 55.0, 120.0].iter().enumerate() {
+        let rmax = *rmax;
+        let c0 = &curves[2 * i];
+        let c8 = &curves[2 * i + 1];
         let rows: Vec<Vec<f64>> = c0
             .points
             .iter()
@@ -215,7 +259,11 @@ pub fn slope_bound(effort: Effort) -> String {
     for rmax in [20.0, 55.0, 120.0] {
         let ds = log_d_grid(rmax, 600.0, effort.curve_points() * 2);
         let c = throughput_curves(&p, rmax, 55.0, &ds, 1_000, 12);
-        rows.push(vec![rmax, c.max_concurrency_slope_beyond(rmax), 1.37 / rmax]);
+        rows.push(vec![
+            rmax,
+            c.max_concurrency_slope_beyond(rmax),
+            1.37 / rmax,
+        ]);
     }
     render_series(
         "Footnote 12: max |d⟨C_conc⟩/dD| for D > Rmax vs the 1.37/Rmax bound (α = 3, σ = 0)",
@@ -234,7 +282,10 @@ pub fn shadow_example_report(effort: Effort) -> String {
          concurrency chosen (MC):          {:.3}\n\
          sub-0 dB SNR | concurrency (MC):  {:.3}   (paper: ≈0.2)\n\
          severe outcomes overall (MC):     {:.3}   (paper: ≈0.04)\n",
-        s.mis_sense_closed_form, s.concurrency_fraction, s.sub0db_given_concurrency, s.severe_fraction
+        s.mis_sense_closed_form,
+        s.concurrency_fraction,
+        s.sub0db_given_concurrency,
+        s.severe_fraction
     )
 }
 

@@ -18,8 +18,14 @@ pub mod tables;
 
 pub use experiments::{exposed_vs_rate_report, pathology_report, testbed_report, TestbedCategory};
 
+pub use wcs_runtime::EffortProfile;
+
 /// How much compute to spend: `Quick` for CI/tests, `Full` for the
 /// numbers recorded in EXPERIMENTS.md.
+///
+/// `Effort` is now only the harness's two-level *name* for a budget; the
+/// actual sample/duration knobs live in [`wcs_runtime::EffortProfile`]
+/// and flow from there through the engine and every generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effort {
     /// Reduced samples / shorter runs (seconds of wall time).
@@ -29,37 +35,40 @@ pub enum Effort {
 }
 
 impl Effort {
+    /// The compute budget this effort level names.
+    pub fn profile(self) -> EffortProfile {
+        match self {
+            Effort::Quick => EffortProfile::quick(),
+            Effort::Full => EffortProfile::full(),
+        }
+    }
+
     /// Monte Carlo samples per point for model averages.
     pub fn mc_samples(self) -> u64 {
-        match self {
-            Effort::Quick => 20_000,
-            Effort::Full => 200_000,
-        }
+        self.profile().mc_samples
     }
 
     /// Simulated seconds per experiment run.
     pub fn run_secs(self) -> u64 {
-        match self {
-            Effort::Quick => 3,
-            Effort::Full => 15,
-        }
+        self.profile().run_secs
     }
 
     /// Number of pair-of-pairs points per testbed ensemble.
     pub fn ensemble_points(self) -> usize {
-        match self {
-            Effort::Quick => 12,
-            Effort::Full => 30,
-        }
+        self.profile().ensemble_points
     }
 
     /// Number of D grid points for curve figures.
     pub fn curve_points(self) -> usize {
-        match self {
-            Effort::Quick => 24,
-            Effort::Full => 48,
-        }
+        self.profile().curve_points
     }
+}
+
+/// The engine every generator in this crate schedules onto: auto-sized
+/// from the hardware, overridable with `WCS_THREADS` (results are
+/// bitwise identical either way).
+pub fn engine() -> wcs_runtime::Engine {
+    wcs_runtime::Engine::from_env()
 }
 
 /// Format a data series as aligned TSV with a `#` comment header.

@@ -31,13 +31,13 @@ pub fn table1(effort: Effort) -> String {
 pub fn table2(effort: Effort) -> String {
     let p = ModelParams::paper_default();
     let rmaxes = [20.0, 40.0, 120.0];
-    let mut thresholds = Vec::new();
-    for &rmax in &rmaxes {
-        let t = optimal_threshold(&p, rmax, effort.mc_samples() / 4, 2)
+    // Per-Rmax threshold solves are independent — engine tasks (seed 2
+    // per solve, as the serial loop used).
+    let thresholds = crate::engine().map(&rmaxes, |&rmax| {
+        optimal_threshold(&p, rmax, effort.mc_samples() / 4, 2)
             .crossing()
-            .unwrap_or(55.0);
-        thresholds.push(t);
-    }
+            .unwrap_or(55.0)
+    });
     let t = efficiency_table(
         &p,
         &rmaxes,
@@ -50,7 +50,10 @@ pub fn table2(effort: Effort) -> String {
         "# Table 2 (§3.2.5): per-Rmax optimised thresholds (paper used 40/55/60)\n\
          # our solved thresholds: {:.0} / {:.0} / {:.0}\n\
          # paper:  93 91 99 / 96 87 96 / 89 83 92\n{}",
-        thresholds[0], thresholds[1], thresholds[2], t.render()
+        thresholds[0],
+        thresholds[1],
+        thresholds[2],
+        t.render()
     )
 }
 

@@ -67,6 +67,8 @@ mod tests {
 
     #[test]
     fn carrier_sense_label_carries_threshold() {
-        assert!(MacPolicy::CarrierSense { d_thresh: 40.0 }.label().contains("40"));
+        assert!(MacPolicy::CarrierSense { d_thresh: 40.0 }
+            .label()
+            .contains("40"));
     }
 }

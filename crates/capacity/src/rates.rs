@@ -28,14 +28,54 @@ pub struct Bitrate {
 
 /// The full 802.11a rate set.
 pub const RATES_11A: [Bitrate; 8] = [
-    Bitrate { mbps: 6.0, bits_per_symbol: 24, min_snr_db: 5.0, label: "BPSK 1/2" },
-    Bitrate { mbps: 9.0, bits_per_symbol: 36, min_snr_db: 6.0, label: "BPSK 3/4" },
-    Bitrate { mbps: 12.0, bits_per_symbol: 48, min_snr_db: 8.0, label: "QPSK 1/2" },
-    Bitrate { mbps: 18.0, bits_per_symbol: 72, min_snr_db: 11.0, label: "QPSK 3/4" },
-    Bitrate { mbps: 24.0, bits_per_symbol: 96, min_snr_db: 14.0, label: "16QAM 1/2" },
-    Bitrate { mbps: 36.0, bits_per_symbol: 144, min_snr_db: 18.0, label: "16QAM 3/4" },
-    Bitrate { mbps: 48.0, bits_per_symbol: 192, min_snr_db: 22.0, label: "64QAM 2/3" },
-    Bitrate { mbps: 54.0, bits_per_symbol: 216, min_snr_db: 24.0, label: "64QAM 3/4" },
+    Bitrate {
+        mbps: 6.0,
+        bits_per_symbol: 24,
+        min_snr_db: 5.0,
+        label: "BPSK 1/2",
+    },
+    Bitrate {
+        mbps: 9.0,
+        bits_per_symbol: 36,
+        min_snr_db: 6.0,
+        label: "BPSK 3/4",
+    },
+    Bitrate {
+        mbps: 12.0,
+        bits_per_symbol: 48,
+        min_snr_db: 8.0,
+        label: "QPSK 1/2",
+    },
+    Bitrate {
+        mbps: 18.0,
+        bits_per_symbol: 72,
+        min_snr_db: 11.0,
+        label: "QPSK 3/4",
+    },
+    Bitrate {
+        mbps: 24.0,
+        bits_per_symbol: 96,
+        min_snr_db: 14.0,
+        label: "16QAM 1/2",
+    },
+    Bitrate {
+        mbps: 36.0,
+        bits_per_symbol: 144,
+        min_snr_db: 18.0,
+        label: "16QAM 3/4",
+    },
+    Bitrate {
+        mbps: 48.0,
+        bits_per_symbol: 192,
+        min_snr_db: 22.0,
+        label: "64QAM 2/3",
+    },
+    Bitrate {
+        mbps: 54.0,
+        bits_per_symbol: 216,
+        min_snr_db: 24.0,
+        label: "64QAM 3/4",
+    },
 ];
 
 /// A set of available bitrates, sorted ascending by rate.
@@ -47,12 +87,16 @@ pub struct RateTable {
 impl RateTable {
     /// All eight 802.11a rates.
     pub fn full_11a() -> Self {
-        RateTable { rates: RATES_11A.to_vec() }
+        RateTable {
+            rates: RATES_11A.to_vec(),
+        }
     }
 
     /// The paper's experimental subset: 6/9/12/18/24 Mbps (§4).
     pub fn paper_subset() -> Self {
-        RateTable { rates: RATES_11A[..5].to_vec() }
+        RateTable {
+            rates: RATES_11A[..5].to_vec(),
+        }
     }
 
     /// A single fixed rate (for fixed-bitrate baselines).
@@ -90,12 +134,18 @@ impl RateTable {
     /// The fastest rate whose SNR requirement is met, or `None` if even
     /// the base rate can't decode at this SNR.
     pub fn best_rate_for_snr_db(&self, snr_db: f64) -> Option<Bitrate> {
-        self.rates.iter().rev().find(|r| snr_db >= r.min_snr_db).copied()
+        self.rates
+            .iter()
+            .rev()
+            .find(|r| snr_db >= r.min_snr_db)
+            .copied()
     }
 
     /// Index of a rate within this table.
     pub fn index_of(&self, rate: Bitrate) -> Option<usize> {
-        self.rates.iter().position(|r| (r.mbps - rate.mbps).abs() < 1e-9)
+        self.rates
+            .iter()
+            .position(|r| (r.mbps - rate.mbps).abs() < 1e-9)
     }
 
     /// Ideal staircase throughput at `snr_db`, in Mbit/s — the fixed-rate
@@ -116,10 +166,17 @@ mod tests {
         let t = RateTable::full_11a();
         assert_eq!(t.rates().len(), 8);
         assert!(t.rates().windows(2).all(|w| w[0].mbps < w[1].mbps));
-        assert!(t.rates().windows(2).all(|w| w[0].min_snr_db < w[1].min_snr_db));
+        assert!(t
+            .rates()
+            .windows(2)
+            .all(|w| w[0].min_snr_db < w[1].min_snr_db));
         for r in t.rates() {
             // mbps = bits_per_symbol / 4 µs.
-            assert!((r.mbps - r.bits_per_symbol as f64 / 4.0).abs() < 1e-9, "{}", r.label);
+            assert!(
+                (r.mbps - r.bits_per_symbol as f64 / 4.0).abs() < 1e-9,
+                "{}",
+                r.label
+            );
         }
     }
 

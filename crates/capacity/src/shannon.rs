@@ -32,13 +32,18 @@ pub struct CapacityModel {
 
 impl CapacityModel {
     /// Pure Shannon (the paper's analytical setting).
-    pub const SHANNON: CapacityModel =
-        CapacityModel { efficiency: 1.0, max_spectral_efficiency: None };
+    pub const SHANNON: CapacityModel = CapacityModel {
+        efficiency: 1.0,
+        max_spectral_efficiency: None,
+    };
 
     /// Create a scaled model.
     pub fn with_efficiency(efficiency: f64) -> Self {
         assert!(efficiency > 0.0 && efficiency <= 1.0);
-        CapacityModel { efficiency, max_spectral_efficiency: None }
+        CapacityModel {
+            efficiency,
+            max_spectral_efficiency: None,
+        }
     }
 
     /// Add a top-rate cap in bits/s/Hz.

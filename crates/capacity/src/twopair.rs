@@ -243,7 +243,7 @@ mod tests {
     }
 
     #[test]
-    fn coincident_senders_near_zero_dB_sinr() {
+    fn coincident_senders_near_zero_db_sinr() {
         // D = 0: "no receiver has an SNR better than 0 dB" (§3.2.3) —
         // because signal and interference travel the same distance only
         // when the receiver is on the axis; in general SINR < signal/interf

@@ -68,7 +68,11 @@ pub fn throughput_curves(
 ) -> ThroughputCurves {
     let norm = paper_normaliser(params);
     let deterministic = params.is_deterministic();
-    let q_mux = if deterministic { quad_multiplexing(params, rmax) } else { 0.0 };
+    let q_mux = if deterministic {
+        quad_multiplexing(params, rmax)
+    } else {
+        0.0
+    };
     let mut points = Vec::with_capacity(ds.len());
     for (i, &d) in ds.iter().enumerate() {
         let mc = mc_averages(params, rmax, d, d_thresh, n_mc, seed.wrapping_add(i as u64));
@@ -78,7 +82,11 @@ pub fn throughput_curves(
             let cs = if d < d_thresh { q_mux } else { conc };
             (q_mux, conc, cs)
         } else {
-            (mc.multiplexing.mean, mc.concurrency.mean, mc.carrier_sense.mean)
+            (
+                mc.multiplexing.mean,
+                mc.concurrency.mean,
+                mc.carrier_sense.mean,
+            )
         };
         points.push(CurvePoint {
             d,
@@ -88,7 +96,12 @@ pub fn throughput_curves(
             optimal: mc.optimal.mean / norm,
         });
     }
-    ThroughputCurves { rmax, d_thresh, normaliser: norm, points }
+    ThroughputCurves {
+        rmax,
+        d_thresh,
+        normaliser: norm,
+        points,
+    }
 }
 
 impl ThroughputCurves {
@@ -222,7 +235,10 @@ mod tests {
         for pt in &c.points {
             let lo = pt.multiplexing.min(pt.concurrency) - 0.03;
             let hi = pt.multiplexing.max(pt.concurrency) + 0.03;
-            assert!(pt.carrier_sense >= lo && pt.carrier_sense <= hi, "point {pt:?}");
+            assert!(
+                pt.carrier_sense >= lo && pt.carrier_sense <= hi,
+                "point {pt:?}"
+            );
         }
     }
 

@@ -101,9 +101,17 @@ pub fn shadowing_boost(
         },
         cap: params.cap,
     };
-    let a = crate::average::mc_averages(&sigma0, rmax, d, 55.0, n, seed).concurrency.mean;
-    let b = crate::average::mc_averages(params, rmax, d, 55.0, n, seed + 1).concurrency.mean;
-    ShadowingBoost { mean_sigma0: a, mean_shadowed: b, boost: b / a - 1.0 }
+    let a = crate::average::mc_averages(&sigma0, rmax, d, 55.0, n, seed)
+        .concurrency
+        .mean;
+    let b = crate::average::mc_averages(params, rmax, d, 55.0, n, seed + 1)
+        .concurrency
+        .mean;
+    ShadowingBoost {
+        mean_sigma0: a,
+        mean_shadowed: b,
+        boost: b / a - 1.0,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +143,10 @@ mod tests {
         // much more than multiplexing's.
         let conc_tail = conc.p5 / conc.p50;
         let mux_tail = mux.p5 / mux.p50;
-        assert!(conc_tail < mux_tail, "conc tail {conc_tail} vs mux {mux_tail}");
+        assert!(
+            conc_tail < mux_tail,
+            "conc tail {conc_tail} vs mux {mux_tail}"
+        );
     }
 
     #[test]
@@ -172,8 +183,7 @@ mod tests {
     #[test]
     fn optimal_upper_bound_dominates_distributionally() {
         let p = ModelParams::paper_default();
-        let ub =
-            throughput_distribution(&p, 55.0, 55.0, MacPolicy::OptimalUpperBound, 10_000, 7);
+        let ub = throughput_distribution(&p, 55.0, 55.0, MacPolicy::OptimalUpperBound, 10_000, 7);
         let cs = throughput_distribution(
             &p,
             55.0,

@@ -54,7 +54,13 @@ pub fn cs_efficiency(
     // (favourable) covariance from common random numbers.
     let rel = (avg.carrier_sense.std_error / avg.carrier_sense.mean).powi(2)
         + (avg.optimal.std_error / avg.optimal.mean).powi(2);
-    EfficiencyCell { rmax, d, d_thresh, efficiency: eff, ci95: 1.96 * eff * rel.sqrt() }
+    EfficiencyCell {
+        rmax,
+        d,
+        d_thresh,
+        efficiency: eff,
+        ci95: 1.96 * eff * rel.sqrt(),
+    }
 }
 
 /// Compute an efficiency table. `thresholds` gives the per-row threshold
@@ -75,7 +81,11 @@ pub fn efficiency_table(
             cells.push(cs_efficiency(params, rmax, d, thr, n, cell_seed));
         }
     }
-    EfficiencyTable { rmaxes: rmaxes.to_vec(), ds: ds.to_vec(), cells }
+    EfficiencyTable {
+        rmaxes: rmaxes.to_vec(),
+        ds: ds.to_vec(),
+        cells,
+    }
 }
 
 impl EfficiencyTable {
@@ -86,7 +96,10 @@ impl EfficiencyTable {
 
     /// Minimum efficiency over the table.
     pub fn min_efficiency(&self) -> f64 {
-        self.cells.iter().map(|c| c.efficiency).fold(f64::INFINITY, f64::min)
+        self.cells
+            .iter()
+            .map(|c| c.efficiency)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Render the table as text, in the paper's layout (rows = Rmax,
@@ -135,10 +148,9 @@ mod tests {
             40_000,
             1,
         );
-        for i in 0..3 {
-            for j in 0..3 {
+        for (i, row) in PAPER_TABLE1.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
                 let got = t.cell(i, j).efficiency;
-                let want = PAPER_TABLE1[i][j];
                 assert!(
                     (got - want).abs() < 0.06,
                     "cell ({i},{j}): got {got:.3}, paper {want}"
@@ -147,8 +159,13 @@ mod tests {
         }
         // Pattern checks.
         for i in 0..3 {
-            let row_min = (0..3).map(|j| t.cell(i, j).efficiency).fold(f64::INFINITY, f64::min);
-            assert!((t.cell(i, 1).efficiency - row_min).abs() < 0.02, "transition not lowest in row {i}");
+            let row_min = (0..3)
+                .map(|j| t.cell(i, j).efficiency)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (t.cell(i, 1).efficiency - row_min).abs() < 0.02,
+                "transition not lowest in row {i}"
+            );
         }
         assert!(t.min_efficiency() > 0.75);
     }

@@ -52,8 +52,10 @@ pub fn cs_fairness(
     let mut starved = 0u64;
     for _ in 0..n {
         let s = sample_scenario(params, rmax, d, &mut rng);
-        for (c, ub) in [(s.c_cs_1(d_thresh), s.c_ub_max_1()), (s.c_cs_2(d_thresh), s.c_ub_max_2())]
-        {
+        for (c, ub) in [
+            (s.c_cs_1(d_thresh), s.c_ub_max_1()),
+            (s.c_cs_2(d_thresh), s.c_ub_max_2()),
+        ] {
             if ub > 0.0 && c < 0.10 * ub {
                 starved += 1;
             }
@@ -110,7 +112,12 @@ mod tests {
         let p = ModelParams::paper_default();
         let short = cs_fairness(&p, 20.0, 40.0, 55.0, 15_000, 3);
         let long = cs_fairness(&p, 120.0, 70.0, 55.0, 15_000, 4);
-        assert!(long.jain < short.jain, "long {} vs short {}", long.jain, short.jain);
+        assert!(
+            long.jain < short.jain,
+            "long {} vs short {}",
+            long.jain,
+            short.jain
+        );
     }
 
     #[test]
@@ -121,6 +128,11 @@ mod tests {
         let s8 = ModelParams::paper_default();
         let f0 = cs_fairness(&s0, 120.0, 90.0, 55.0, 20_000, 5);
         let f8 = cs_fairness(&s8, 120.0, 90.0, 55.0, 20_000, 6);
-        assert!(f8.jain < f0.jain + 0.02, "σ=8 jain {} vs σ=0 {}", f8.jain, f0.jain);
+        assert!(
+            f8.jain < f0.jain + 0.02,
+            "σ=8 jain {} vs σ=0 {}",
+            f8.jain,
+            f0.jain
+        );
     }
 }

@@ -123,7 +123,15 @@ pub fn compare_shapes(
     seed: u64,
 ) -> ShapeComparison {
     ShapeComparison {
-        shannon: cs_efficiency_with_shape(params, &ThroughputShape::Shannon, rmax, d, d_thresh, n, seed),
+        shannon: cs_efficiency_with_shape(
+            params,
+            &ThroughputShape::Shannon,
+            rmax,
+            d,
+            d_thresh,
+            n,
+            seed,
+        ),
         staircase: cs_efficiency_with_shape(
             params,
             &ThroughputShape::Staircase(RateTable::full_11a()),

@@ -115,7 +115,12 @@ pub fn gap_decomposition(
             wrong_branch_gap: wrong,
         });
     }
-    GapDecomposition { rmax, d_thresh, optimal_thresh, points }
+    GapDecomposition {
+        rmax,
+        d_thresh,
+        optimal_thresh,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +142,8 @@ mod tests {
         let opt = optimal_threshold_sigma0(&p, 55.0, None).crossing().unwrap();
         let d = decomp(opt);
         assert!(
-            d.integrated_wrong_branch() < 0.02 * d.integrated_exposed().max(d.integrated_hidden()).max(1e-9) + 1e-3,
+            d.integrated_wrong_branch()
+                < 0.02 * d.integrated_exposed().max(d.integrated_hidden()).max(1e-9) + 1e-3,
             "triangle {} should be ~0 at the optimal threshold",
             d.integrated_wrong_branch()
         );
@@ -149,8 +155,14 @@ mod tests {
         let opt = optimal_threshold_sigma0(&p, 55.0, None).crossing().unwrap();
         let left = decomp(opt * 0.6);
         let right = decomp(opt * 1.6);
-        assert!(left.integrated_wrong_branch() > 1e-3, "leftward threshold should add a triangle");
-        assert!(right.integrated_wrong_branch() > 1e-3, "rightward threshold should add a triangle");
+        assert!(
+            left.integrated_wrong_branch() > 1e-3,
+            "leftward threshold should add a triangle"
+        );
+        assert!(
+            right.integrated_wrong_branch() > 1e-3,
+            "rightward threshold should add a triangle"
+        );
         // And both integrate more total inefficiency than the optimum.
         let optd = decomp(opt);
         let tot = |g: &GapDecomposition| g.integrated_exposed() + g.integrated_hidden();

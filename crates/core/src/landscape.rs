@@ -59,7 +59,10 @@ impl CapacityMap {
 
     /// Maximum value over the map.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -96,7 +99,13 @@ pub fn capacity_map(
             values.push(c);
         }
     }
-    CapacityMap { kind, d, extent, resolution, values }
+    CapacityMap {
+        kind,
+        d,
+        extent,
+        resolution,
+        values,
+    }
 }
 
 #[cfg(test)]

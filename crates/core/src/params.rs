@@ -17,12 +17,18 @@ impl ModelParams {
     /// The paper's main analysis setting: α = 3, σ = 8 dB, N = −65 dB,
     /// pure Shannon capacity.
     pub fn paper_default() -> Self {
-        ModelParams { prop: PropagationModel::paper_default(), cap: CapacityModel::SHANNON }
+        ModelParams {
+            prop: PropagationModel::paper_default(),
+            cap: CapacityModel::SHANNON,
+        }
     }
 
     /// The §3.3 simplified model: σ = 0.
     pub fn paper_sigma0() -> Self {
-        ModelParams { prop: PropagationModel::paper_no_shadowing(), cap: CapacityModel::SHANNON }
+        ModelParams {
+            prop: PropagationModel::paper_no_shadowing(),
+            cap: CapacityModel::SHANNON,
+        }
     }
 
     /// Override the path-loss exponent.
@@ -58,7 +64,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let p = ModelParams::paper_default().with_alpha(2.5).with_sigma_db(12.0);
+        let p = ModelParams::paper_default()
+            .with_alpha(2.5)
+            .with_sigma_db(12.0);
         assert_eq!(p.prop.path_loss.alpha, 2.5);
         assert_eq!(p.prop.shadowing.sigma_db, 12.0);
     }

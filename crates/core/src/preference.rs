@@ -115,7 +115,12 @@ pub struct PreferenceMap {
 
 /// Rasterise the preference classification over a square around the
 /// sender.
-pub fn preference_map(params: &ModelParams, d: f64, extent: f64, resolution: usize) -> PreferenceMap {
+pub fn preference_map(
+    params: &ModelParams,
+    d: f64,
+    extent: f64,
+    resolution: usize,
+) -> PreferenceMap {
     let mut cells = Vec::with_capacity(resolution * resolution);
     let step = 2.0 * extent / resolution as f64;
     for iy in 0..resolution {
@@ -127,7 +132,12 @@ pub fn preference_map(params: &ModelParams, d: f64, extent: f64, resolution: usi
             cells.push(classify(params, r, theta, d));
         }
     }
-    PreferenceMap { d, extent, resolution, cells }
+    PreferenceMap {
+        d,
+        extent,
+        resolution,
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +183,10 @@ mod tests {
     fn starved_region_hugs_interferer() {
         let p = ModelParams::paper_sigma0();
         // A receiver essentially on top of the interferer is starved…
-        assert_eq!(classify(&p, 54.0, std::f64::consts::PI, 55.0), Preference::Starved);
+        assert_eq!(
+            classify(&p, 54.0, std::f64::consts::PI, 55.0),
+            Preference::Starved
+        );
         // …while one on the opposite side at the same radius is not.
         assert_ne!(classify(&p, 54.0, 0.0, 55.0), Preference::Starved);
     }
@@ -195,6 +208,9 @@ mod tests {
         let y = -m.extent + (iy as f64 + 0.5) * step;
         let r = (x * x + y * y).sqrt();
         let theta = y.atan2(x);
-        assert_eq!(m.cells[iy * m.resolution + ix], classify(&p, r, theta, 55.0));
+        assert_eq!(
+            m.cells[iy * m.resolution + ix],
+            classify(&p, r, theta, 55.0)
+        );
     }
 }

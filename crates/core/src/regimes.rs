@@ -121,7 +121,10 @@ mod tests {
         // Push the noise floor way up (very weak links): concurrency
         // should dominate at every D — the CDMA regime.
         let p = ModelParams::paper_sigma0();
-        let noisy = ModelParams { prop: p.prop.with_noise_db(-20.0), cap: p.cap };
+        let noisy = ModelParams {
+            prop: p.prop.with_noise_db(-20.0),
+            cap: p.cap,
+        };
         let t = optimal_threshold_sigma0(&noisy, 50.0, None);
         assert_eq!(classify_regime(t, 50.0), RangeRegime::ExtremeLong);
     }

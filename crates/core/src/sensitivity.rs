@@ -22,7 +22,10 @@ pub struct SweepRow {
 impl SweepRow {
     /// Minimum efficiency across the grid.
     pub fn min_efficiency(&self) -> f64 {
-        self.cells.iter().map(|c| c.efficiency).fold(f64::INFINITY, f64::min)
+        self.cells
+            .iter()
+            .map(|c| c.efficiency)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Mean efficiency across the grid.
@@ -43,18 +46,15 @@ pub fn fixed_power_threshold_distance(alpha: f64) -> f64 {
 /// Sweep α × σ over the paper's standard grid (Rmax ∈ {20, 40, 120},
 /// D ∈ {20, 55, 120}), holding the sensed-power threshold at the paper's
 /// 13 dB factory value.
-pub fn sweep_alpha_sigma(
-    alphas: &[f64],
-    sigmas: &[f64],
-    n: u64,
-    seed: u64,
-) -> Vec<SweepRow> {
+pub fn sweep_alpha_sigma(alphas: &[f64], sigmas: &[f64], n: u64, seed: u64) -> Vec<SweepRow> {
     let rmaxes = [20.0, 40.0, 120.0];
     let ds = [20.0, 55.0, 120.0];
     let mut rows = Vec::new();
     for (ai, &alpha) in alphas.iter().enumerate() {
         for (si, &sigma) in sigmas.iter().enumerate() {
-            let params = ModelParams::paper_default().with_alpha(alpha).with_sigma_db(sigma);
+            let params = ModelParams::paper_default()
+                .with_alpha(alpha)
+                .with_sigma_db(sigma);
             let d_thresh = fixed_power_threshold_distance(alpha);
             let mut cells = Vec::new();
             for (i, &rmax) in rmaxes.iter().enumerate() {
@@ -66,7 +66,11 @@ pub fn sweep_alpha_sigma(
                     cells.push(cs_efficiency(&params, rmax, d, d_thresh, n, cell_seed));
                 }
             }
-            rows.push(SweepRow { alpha, sigma_db: sigma, cells });
+            rows.push(SweepRow {
+                alpha,
+                sigma_db: sigma,
+                cells,
+            });
         }
     }
     rows

@@ -70,7 +70,11 @@ pub fn shadow_example(
     }
     ShadowExampleStats {
         concurrency_fraction: n_conc as f64 / n as f64,
-        sub0db_given_concurrency: if n_conc > 0 { n_severe as f64 / n_conc as f64 } else { 0.0 },
+        sub0db_given_concurrency: if n_conc > 0 {
+            n_severe as f64 / n_conc as f64
+        } else {
+            0.0
+        },
         severe_fraction: n_severe as f64 / n as f64,
         mis_sense_closed_form: mis_sense_probability(params, d, d_thresh),
     }
@@ -134,6 +138,9 @@ mod tests {
         let mid = mis_sense_probability(&p, 20.0, 40.0);
         let at = mis_sense_probability(&p, 40.0, 40.0);
         assert!(near < mid && mid < at);
-        assert!((at - 0.5).abs() < 1e-9, "at the threshold it's a coin flip: {at}");
+        assert!(
+            (at - 0.5).abs() < 1e-9,
+            "at the threshold it's a coin flip: {at}"
+        );
     }
 }

@@ -47,7 +47,10 @@ pub fn optimal_threshold_sigma0(
     rmax: f64,
     d_max: Option<f64>,
 ) -> ThresholdSolve {
-    assert!(params.is_deterministic(), "σ = 0 solver requires no shadowing");
+    assert!(
+        params.is_deterministic(),
+        "σ = 0 solver requires no shadowing"
+    );
     let mux = quad_multiplexing(params, rmax);
     let f = |d: f64| quad_concurrency(params, rmax, d) - mux;
     let lo = 0.5;
@@ -138,7 +141,9 @@ mod tests {
     fn rmax120_threshold_near_75() {
         // §3.3.3: "Rmax = 120 corresponds to Dthresh ≈ 75".
         let p = ModelParams::paper_sigma0();
-        let d = optimal_threshold_sigma0(&p, 120.0, None).crossing().unwrap();
+        let d = optimal_threshold_sigma0(&p, 120.0, None)
+            .crossing()
+            .unwrap();
         assert!((65.0..90.0).contains(&d), "{d}");
     }
 
@@ -168,7 +173,9 @@ mod tests {
         let p = ModelParams::paper_sigma0();
         let d20 = optimal_threshold_sigma0(&p, 20.0, None).crossing().unwrap();
         let d55 = optimal_threshold_sigma0(&p, 55.0, None).crossing().unwrap();
-        let d120 = optimal_threshold_sigma0(&p, 120.0, None).crossing().unwrap();
+        let d120 = optimal_threshold_sigma0(&p, 120.0, None)
+            .crossing()
+            .unwrap();
         assert!(d20 < d55 && d55 < d120, "{d20} {d55} {d120}");
     }
 
@@ -179,7 +186,9 @@ mod tests {
         let p = ModelParams::paper_sigma0();
         let d20 = optimal_threshold_sigma0(&p, 20.0, None).crossing().unwrap();
         assert!(d20 > 20.0 * 1.8);
-        let d120 = optimal_threshold_sigma0(&p, 120.0, None).crossing().unwrap();
+        let d120 = optimal_threshold_sigma0(&p, 120.0, None)
+            .crossing()
+            .unwrap();
         assert!(d120 < 120.0);
     }
 
@@ -199,7 +208,9 @@ mod tests {
         let s0 = ModelParams::paper_sigma0();
         let s8 = ModelParams::paper_default();
         let rmax = 120.0;
-        let d0 = optimal_threshold_sigma0(&s0, rmax, None).crossing().unwrap();
+        let d0 = optimal_threshold_sigma0(&s0, rmax, None)
+            .crossing()
+            .unwrap();
         let d8 = optimal_threshold(&s8, rmax, 30_000, 9).crossing().unwrap();
         assert!(d8 < d0, "σ=8 threshold {d8} should be left of σ=0 {d0}");
     }

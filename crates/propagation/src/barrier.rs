@@ -87,7 +87,13 @@ impl BarrierScenario {
         ];
         let total_linear: f64 = paths
             .iter()
-            .map(|&l| if l.is_finite() { 10f64.powf(-l / 10.0) } else { 0.0 })
+            .map(|&l| {
+                if l.is_finite() {
+                    10f64.powf(-l / 10.0)
+                } else {
+                    0.0
+                }
+            })
             .sum();
         assert!(total_linear > 0.0, "no propagation path at all");
         -10.0 * total_linear.log10()

@@ -72,7 +72,10 @@ mod tests {
         let lambda = 0.125;
         let loss_3m = knife_edge_loss_geometry_db(3.0, 5.0, 5.0, lambda);
         let loss_5m = knife_edge_loss_geometry_db(5.0, 5.0, 5.0, lambda);
-        assert!(loss_3m > 25.0 && loss_5m < 40.0, "losses {loss_3m}, {loss_5m}");
+        assert!(
+            loss_3m > 25.0 && loss_5m < 40.0,
+            "losses {loss_3m}, {loss_5m}"
+        );
         assert!((27.0..38.0).contains(&loss_5m) || (25.0..38.0).contains(&loss_3m));
     }
 

@@ -25,7 +25,10 @@ impl Point2 {
 
     /// Construct from polar coordinates.
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Point2 { x: r * theta.cos(), y: r * theta.sin() }
+        Point2 {
+            x: r * theta.cos(),
+            y: r * theta.sin(),
+        }
     }
 
     /// Euclidean distance to another point.

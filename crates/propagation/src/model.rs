@@ -60,7 +60,10 @@ impl PropagationModel {
 
     /// The simplified σ = 0 model of §3.3.
     pub fn paper_no_shadowing() -> Self {
-        PropagationModel { shadowing: Shadowing::NONE, ..Self::paper_default() }
+        PropagationModel {
+            shadowing: Shadowing::NONE,
+            ..Self::paper_default()
+        }
     }
 
     /// The paper's measured-testbed flavour: α = 3.5, σ = 10 dB
@@ -139,8 +142,16 @@ mod tests {
     fn paper_anchor_points() {
         // §3.2.2: "r = 20 gives roughly 26 dBm SNR … r = 120 … just shy of 3 dB".
         let m = PropagationModel::paper_no_shadowing();
-        assert!((m.median_snr_db(20.0) - 26.0).abs() < 0.2, "{}", m.median_snr_db(20.0));
-        assert!((m.median_snr_db(120.0) - 2.6).abs() < 0.2, "{}", m.median_snr_db(120.0));
+        assert!(
+            (m.median_snr_db(20.0) - 26.0).abs() < 0.2,
+            "{}",
+            m.median_snr_db(20.0)
+        );
+        assert!(
+            (m.median_snr_db(120.0) - 2.6).abs() < 0.2,
+            "{}",
+            m.median_snr_db(120.0)
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl PathLoss {
     /// can dip under 2 but not under 1) or above 8 are rejected as
     /// unphysical.
     pub fn new(alpha: f64) -> Self {
-        assert!((1.0..=8.0).contains(&alpha), "unphysical path-loss exponent {alpha}");
+        assert!(
+            (1.0..=8.0).contains(&alpha),
+            "unphysical path-loss exponent {alpha}"
+        );
         PathLoss { alpha }
     }
 

@@ -34,7 +34,10 @@ impl Shadowing {
 
     /// Create with explicit σ in dB.
     pub fn new(sigma_db: f64) -> Self {
-        assert!((0.0..=40.0).contains(&sigma_db), "unreasonable σ {sigma_db}");
+        assert!(
+            (0.0..=40.0).contains(&sigma_db),
+            "unreasonable σ {sigma_db}"
+        );
         Shadowing { sigma_db }
     }
 
@@ -69,7 +72,11 @@ pub struct ShadowField {
 impl ShadowField {
     /// Create a field with the given distribution and seed.
     pub fn new(shadowing: Shadowing, seed: u64) -> Self {
-        ShadowField { seed, shadowing, cache: HashMap::new() }
+        ShadowField {
+            seed,
+            shadowing,
+            cache: HashMap::new(),
+        }
     }
 
     /// The σ of the underlying distribution.

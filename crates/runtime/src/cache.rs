@@ -1,0 +1,156 @@
+//! On-disk result cache keyed by (scenario hash, seed).
+//!
+//! Each cached run is one CSV file whose header comments record the full
+//! canonical spec string; a lookup verifies the stored spec matches the
+//! requesting sweep's canonical form exactly, so a 64-bit hash collision
+//! degrades to a miss rather than serving wrong numbers. Files are
+//! written via a temp-file rename so a crashed run never leaves a
+//! half-written entry behind.
+
+use crate::report::RunReport;
+use crate::scenario::Sweep;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory of cached sweep results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The default location: `$WCS_CACHE_DIR` if set, else
+    /// `target/wcs-cache` under the current directory.
+    pub fn default_location() -> Self {
+        let dir = std::env::var_os("WCS_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("wcs-cache"));
+        ResultCache::new(dir)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, sweep: &Sweep) -> PathBuf {
+        let safe_name: String = sweep
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!(
+            "{safe_name}-{:016x}-{:016x}.csv",
+            sweep.scenario_hash(),
+            sweep.seed
+        ))
+    }
+
+    /// Look up a stored report for this (scenario, seed). Returns `None`
+    /// on absence, spec mismatch, or any parse failure.
+    pub fn load(&self, sweep: &Sweep) -> Option<RunReport> {
+        let path = self.entry_path(sweep);
+        let text = fs::read_to_string(&path).ok()?;
+        let mut lines = text.lines();
+        let magic = lines.next()?;
+        if magic != "# wcs-runtime cache v1" {
+            return None;
+        }
+        let spec = lines.next()?.strip_prefix("# spec: ")?;
+        if spec != sweep.canonical() {
+            return None;
+        }
+        let seed_line = lines.next()?.strip_prefix("# seed: ")?;
+        if seed_line.parse::<u64>().ok()? != sweep.seed {
+            return None;
+        }
+        let body: String = lines.collect::<Vec<_>>().join("\n");
+        RunReport::from_csv(&sweep.name, &body).ok()
+    }
+
+    /// Store a report under this (scenario, seed).
+    pub fn store(&self, sweep: &Sweep, report: &RunReport) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(sweep);
+        let tmp = path.with_extension("csv.tmp");
+        let mut text = String::from("# wcs-runtime cache v1\n");
+        text.push_str(&format!("# spec: {}\n", sweep.canonical()));
+        text.push_str(&format!("# seed: {}\n", sweep.seed));
+        text.push_str(&report.to_csv());
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wcs-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn report() -> RunReport {
+        let mut r = RunReport::new("s", &["a", "b"]);
+        r.push_row(vec![1.5, 1.0 / 7.0]);
+        r
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let cache = ResultCache::new(tmpdir("roundtrip"));
+        let sweep = Sweep::new("s").ds(&[10.0]).seed(3);
+        assert!(cache.load(&sweep).is_none());
+        cache.store(&sweep, &report()).unwrap();
+        let loaded = cache.load(&sweep).expect("hit");
+        assert_eq!(loaded.columns, report().columns);
+        assert_eq!(loaded.rows[0][1].to_bits(), (1.0f64 / 7.0).to_bits());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn changed_params_miss() {
+        let cache = ResultCache::new(tmpdir("miss"));
+        let sweep = Sweep::new("s").ds(&[10.0]).seed(3);
+        cache.store(&sweep, &report()).unwrap();
+        assert!(
+            cache.load(&sweep.clone().ds(&[11.0])).is_none(),
+            "changed axis must miss"
+        );
+        assert!(
+            cache.load(&sweep.clone().seed(4)).is_none(),
+            "changed seed must miss"
+        );
+        assert!(
+            cache.load(&sweep.clone().samples(1)).is_none(),
+            "changed samples must miss"
+        );
+        assert!(cache.load(&sweep).is_some(), "original still hits");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = ResultCache::new(tmpdir("corrupt"));
+        let sweep = Sweep::new("s").ds(&[10.0]);
+        cache.store(&sweep, &report()).unwrap();
+        // Overwrite with garbage: load must degrade to a miss.
+        let path = cache.entry_path(&sweep);
+        fs::write(&path, "not a cache file").unwrap();
+        assert!(cache.load(&sweep).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

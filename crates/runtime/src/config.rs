@@ -1,0 +1,92 @@
+//! Shared compute-budget configuration.
+//!
+//! Historically `wcs_bench::Effort` hard-coded its sample/duration knobs
+//! in match arms scattered through the harness. [`EffortProfile`] is the
+//! single carrier of those settings now: `Effort` lowers to a profile and
+//! everything downstream (sweeps, generators, the engine) reads from it.
+
+/// Compute budget for a reproduction run: how many Monte Carlo samples,
+/// how long each simulated experiment runs, how many ensemble points and
+/// curve points to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffortProfile {
+    /// Monte Carlo samples per point for model averages.
+    pub mc_samples: u64,
+    /// Simulated seconds per experiment run.
+    pub run_secs: u64,
+    /// Number of pair-of-pairs points per testbed ensemble.
+    pub ensemble_points: usize,
+    /// Number of D grid points for curve figures.
+    pub curve_points: usize,
+}
+
+impl EffortProfile {
+    /// Reduced samples / shorter runs (seconds of wall time) — CI/tests.
+    pub fn quick() -> Self {
+        EffortProfile {
+            mc_samples: 20_000,
+            run_secs: 3,
+            ensemble_points: 12,
+            curve_points: 24,
+        }
+    }
+
+    /// Paper-fidelity settings (minutes of wall time).
+    pub fn full() -> Self {
+        EffortProfile {
+            mc_samples: 200_000,
+            run_secs: 15,
+            ensemble_points: 30,
+            curve_points: 48,
+        }
+    }
+
+    /// Override the Monte Carlo sample count.
+    pub fn with_mc_samples(mut self, n: u64) -> Self {
+        self.mc_samples = n;
+        self
+    }
+
+    /// Override the per-run simulated duration.
+    pub fn with_run_secs(mut self, secs: u64) -> Self {
+        self.run_secs = secs;
+        self
+    }
+
+    /// Override the ensemble size.
+    pub fn with_ensemble_points(mut self, n: usize) -> Self {
+        self.ensemble_points = n;
+        self
+    }
+
+    /// Override the curve grid resolution.
+    pub fn with_curve_points(mut self, n: usize) -> Self {
+        self.curve_points = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_cheaper_than_full() {
+        let q = EffortProfile::quick();
+        let f = EffortProfile::full();
+        assert!(q.mc_samples < f.mc_samples);
+        assert!(q.run_secs < f.run_secs);
+        assert!(q.ensemble_points < f.ensemble_points);
+        assert!(q.curve_points < f.curve_points);
+    }
+
+    #[test]
+    fn builders_override() {
+        let p = EffortProfile::quick()
+            .with_mc_samples(5)
+            .with_curve_points(3);
+        assert_eq!(p.mc_samples, 5);
+        assert_eq!(p.curve_points, 3);
+        assert_eq!(p.run_secs, EffortProfile::quick().run_secs);
+    }
+}

@@ -1,0 +1,166 @@
+//! The work-stealing task executor.
+//!
+//! Scheduling is a shared atomic cursor over the task list — idle workers
+//! steal the next unclaimed index — and results are committed into their
+//! task's slot, so the output vector is in task order regardless of which
+//! worker computed what. Combined with per-task RNG streams (tasks never
+//! share generator state), this makes every run bitwise identical for any
+//! thread count, which `tests/determinism.rs` asserts end to end.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// A fixed-size pool executing independent tasks by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::auto()
+    }
+}
+
+impl Engine {
+    /// Pool with an explicit worker count (`0` means auto-detect).
+    pub fn new(threads: usize) -> Self {
+        if threads == 0 {
+            Engine::auto()
+        } else {
+            Engine { threads }
+        }
+    }
+
+    /// Single-threaded engine: runs tasks inline, in order.
+    pub fn serial() -> Self {
+        Engine { threads: 1 }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        let threads = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Engine { threads }
+    }
+
+    /// Auto-sized pool unless the `WCS_THREADS` environment variable
+    /// overrides it (`WCS_THREADS=1` forces serial execution everywhere —
+    /// handy for bisecting any suspected nondeterminism).
+    pub fn from_env() -> Self {
+        match std::env::var("WCS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) => Engine::new(n),
+            None => Engine::auto(),
+        }
+    }
+
+    /// The worker count this engine schedules onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `kernel(0..n)` and return the results in index order.
+    ///
+    /// The kernel must be a pure function of its index (all randomness
+    /// derived from per-index seeds); under that contract the result is
+    /// identical for every thread count.
+    pub fn run_indexed<T, K>(&self, n: usize, kernel: K) -> Vec<T>
+    where
+        T: Send,
+        K: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(kernel).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let kernel = &kernel;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, kernel(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("engine worker died before completing its task"))
+                .collect()
+        })
+    }
+
+    /// Execute `kernel` over a slice of task descriptions, preserving
+    /// order.
+    pub fn map<I, T, K>(&self, items: &[I], kernel: K) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        K: Fn(&I) -> T + Sync,
+    {
+        self.run_indexed(items.len(), |i| kernel(&items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_task_order() {
+        let e = Engine::new(8);
+        let out = e.run_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: usize| {
+            // A little arithmetic so tasks finish out of order.
+            let mut x = i as u64 + 1;
+            for _ in 0..(i % 7) * 1000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            x
+        };
+        let serial = Engine::serial().run_indexed(64, work);
+        let parallel = Engine::new(4).run_indexed(64, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let out = Engine::new(3).map(&items, |x| x * 2.0);
+        assert_eq!(out, items.iter().map(|x| x * 2.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(Engine::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<u32> = Engine::new(4).run_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! # wcs-runtime — the parallel scenario-execution engine
+//!
+//! The paper's evaluation is a grid of *independent* experiments:
+//! (Rmax, D, σ, α, D_thresh, MAC policy, bitrate model) points for
+//! Figures 2–9 and Tables 1–3. This crate turns that observation into the
+//! reproduction's execution substrate:
+//!
+//! * a declarative [`Sweep`] spec — parameter grids built with a fluent
+//!   API that lower to a flat list of independent [`Task`]s
+//!   ([`scenario`]),
+//! * a work-stealing thread-pool [`Engine`] (std threads + channels, no
+//!   external deps) whose outputs are **bitwise identical** for any
+//!   thread count, because every task draws from its own RNG stream
+//!   derived via `wcs_stats::rng` from the sweep's root seed and results
+//!   are committed in task order ([`engine`]),
+//! * typed [`RunReport`] aggregation with CSV/JSON emission
+//!   ([`report`]),
+//! * an on-disk [`ResultCache`] keyed by (scenario hash, seed), so
+//!   re-running an unchanged spec is free while any parameter change
+//!   misses cleanly ([`cache`]),
+//! * the shared [`EffortProfile`] compute budget consumed by the
+//!   `wcs-bench` harness ([`config`]), and
+//! * ready-made scenario specs such as the Figure-4 family sweep
+//!   ([`scenarios`]).
+//!
+//! The existing layers route through it: `wcs-bench`'s figure/table
+//! generators fan their point loops out on the engine, `wcs-core` gains a
+//! chunk-parallel Monte Carlo path, `wcs-sim` exposes its §4 protocol
+//! runs as engine tasks, and the `repro` binary's `sweep` subcommand is
+//! driven entirely by [`Sweep`] specs.
+//!
+//! ```
+//! use wcs_runtime::{Engine, EffortProfile, run_sweep, Sweep, PolicyAxis};
+//!
+//! let sweep = Sweep::new("doc-example")
+//!     .rmaxes(&[20.0, 55.0])
+//!     .ds(&[30.0, 90.0])
+//!     .sigmas(&[0.0, 8.0])
+//!     .policies(&[PolicyAxis::CarrierSense, PolicyAxis::Optimal])
+//!     .samples(2_000)
+//!     .seed(7);
+//! let serial = run_sweep(&sweep, &Engine::serial(), None).report;
+//! let parallel = run_sweep(&sweep, &Engine::new(4), None).report;
+//! assert_eq!(serial.to_csv(), parallel.to_csv()); // bitwise identical
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod model;
+pub mod report;
+pub mod scenario;
+pub mod scenarios;
+
+pub use cache::ResultCache;
+pub use config::EffortProfile;
+pub use engine::Engine;
+pub use model::{run_sweep, SweepOutcome};
+pub use report::RunReport;
+pub use scenario::{PolicyAxis, Sweep, Task};

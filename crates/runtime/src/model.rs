@@ -1,0 +1,241 @@
+//! Executing model sweeps on the engine.
+//!
+//! The kernel for one [`Task`] is `wcs_core::average::mc_averages` — one
+//! Monte Carlo pass scoring *all* MAC policies on common random numbers —
+//! so the sweep's policy axis expands into report rows, not extra
+//! compute. Tasks run on the [`Engine`]; rows are emitted in (task,
+//! policy) order, which together with per-task seeds makes the emitted
+//! CSV bitwise identical for any thread count.
+
+use crate::cache::ResultCache;
+use crate::engine::Engine;
+use crate::report::RunReport;
+use crate::scenario::{PolicyAxis, Sweep};
+use wcs_core::average::{mc_averages, PolicyAverages};
+use wcs_stats::montecarlo::MonteCarloEstimate;
+
+/// Column layout of a sweep report.
+pub const SWEEP_COLUMNS: [&str; 11] = [
+    "rmax",
+    "d",
+    "sigma_db",
+    "alpha",
+    "d_thresh",
+    "cap_efficiency",
+    "policy",
+    "mean",
+    "std_error",
+    "n",
+    "multiplex_fraction",
+];
+
+/// What `run_sweep` produced and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The (possibly cache-served) report.
+    pub report: RunReport,
+    /// Whether the result came from the on-disk cache.
+    pub cache_hit: bool,
+    /// Number of tasks the sweep lowered to (0 when served from cache).
+    pub tasks_run: usize,
+}
+
+fn select(avg: &PolicyAverages, policy: PolicyAxis) -> MonteCarloEstimate {
+    match policy {
+        PolicyAxis::Multiplexing => avg.multiplexing,
+        PolicyAxis::Concurrency => avg.concurrency,
+        PolicyAxis::CarrierSense => avg.carrier_sense,
+        PolicyAxis::Optimal => avg.optimal,
+        PolicyAxis::OptimalUpperBound => avg.upper_bound,
+    }
+}
+
+fn attach_meta(report: &mut RunReport, sweep: &Sweep) {
+    report.add_meta("scenario_hash", &format!("{:016x}", sweep.scenario_hash()));
+    report.add_meta("seed", &sweep.seed.to_string());
+    for (i, p) in sweep.policies.iter().enumerate() {
+        report.add_meta(&format!("policy:{i}"), p.label());
+    }
+}
+
+/// Build the all-policy report (the form that is cached): one row per
+/// (task, policy in [`PolicyAxis::ALL`] order), policy column indexing
+/// `ALL`.
+fn full_report(
+    sweep: &Sweep,
+    tasks: &[crate::scenario::Task],
+    averages: &[PolicyAverages],
+) -> RunReport {
+    let columns: Vec<&str> = SWEEP_COLUMNS.to_vec();
+    let mut report = RunReport::new(&sweep.name, &columns);
+    for (task, avg) in tasks.iter().zip(averages) {
+        for (pi, &policy) in PolicyAxis::ALL.iter().enumerate() {
+            let est = select(avg, policy);
+            report.push_row(vec![
+                task.rmax,
+                task.d,
+                task.sigma_db,
+                task.alpha,
+                task.d_thresh,
+                task.cap.efficiency,
+                pi as f64,
+                est.mean,
+                est.std_error,
+                est.n as f64,
+                avg.multiplex_fraction,
+            ]);
+        }
+    }
+    report
+}
+
+/// Project the cached all-policy report onto the sweep's requested
+/// policy list, renumbering the policy column to index `sweep.policies`.
+fn select_policies(full: &RunReport, sweep: &Sweep) -> RunReport {
+    let n_all = PolicyAxis::ALL.len();
+    debug_assert_eq!(full.rows.len() % n_all, 0);
+    let all_index = |p: PolicyAxis| PolicyAxis::ALL.iter().position(|&q| q == p).unwrap();
+    let mut report = RunReport::new(&sweep.name, &SWEEP_COLUMNS);
+    for task_block in full.rows.chunks(n_all) {
+        for (pi, &policy) in sweep.policies.iter().enumerate() {
+            let mut row = task_block[all_index(policy)].clone();
+            row[6] = pi as f64;
+            report.push_row(row);
+        }
+    }
+    report
+}
+
+/// Execute `sweep` on `engine`, consulting (and filling) `cache` if one
+/// is given.
+///
+/// The cache stores the **all-policy** rows under a key that ignores the
+/// sweep's policy selection (every policy is scored on the same samples
+/// anyway), so re-running a grid with a different reported-policy subset
+/// is a cache hit, not a recompute.
+pub fn run_sweep(sweep: &Sweep, engine: &Engine, cache: Option<&ResultCache>) -> SweepOutcome {
+    if let Some(cache) = cache {
+        if let Some(full) = cache.load(sweep) {
+            let mut report = select_policies(&full, sweep);
+            attach_meta(&mut report, sweep);
+            return SweepOutcome {
+                report,
+                cache_hit: true,
+                tasks_run: 0,
+            };
+        }
+    }
+
+    let tasks = sweep.lower();
+    let averages: Vec<PolicyAverages> = engine.map(&tasks, |t| {
+        mc_averages(&t.params(), t.rmax, t.d, t.d_thresh, t.samples, t.seed)
+    });
+
+    let full = full_report(sweep, &tasks, &averages);
+    if let Some(cache) = cache {
+        // Cache write failures (read-only FS, etc.) must not fail the run.
+        let _ = cache.store(sweep, &full);
+    }
+    let mut report = select_policies(&full, sweep);
+    attach_meta(&mut report, sweep);
+    SweepOutcome {
+        report,
+        cache_hit: false,
+        tasks_run: tasks.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Sweep {
+        Sweep::new("tiny")
+            .rmaxes(&[40.0])
+            .ds(&[20.0, 80.0])
+            .sigmas(&[0.0, 8.0])
+            .samples(2_000)
+            .seed(11)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let sweep = tiny_sweep();
+        let serial = run_sweep(&sweep, &Engine::serial(), None);
+        let parallel = run_sweep(&sweep, &Engine::new(4), None);
+        assert!(!serial.cache_hit && !parallel.cache_hit);
+        assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
+        assert_eq!(serial.report, parallel.report);
+    }
+
+    #[test]
+    fn rows_cover_grid_times_policies() {
+        let sweep = tiny_sweep();
+        let out = run_sweep(&sweep, &Engine::serial(), None);
+        assert_eq!(out.tasks_run, sweep.task_count());
+        assert_eq!(
+            out.report.rows.len(),
+            sweep.task_count() * sweep.policies.len()
+        );
+        // Policy column indexes into the sweep's policy list.
+        for row in &out.report.rows {
+            let pi = row[6] as usize;
+            assert!(pi < sweep.policies.len());
+        }
+        assert_eq!(out.report.meta_value("policy:0"), Some("multiplexing"));
+    }
+
+    #[test]
+    fn cache_hit_serves_identical_numbers() {
+        let dir = std::env::temp_dir().join(format!("wcs-model-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let sweep = tiny_sweep();
+        let first = run_sweep(&sweep, &Engine::new(2), Some(&cache));
+        assert!(!first.cache_hit);
+        let second = run_sweep(&sweep, &Engine::new(2), Some(&cache));
+        assert!(second.cache_hit);
+        assert_eq!(second.tasks_run, 0);
+        assert_eq!(first.report.to_csv(), second.report.to_csv());
+        // A changed parameter misses and recomputes.
+        let changed = sweep.clone().samples(1_000);
+        let third = run_sweep(&changed, &Engine::new(2), Some(&cache));
+        assert!(!third.cache_hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policies_subset_selects_columns() {
+        let sweep = tiny_sweep().policies(&[PolicyAxis::CarrierSense]);
+        let out = run_sweep(&sweep, &Engine::serial(), None);
+        assert_eq!(out.report.rows.len(), sweep.task_count());
+        assert_eq!(out.report.meta_value("policy:0"), Some("carrier-sense"));
+    }
+
+    #[test]
+    fn policy_subset_rerun_hits_cache_with_matching_numbers() {
+        let dir = std::env::temp_dir().join(format!("wcs-policy-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let all = tiny_sweep();
+        let first = run_sweep(&all, &Engine::serial(), Some(&cache));
+        assert!(!first.cache_hit);
+        // Same grid, different reported-policy subset: must be a cache
+        // hit (no recompute) and the rows must be the matching slice of
+        // the all-policy run.
+        let subset = all.clone().policies(&[PolicyAxis::Optimal]);
+        let second = run_sweep(&subset, &Engine::serial(), Some(&cache));
+        assert!(second.cache_hit, "policy subset must not recompute");
+        assert_eq!(second.tasks_run, 0);
+        let opt_index = PolicyAxis::ALL
+            .iter()
+            .position(|&p| p == PolicyAxis::Optimal)
+            .unwrap();
+        for (task_i, row) in second.report.rows.iter().enumerate() {
+            let full_row = &first.report.rows[task_i * PolicyAxis::ALL.len() + opt_index];
+            assert_eq!(row[7].to_bits(), full_row[7].to_bits(), "mean mismatch");
+            assert_eq!(row[6], 0.0, "policy column renumbered to the subset");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

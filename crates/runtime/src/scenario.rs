@@ -1,0 +1,390 @@
+//! Declarative scenario/sweep specifications.
+//!
+//! A [`Sweep`] is a cartesian grid over the model's parameter axes —
+//! Rmax, D, shadowing σ, path-loss α, carrier-sense threshold, bitrate
+//! (capacity) model — plus the MAC-policy axis and a root seed. It lowers
+//! to a flat list of independent [`Task`]s, one per *configuration point*:
+//! the MAC-policy axis selects report rows rather than extra compute,
+//! because `wcs_core::average::mc_averages` already scores every policy on
+//! common random numbers (one sample set serves all policies, which is
+//! both cheaper and statistically tighter).
+//!
+//! Every component that affects the computed numbers is folded into a
+//! canonical string ([`Sweep::canonical`]) whose FNV-1a hash keys the
+//! on-disk result cache; the root seed is kept out of the hash so
+//! (hash, seed) pairs form the cache key, and the policy *selection* is
+//! kept out too because cached entries always carry all-policy rows.
+
+use crate::config::EffortProfile;
+use wcs_capacity::shannon::CapacityModel;
+use wcs_capacity::MacPolicy;
+use wcs_core::params::ModelParams;
+use wcs_stats::rng::splitmix64;
+
+/// The MAC-policy axis of a sweep (threshold-free; the sweep's
+/// `d_thresh` axis supplies the carrier-sense threshold per point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAxis {
+    /// Ideal TDMA.
+    Multiplexing,
+    /// Always transmit concurrently.
+    Concurrency,
+    /// Threshold-on-sensed-power carrier sense.
+    CarrierSense,
+    /// The joint optimal binary choice.
+    Optimal,
+    /// The per-pair optimal upper bound (footnote 10).
+    OptimalUpperBound,
+}
+
+impl PolicyAxis {
+    /// Every policy the model scores.
+    pub const ALL: [PolicyAxis; 5] = [
+        PolicyAxis::Multiplexing,
+        PolicyAxis::Concurrency,
+        PolicyAxis::CarrierSense,
+        PolicyAxis::Optimal,
+        PolicyAxis::OptimalUpperBound,
+    ];
+
+    /// Stable short label used in reports and cache keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyAxis::Multiplexing => "multiplexing",
+            PolicyAxis::Concurrency => "concurrency",
+            PolicyAxis::CarrierSense => "carrier-sense",
+            PolicyAxis::Optimal => "optimal",
+            PolicyAxis::OptimalUpperBound => "optimal-upper-bound",
+        }
+    }
+
+    /// The corresponding `wcs-capacity` policy at threshold `d_thresh`.
+    pub fn to_policy(self, d_thresh: f64) -> MacPolicy {
+        match self {
+            PolicyAxis::Multiplexing => MacPolicy::Multiplexing,
+            PolicyAxis::Concurrency => MacPolicy::Concurrency,
+            PolicyAxis::CarrierSense => MacPolicy::CarrierSense { d_thresh },
+            PolicyAxis::Optimal => MacPolicy::Optimal,
+            PolicyAxis::OptimalUpperBound => MacPolicy::OptimalUpperBound,
+        }
+    }
+}
+
+/// A declarative parameter sweep (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Human-readable scenario name (also the cache file prefix).
+    pub name: String,
+    /// Network-range axis.
+    pub rmaxes: Vec<f64>,
+    /// Sender–sender distance axis.
+    pub ds: Vec<f64>,
+    /// Shadowing σ axis (dB).
+    pub sigmas: Vec<f64>,
+    /// Path-loss exponent axis.
+    pub alphas: Vec<f64>,
+    /// Carrier-sense threshold-distance axis.
+    pub d_threshes: Vec<f64>,
+    /// Bitrate (capacity) model axis.
+    pub caps: Vec<CapacityModel>,
+    /// MAC policies whose averages the report emits.
+    pub policies: Vec<PolicyAxis>,
+    /// Monte Carlo samples per task.
+    pub samples: u64,
+    /// Root seed; every task derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Sweep {
+    /// A new sweep with the paper's defaults on every axis: α = 3,
+    /// σ = 8 dB, D_thresh = 55, pure Shannon capacity, all policies,
+    /// and the quick-effort sample budget.
+    pub fn new(name: &str) -> Self {
+        Sweep {
+            name: name.to_string(),
+            rmaxes: vec![55.0],
+            ds: vec![55.0],
+            sigmas: vec![8.0],
+            alphas: vec![3.0],
+            d_threshes: vec![55.0],
+            caps: vec![CapacityModel::SHANNON],
+            policies: PolicyAxis::ALL.to_vec(),
+            samples: EffortProfile::quick().mc_samples,
+            seed: 0,
+        }
+    }
+
+    /// Set the Rmax axis.
+    pub fn rmaxes(mut self, v: &[f64]) -> Self {
+        self.rmaxes = v.to_vec();
+        self
+    }
+
+    /// Set the D axis explicitly.
+    pub fn ds(mut self, v: &[f64]) -> Self {
+        self.ds = v.to_vec();
+        self
+    }
+
+    /// Set the D axis to `n` log-spaced points on [d_min, d_max].
+    pub fn d_log_grid(mut self, d_min: f64, d_max: f64, n: usize) -> Self {
+        self.ds = wcs_core::curves::log_d_grid(d_min, d_max, n);
+        self
+    }
+
+    /// Set the σ axis (dB).
+    pub fn sigmas(mut self, v: &[f64]) -> Self {
+        self.sigmas = v.to_vec();
+        self
+    }
+
+    /// Set the α axis.
+    pub fn alphas(mut self, v: &[f64]) -> Self {
+        self.alphas = v.to_vec();
+        self
+    }
+
+    /// Set the carrier-sense threshold axis.
+    pub fn d_threshes(mut self, v: &[f64]) -> Self {
+        self.d_threshes = v.to_vec();
+        self
+    }
+
+    /// Set the bitrate/capacity-model axis.
+    pub fn caps(mut self, v: &[CapacityModel]) -> Self {
+        self.caps = v.to_vec();
+        self
+    }
+
+    /// Choose which MAC policies the report emits.
+    pub fn policies(mut self, v: &[PolicyAxis]) -> Self {
+        self.policies = v.to_vec();
+        self
+    }
+
+    /// Set the per-task Monte Carlo sample count.
+    pub fn samples(mut self, n: u64) -> Self {
+        self.samples = n;
+        self
+    }
+
+    /// Set the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of tasks this sweep lowers to.
+    pub fn task_count(&self) -> usize {
+        self.rmaxes.len()
+            * self.ds.len()
+            * self.sigmas.len()
+            * self.alphas.len()
+            * self.d_threshes.len()
+            * self.caps.len()
+    }
+
+    /// Lower the grid to its flat task list. Task order — and therefore
+    /// report row order and seed assignment — is the fixed nesting
+    /// (α, σ, cap, Rmax, D_thresh, D), so a spec change that only appends
+    /// axis values extends the list without reshuffling existing seeds.
+    pub fn lower(&self) -> Vec<Task> {
+        let mut tasks = Vec::with_capacity(self.task_count());
+        for &alpha in &self.alphas {
+            for &sigma_db in &self.sigmas {
+                for &cap in &self.caps {
+                    for &rmax in &self.rmaxes {
+                        for &d_thresh in &self.d_threshes {
+                            for &d in &self.ds {
+                                let index = tasks.len();
+                                tasks.push(Task {
+                                    index,
+                                    rmax,
+                                    d,
+                                    sigma_db,
+                                    alpha,
+                                    d_thresh,
+                                    cap,
+                                    samples: self.samples,
+                                    seed: task_seed(self.seed, index as u64),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        tasks
+    }
+
+    /// Canonical textual form of everything that affects the computed
+    /// numbers, except the root seed (the cache key is the (hash, seed)
+    /// pair) and the policy selection (every policy is scored on the same
+    /// samples, so the cache stores all-policy rows and a different
+    /// reported subset must still hit). Uses `{:?}` for floats (shortest
+    /// round-tripping representation) so the string — and its hash — is
+    /// exact, not an approximation.
+    pub fn canonical(&self) -> String {
+        let fmt = |v: &[f64]| {
+            let parts: Vec<String> = v.iter().map(|x| format!("{x:?}")).collect();
+            parts.join(",")
+        };
+        let caps: Vec<String> = self
+            .caps
+            .iter()
+            .map(|c| {
+                format!(
+                    "(eff={:?},cap={:?})",
+                    c.efficiency, c.max_spectral_efficiency
+                )
+            })
+            .collect();
+        format!(
+            "wcs-sweep-v1;name={};rmaxes=[{}];ds=[{}];sigmas=[{}];alphas=[{}];d_threshes=[{}];caps=[{}];samples={}",
+            self.name,
+            fmt(&self.rmaxes),
+            fmt(&self.ds),
+            fmt(&self.sigmas),
+            fmt(&self.alphas),
+            fmt(&self.d_threshes),
+            caps.join(","),
+            self.samples,
+        )
+    }
+
+    /// FNV-1a hash of [`Sweep::canonical`] — the scenario half of the
+    /// (scenario hash, seed) cache key.
+    pub fn scenario_hash(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+}
+
+/// One independent unit of work: a single configuration point of the
+/// model, with its own derived RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Position in the lowered task list (row-block index in the report).
+    pub index: usize,
+    /// Network range Rmax.
+    pub rmax: f64,
+    /// Sender–sender distance D.
+    pub d: f64,
+    /// Shadowing σ (dB).
+    pub sigma_db: f64,
+    /// Path-loss exponent α.
+    pub alpha: f64,
+    /// Carrier-sense threshold distance.
+    pub d_thresh: f64,
+    /// Bitrate/capacity model.
+    pub cap: CapacityModel,
+    /// Monte Carlo samples for this task.
+    pub samples: u64,
+    /// This task's private seed, derived from the sweep root.
+    pub seed: u64,
+}
+
+impl Task {
+    /// The model parameterisation of this point.
+    pub fn params(&self) -> ModelParams {
+        let base = ModelParams::paper_default()
+            .with_alpha(self.alpha)
+            .with_sigma_db(self.sigma_db);
+        ModelParams {
+            prop: base.prop,
+            cap: self.cap,
+        }
+    }
+}
+
+/// Derive the per-task seed from the sweep root: decorrelated streams via
+/// SplitMix64 (the same expansion `wcs_stats::rng::split_rng` uses), so
+/// no two tasks — and no task and the root — share generator state.
+pub fn task_seed(root: u64, index: u64) -> u64 {
+    let mut s = root ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x7773_6373_7761_7265;
+    splitmix64(&mut s)
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_is_cartesian_and_indexed() {
+        let s = Sweep::new("t")
+            .rmaxes(&[20.0, 55.0])
+            .ds(&[10.0, 30.0, 90.0])
+            .sigmas(&[0.0, 8.0]);
+        let tasks = s.lower();
+        assert_eq!(tasks.len(), s.task_count());
+        assert_eq!(tasks.len(), 2 * 3 * 2);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+        // All (rmax, d, sigma) combinations present exactly once.
+        let mut combos: Vec<(u64, u64, u64)> = tasks
+            .iter()
+            .map(|t| (t.rmax.to_bits(), t.d.to_bits(), t.sigma_db.to_bits()))
+            .collect();
+        combos.sort();
+        combos.dedup();
+        assert_eq!(combos.len(), tasks.len());
+    }
+
+    #[test]
+    fn task_seeds_are_distinct_and_stable() {
+        let s = Sweep::new("t").ds(&[1.0, 2.0, 3.0, 4.0]).seed(99);
+        let a = s.lower();
+        let b = s.lower();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+        }
+        let mut seeds: Vec<u64> = a.iter().map(|t| t.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len());
+    }
+
+    #[test]
+    fn hash_ignores_seed_and_policy_selection_but_sees_params() {
+        let base = Sweep::new("t").ds(&[10.0, 20.0]);
+        let reseeded = base.clone().seed(123);
+        assert_eq!(base.scenario_hash(), reseeded.scenario_hash());
+        // Policy selection only filters report rows; same compute → same key.
+        let subset = base.clone().policies(&[PolicyAxis::CarrierSense]);
+        assert_eq!(base.scenario_hash(), subset.scenario_hash());
+        let changed = base.clone().ds(&[10.0, 20.5]);
+        assert_ne!(base.scenario_hash(), changed.scenario_hash());
+        let more_samples = base.clone().samples(base.samples + 1);
+        assert_ne!(base.scenario_hash(), more_samples.scenario_hash());
+    }
+
+    #[test]
+    fn params_carry_axes() {
+        let s = Sweep::new("t").alphas(&[3.5]).sigmas(&[4.0]);
+        let t = s.lower()[0];
+        let p = t.params();
+        assert_eq!(p.prop.path_loss.alpha, 3.5);
+        assert_eq!(p.prop.shadowing.sigma_db, 4.0);
+    }
+
+    #[test]
+    fn policy_axis_roundtrips() {
+        for p in PolicyAxis::ALL {
+            let mac = p.to_policy(40.0);
+            if p == PolicyAxis::CarrierSense {
+                assert_eq!(mac, MacPolicy::CarrierSense { d_thresh: 40.0 });
+            }
+            assert!(!p.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Ready-made scenario specs.
+//!
+//! These are the declarative equivalents of the hand-rolled loops in
+//! `wcs-bench`: one spec describes a whole figure family, and the engine
+//! executes it. They are also the seeds of the scenario *library* the
+//! roadmap grows toward (scenario files on disk, N-pair topologies).
+
+use crate::config::EffortProfile;
+use crate::scenario::{PolicyAxis, Sweep};
+
+/// The Figure-4 family as one declarative spec: throughput-vs-D curves
+/// for Rmax ∈ {20, 55, 120}, evaluated under **all five MAC policies**
+/// and **three shadowing regimes** σ ∈ {0, 4, 8} dB in a single grid —
+/// the paper shows σ = 0 (Figure 4/5) and σ = 8 (Figure 9) separately;
+/// the sweep form makes the in-between visible too.
+pub fn figure4_family(profile: &EffortProfile) -> Sweep {
+    Sweep::new("figure4-family")
+        .rmaxes(&[20.0, 55.0, 120.0])
+        .d_log_grid(5.0, 400.0, profile.curve_points)
+        .sigmas(&[0.0, 4.0, 8.0])
+        .alphas(&[3.0])
+        .d_threshes(&[55.0])
+        .policies(&PolicyAxis::ALL)
+        .samples(profile.mc_samples / 10)
+        .seed(0x0F16_4A11)
+}
+
+/// The Table-1 grid (§3.2.5) as a spec: CS efficiency inputs over
+/// Rmax × D at the paper's fixed threshold.
+pub fn table1_grid(profile: &EffortProfile) -> Sweep {
+    Sweep::new("table1-grid")
+        .rmaxes(&[20.0, 40.0, 120.0])
+        .ds(&[20.0, 55.0, 120.0])
+        .sigmas(&[8.0])
+        .d_threshes(&[55.0])
+        .policies(&[PolicyAxis::CarrierSense, PolicyAxis::Optimal])
+        .samples(profile.mc_samples)
+        .seed(0x7AB1_E001)
+}
+
+/// Threshold-robustness sweep: the α/σ sensitivity companion, carrier
+/// sense across path-loss exponents and shadowing depths at several
+/// threshold offsets.
+pub fn threshold_robustness(profile: &EffortProfile) -> Sweep {
+    Sweep::new("threshold-robustness")
+        .rmaxes(&[20.0, 55.0, 120.0])
+        .ds(&[20.0, 55.0, 120.0])
+        .sigmas(&[4.0, 8.0, 12.0])
+        .alphas(&[2.0, 3.0, 4.0])
+        .d_threshes(&[40.0, 55.0, 70.0])
+        .policies(&[PolicyAxis::CarrierSense, PolicyAxis::Optimal])
+        .samples(profile.mc_samples / 4)
+        .seed(0x00FF_5E75)
+}
+
+/// Look up a named scenario (the `repro sweep` subcommand's registry).
+pub fn by_name(name: &str, profile: &EffortProfile) -> Option<Sweep> {
+    match name {
+        "figure4-family" | "fig4-family" => Some(figure4_family(profile)),
+        "table1-grid" => Some(table1_grid(profile)),
+        "threshold-robustness" => Some(threshold_robustness(profile)),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`by_name`].
+pub const NAMES: [&str; 3] = ["figure4-family", "table1-grid", "threshold-robustness"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_family_shape() {
+        let p = EffortProfile::quick();
+        let s = figure4_family(&p);
+        assert_eq!(s.rmaxes.len(), 3);
+        assert_eq!(s.sigmas.len(), 3);
+        assert_eq!(s.policies.len(), 5);
+        assert_eq!(s.ds.len(), p.curve_points);
+        assert_eq!(s.task_count(), 3 * 3 * p.curve_points);
+    }
+
+    #[test]
+    fn registry_resolves_all_names() {
+        let p = EffortProfile::quick();
+        for name in NAMES {
+            assert!(by_name(name, &p).is_some(), "{name} missing from registry");
+        }
+        assert!(by_name("nope", &p).is_none());
+    }
+
+    #[test]
+    fn specs_have_distinct_hashes() {
+        let p = EffortProfile::quick();
+        let a = figure4_family(&p).scenario_hash();
+        let b = table1_grid(&p).scenario_hash();
+        let c = threshold_robustness(&p).scenario_hash();
+        assert!(a != b && b != c && a != c);
+    }
+}

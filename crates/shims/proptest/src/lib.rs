@@ -1,0 +1,176 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The `proptest! { #[test] fn name(x in lo..hi, ...) { body } }` syntax
+//! is kept; each property runs over a fixed number of deterministic
+//! pseudo-random cases (plus the range endpoints-ish low/high cases that
+//! the uniform sampler naturally produces). There is no shrinking — a
+//! failing case panics with the sampled values via `prop_assert!`'s
+//! message, which is enough to reproduce (the case stream is fixed).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Cases per property. Upstream proptest defaults to 256; 96 keeps the
+/// suite quick while still sweeping each range.
+pub const CASES: u32 = 96;
+
+/// Deterministic case-stream generator (SplitMix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded per property from the property name hash.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A samplable input domain (ranges, in this shim).
+pub trait Strategy {
+    /// Sampled value type.
+    type Value;
+
+    /// Draw one case.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty proptest range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// FNV-1a hash of the property name, used as the per-property seed so
+/// properties draw decorrelated case streams.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `use proptest::prelude::*;` sites need.
+
+    pub use crate::{
+        name_seed, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng, CASES,
+    };
+}
+
+/// Property-test entry point (see crate docs). Supports an optional
+/// leading `#![proptest_config(ProptestConfig::with_cases(n))]` and doc
+/// comments / extra attributes on each property.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $( $(#[$attr:meta])+ fn $name:ident ( $( $arg:ident in $range:expr ),+ $(,)? ) $body:block )+
+    ) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let __cases: u32 = ($cfg).cases;
+                let mut __rng = $crate::TestRng::new($crate::name_seed(stringify!($name)));
+                for __case in 0..__cases {
+                    $( let $arg = $crate::Strategy::sample(&($range), &mut __rng); )+
+                    $body
+                }
+            }
+        )+
+    };
+    ($( $(#[$attr:meta])+ fn $name:ident ( $( $arg:ident in $range:expr ),+ $(,)? ) $body:block )+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::with_cases($crate::CASES))]
+            $( $(#[$attr])+ fn $name ( $( $arg in $range ),+ ) $body )+
+        }
+    };
+}
+
+/// `assert!` that reports the condition on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($a, $b $(, $($fmt)+)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn samples_stay_in_range(x in 2.0..3.0f64, n in 5u64..9) {
+            prop_assert!((2.0..3.0).contains(&x));
+            prop_assert!((5..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::new(name_seed("p"));
+        let mut b = TestRng::new(name_seed("p"));
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses, so the build needs no network access.
+//!
+//! Same trait names and calling conventions (`Rng::gen`, `gen_range`,
+//! `SeedableRng::from_seed`, `rngs::StdRng`, `seq::SliceRandom`), backed by
+//! xoshiro256** instead of ChaCha. Determinism guarantees are the same —
+//! a fixed seed yields a fixed stream — only the concrete stream values
+//! differ from upstream `rand`, which nothing in this repository depends
+//! on (all reproducibility assertions are run-vs-run, not vs upstream).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (32 bytes for [`rngs::StdRng`], as in upstream rand).
+    type Seed;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a 64-bit value (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod distributions {
+    //! Minimal `Distribution`/`Standard` machinery backing [`Rng::gen`].
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution per type: uniform over the full integer
+    /// range, uniform in `[0, 1)` for floats, fair coin for `bool`.
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: f64 = distributions::Distribution::sample(&distributions::Standard, rng);
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                // Guard against rounding up to the (exclusive) end.
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// The user-facing random-value API, blanket-implemented for every
+/// [`RngCore`] (including unsized ones, so `&mut R` bounds work).
+pub trait Rng: RngCore {
+    /// Draw a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** (Blackman &
+    /// Vigna), seeded from 32 bytes like upstream `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn ensure_nonzero(&mut self) {
+            if self.s.iter().all(|&w| w == 0) {
+                // All-zero state is a fixed point of xoshiro; displace it.
+                self.s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    1,
+                ];
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(w);
+            }
+            let mut rng = StdRng { s };
+            rng.ensure_nonzero();
+            rng
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut rng = StdRng {
+                s: [next(), next(), next(), next()],
+            };
+            rng.ensure_nonzero();
+            rng
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::RngCore;
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly choose one element (`None` if empty).
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::from_seed([7; 32]);
+        let mut b = StdRng::from_seed([7; 32]);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = r.gen_range(3..10usize);
+            assert!((3..10).contains(&i));
+            let k = r.gen_range(0..=4u32);
+            assert!(k <= 4);
+            let x = r.gen_range(-2.0..5.0f64);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut r = StdRng::seed_from_u64(3);
+        let v = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*v.choose(&mut r).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unsized_rng_bound_works() {
+        fn draw<R: super::Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut r = StdRng::seed_from_u64(4);
+        let _ = draw(&mut r);
+    }
+}

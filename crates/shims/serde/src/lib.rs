@@ -1,0 +1,7 @@
+//! Offline `serde` facade: re-exports the no-op derive macros so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile
+//! without network access. See `serde_derive` (shim) for rationale.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

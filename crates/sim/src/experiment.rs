@@ -79,7 +79,9 @@ pub struct ExperimentPoint {
 impl ExperimentPoint {
     /// Max over the three strategies (the paper's "optimal").
     pub fn optimal_pps(&self) -> f64 {
-        self.multiplexing_pps.max(self.concurrency_pps).max(self.carrier_sense_pps)
+        self.multiplexing_pps
+            .max(self.concurrency_pps)
+            .max(self.carrier_sense_pps)
     }
 }
 
@@ -161,7 +163,10 @@ pub fn run_pair_experiment(
                 cca_threshold_db: cfg.cca_threshold_db,
                 ..MacConfig::default()
             },
-            _ => MacConfig { cca_mode: CcaMode::Disabled, ..MacConfig::default() },
+            _ => MacConfig {
+                cca_mode: CcaMode::Disabled,
+                ..MacConfig::default()
+            },
         };
         let sim_cfg = SimConfig {
             phy: testbed_phy(),
@@ -212,19 +217,31 @@ pub fn run_pair_experiment(
     }
 }
 
-/// Sample `n_points` node-disjoint link pairs from `links` and run the
-/// protocol on each.
-pub fn run_ensemble(
-    testbed: &Testbed,
+/// One planned-but-not-yet-run protocol task: the link pair to measure
+/// plus the private seed its runs will use. This is the unit of work the
+/// `wcs-runtime` engine fans out — planning (which draws from the
+/// ensemble RNG) is separated from execution (which only reads the
+/// per-task seed) precisely so execution order cannot perturb sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedPair {
+    /// The two links to compete.
+    pub pairs: PairExperiment,
+    /// Seed for every run of this task.
+    pub seed: u64,
+}
+
+/// Sample `n_points` node-disjoint link pairs from `links`, assigning
+/// each its per-task seed, without running anything.
+pub fn plan_ensemble(
     links: &[CandidateLink],
     n_points: usize,
     cfg: &ExperimentConfig,
-) -> Vec<ExperimentPoint> {
+) -> Vec<PlannedPair> {
     assert!(links.len() >= 2, "need at least two candidate links");
     let mut rng = split_rng(cfg.seed, 0xE45);
-    let mut points = Vec::with_capacity(n_points);
+    let mut planned = Vec::with_capacity(n_points);
     let mut attempts = 0;
-    while points.len() < n_points && attempts < 100 * n_points {
+    while planned.len() < n_points && attempts < 100 * n_points {
         attempts += 1;
         let l1 = *links.choose(&mut rng).unwrap();
         let l2 = *links.choose(&mut rng).unwrap();
@@ -233,11 +250,42 @@ pub fn run_ensemble(
         if !distinct {
             continue;
         }
-        let pairs = PairExperiment { link1: l1, link2: l2 };
-        let seed = cfg.seed.wrapping_add(points.len() as u64 * 0x1000);
-        points.push(run_pair_experiment(testbed, pairs, cfg, seed));
+        let seed = cfg.seed.wrapping_add(planned.len() as u64 * 0x1000);
+        planned.push(PlannedPair {
+            pairs: PairExperiment {
+                link1: l1,
+                link2: l2,
+            },
+            seed,
+        });
     }
-    points
+    planned
+}
+
+/// Execute one planned task (the engine kernel for testbed ensembles).
+pub fn run_planned(
+    testbed: &Testbed,
+    planned: &PlannedPair,
+    cfg: &ExperimentConfig,
+) -> ExperimentPoint {
+    run_pair_experiment(testbed, planned.pairs, cfg, planned.seed)
+}
+
+/// Sample `n_points` node-disjoint link pairs from `links` and run the
+/// protocol on each, serially. Equivalent to planning with
+/// [`plan_ensemble`] and mapping [`run_planned`] over the tasks — the
+/// parallel harness in `wcs-bench` does exactly that on the engine and
+/// produces identical points.
+pub fn run_ensemble(
+    testbed: &Testbed,
+    links: &[CandidateLink],
+    n_points: usize,
+    cfg: &ExperimentConfig,
+) -> Vec<ExperimentPoint> {
+    plan_ensemble(links, n_points, cfg)
+        .iter()
+        .map(|p| run_planned(testbed, p, cfg))
+        .collect()
 }
 
 /// Aggregate an ensemble into the paper's summary-table numbers.
@@ -279,7 +327,10 @@ pub fn exposed_vs_rate(
     n_points: usize,
     cfg: &ExperimentConfig,
 ) -> ExposedVsRate {
-    let base_cfg = ExperimentConfig { rates_mbps: vec![6.0], ..cfg.clone() };
+    let base_cfg = ExperimentConfig {
+        rates_mbps: vec![6.0],
+        ..cfg.clone()
+    };
     let base_points = run_ensemble(testbed, links, n_points, &base_cfg);
     let full_points = run_ensemble(testbed, links, n_points, cfg);
     let mean = |f: &dyn Fn(&ExperimentPoint) -> f64, pts: &[ExperimentPoint]| {
@@ -330,7 +381,13 @@ mod tests {
                 }
                 let rssi = w.rssi_db(l1.src, l2.src);
                 if best.is_none() || rssi > best.unwrap().1 {
-                    best = Some((PairExperiment { link1: l1, link2: l2 }, rssi));
+                    best = Some((
+                        PairExperiment {
+                            link1: l1,
+                            link2: l2,
+                        },
+                        rssi,
+                    ));
                 }
             }
         }
@@ -377,7 +434,13 @@ mod tests {
                 }
                 let rssi = w.rssi_db(l1.src, l2.src);
                 if best.is_none() || rssi < best.unwrap().1 {
-                    best = Some((PairExperiment { link1: l1, link2: l2 }, rssi));
+                    best = Some((
+                        PairExperiment {
+                            link1: l1,
+                            link2: l2,
+                        },
+                        rssi,
+                    ));
                 }
             }
         }
@@ -423,5 +486,24 @@ mod tests {
         let a = run_ensemble(&t, &links, 2, &cfg);
         let b = run_ensemble(&t, &links, 2, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planned_tasks_reproduce_ensemble_in_any_order() {
+        let t = Testbed::generate(TestbedConfig::default());
+        let links = t.candidate_links(0.94, 1.0);
+        let cfg = quick_cfg();
+        let serial = run_ensemble(&t, &links, 3, &cfg);
+        let planned = plan_ensemble(&links, 3, &cfg);
+        assert_eq!(planned.len(), 3);
+        // Execute planned tasks in reverse, then restore order: results
+        // must match the serial run exactly (task independence).
+        let mut reversed: Vec<ExperimentPoint> = planned
+            .iter()
+            .rev()
+            .map(|p| run_planned(&t, p, &cfg))
+            .collect();
+        reversed.reverse();
+        assert_eq!(serial, reversed);
     }
 }

@@ -112,7 +112,10 @@ impl MacConfig {
 
     /// Carrier sense disabled (pure concurrency runs).
     pub fn paper_concurrency() -> Self {
-        MacConfig { cca_mode: CcaMode::Disabled, ..MacConfig::default() }
+        MacConfig {
+            cca_mode: CcaMode::Disabled,
+            ..MacConfig::default()
+        }
     }
 }
 
@@ -176,7 +179,11 @@ impl MacState {
             planned_fire: None,
             cw: cw_min,
             retries: 0,
-            phase: if enabled { MacPhase::Contending } else { MacPhase::Quiet },
+            phase: if enabled {
+                MacPhase::Contending
+            } else {
+                MacPhase::Quiet
+            },
             nav_until: SimTime::ZERO,
             response_generation: 0,
             rts_armed: false,

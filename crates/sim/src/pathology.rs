@@ -45,7 +45,13 @@ pub fn slot_collision_scenario(duration: Duration, seed: u64) -> SlotCollisionSt
         ChannelConfig::paper_analysis().without_shadowing(),
         0,
     );
-    let mut sim = Simulator::new(world, SimConfig { seed, ..Default::default() });
+    let mut sim = Simulator::new(
+        world,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     sim.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(12.0));
     sim.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(12.0));
     sim.run_for(duration);
@@ -87,8 +93,18 @@ pub fn chain_collision_scenario(duration: Duration, seed: u64) -> ChainCollision
             ChannelConfig::paper_analysis().without_shadowing(),
             0,
         );
-        let mac = MacConfig { cca_mode: cca, ..MacConfig::default() };
-        let mut sim = Simulator::new(world, SimConfig { mac, seed, ..Default::default() });
+        let mac = MacConfig {
+            cca_mode: cca,
+            ..MacConfig::default()
+        };
+        let mut sim = Simulator::new(
+            world,
+            SimConfig {
+                mac,
+                seed,
+                ..Default::default()
+            },
+        );
         // Deliberately different rates ⇒ different frame durations. When
         // two frames overlap (seeded by a slot collision), the shorter
         // one ends first; its sender then re-contends while the longer
@@ -142,7 +158,13 @@ pub fn threshold_asymmetry_scenario(
         ChannelConfig::paper_analysis().without_shadowing(),
         0,
     );
-    let mut sim = Simulator::new(world, SimConfig { seed, ..Default::default() });
+    let mut sim = Simulator::new(
+        world,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     sim.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(12.0));
     sim.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(12.0));
     sim.set_cca_offset_db(NodeId(0), offset_db);
@@ -187,7 +209,13 @@ pub fn rate_anomaly_scenario(duration: Duration, seed: u64) -> RateAnomalyStats 
             0,
         )
     };
-    let mut shared = Simulator::new(make_world(), SimConfig { seed, ..Default::default() });
+    let mut shared = Simulator::new(
+        make_world(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     shared.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(24.0));
     shared.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(6.0));
     shared.run_for(duration);
@@ -196,7 +224,13 @@ pub fn rate_anomaly_scenario(duration: Duration, seed: u64) -> RateAnomalyStats 
     let total_air = shared.airtime_us(NodeId(0)) + shared.airtime_us(NodeId(2));
     let slow_air = shared.airtime_us(NodeId(2)) as f64 / total_air.max(1) as f64;
 
-    let mut alone = Simulator::new(make_world(), SimConfig { seed, ..Default::default() });
+    let mut alone = Simulator::new(
+        make_world(),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     alone.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(24.0));
     alone.run_for(duration);
     RateAnomalyStats {
@@ -235,7 +269,11 @@ mod tests {
             s.energy_detect_delivery,
             s.preamble_detect_delivery
         );
-        assert!(s.energy_detect_delivery > 0.7, "{}", s.energy_detect_delivery);
+        assert!(
+            s.energy_detect_delivery > 0.7,
+            "{}",
+            s.energy_detect_delivery
+        );
     }
 
     #[test]

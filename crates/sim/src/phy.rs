@@ -90,7 +90,10 @@ pub struct PhyConfig {
 
 impl Default for PhyConfig {
     fn default() -> Self {
-        PhyConfig { preamble_snr_db: 4.0, reception: ReceptionModel::HardThreshold }
+        PhyConfig {
+            preamble_snr_db: 4.0,
+            reception: ReceptionModel::HardThreshold,
+        }
     }
 }
 
@@ -185,8 +188,18 @@ impl Medium {
     /// If the sender was itself locked on a frame, that reception is
     /// abandoned (half-duplex radio).
     #[allow(clippy::needless_range_loop)] // loops index several parallel per-node arrays
-    pub fn begin_tx(&mut self, world: &mut World, tx_id: u64, sender: NodeId, frame: Frame, end: SimTime) {
-        assert!(!self.transmitting[sender.0 as usize], "{sender} already transmitting");
+    pub fn begin_tx(
+        &mut self,
+        world: &mut World,
+        tx_id: u64,
+        sender: NodeId,
+        frame: Frame,
+        end: SimTime,
+    ) {
+        assert!(
+            !self.transmitting[sender.0 as usize],
+            "{sender} already transmitting"
+        );
         let n = self.ambient.len();
         let mut rx_power = vec![0.0; n];
         for i in 0..n {
@@ -235,7 +248,15 @@ impl Medium {
             }
         }
 
-        self.active.insert(tx_id, ActiveTx { sender, frame, rx_power, end });
+        self.active.insert(
+            tx_id,
+            ActiveTx {
+                sender,
+                frame,
+                rx_power,
+                end,
+            },
+        );
     }
 
     /// End transmission `tx_id`; returns the decode outcomes of every
@@ -301,12 +322,19 @@ mod tests {
     use wcs_stats::rng::seeded_rng;
 
     fn world(positions: Vec<Point2>) -> World {
-        World::new(positions, ChannelConfig::paper_analysis().without_shadowing(), 1)
+        World::new(
+            positions,
+            ChannelConfig::paper_analysis().without_shadowing(),
+            1,
+        )
     }
 
     fn data(dst: u32, rate_idx: usize) -> Frame {
         Frame {
-            kind: FrameKind::Data { dst: NodeId(dst), ack: false },
+            kind: FrameKind::Data {
+                dst: NodeId(dst),
+                ack: false,
+            },
             rate: RATES_11A[rate_idx],
             mpdu_bytes: 1432,
             seq: 0,
@@ -366,9 +394,9 @@ mod tests {
         // Receiver locks the weak frame first; a stronger later frame
         // does NOT steal the lock (and itself goes unreceived).
         let mut w = world(vec![
-            Point2::new(0.0, 0.0),    // weak sender, 60 away from rx
-            Point2::new(60.0, 0.0),   // receiver
-            Point2::new(70.0, 0.0),   // strong sender, 10 away from rx
+            Point2::new(0.0, 0.0),  // weak sender, 60 away from rx
+            Point2::new(60.0, 0.0), // receiver
+            Point2::new(70.0, 0.0), // strong sender, 10 away from rx
         ]);
         let mut rng = seeded_rng(4);
         let mut m = Medium::new(3, w.config().noise, PhyConfig::default());
@@ -389,9 +417,9 @@ mod tests {
         // A frame arriving under existing strong interference is never
         // locked (the §5 chain-collision ingredient).
         let mut w = world(vec![
-            Point2::new(0.0, 0.0),   // interferer near rx
-            Point2::new(10.0, 0.0),  // receiver
-            Point2::new(80.0, 0.0),  // weak sender
+            Point2::new(0.0, 0.0),  // interferer near rx
+            Point2::new(10.0, 0.0), // receiver
+            Point2::new(80.0, 0.0), // weak sender
         ]);
         let mut rng = seeded_rng(5);
         let mut m = Medium::new(3, w.config().noise, PhyConfig::default());
@@ -450,7 +478,10 @@ mod tests {
         // 24 Mbps: r where r^-3/1e-6.5 = 10^1.4 → r ≈ 50.
         let mut w2 = world(vec![Point2::new(0.0, 0.0), Point2::new(50.1, 0.0)]);
         let _ = &mut w;
-        let cfg = PhyConfig { reception: ReceptionModel::Sigmoid { width_db: 1.0 }, ..Default::default() };
+        let cfg = PhyConfig {
+            reception: ReceptionModel::Sigmoid { width_db: 1.0 },
+            ..Default::default()
+        };
         let mut rng = seeded_rng(8);
         let mut successes = 0;
         let n = 2000;

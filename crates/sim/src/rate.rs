@@ -83,7 +83,10 @@ impl SampleRate {
 
     /// Estimated delivery probability at `rate`.
     pub fn estimated_success(&self, rate: Bitrate) -> f64 {
-        self.table.index_of(rate).map(|i| self.ewma_success[i]).unwrap_or(0.0)
+        self.table
+            .index_of(rate)
+            .map(|i| self.ewma_success[i])
+            .unwrap_or(0.0)
     }
 }
 

@@ -18,9 +18,9 @@
 //!   identical packet traces.
 
 use crate::event::{Event, EventQueue};
-use crate::mac::{AckPolicy, CcaMode, MacConfig, MacPhase, MacState};
 #[cfg(test)]
 use crate::mac::RtsCtsPolicy;
+use crate::mac::{AckPolicy, CcaMode, MacConfig, MacPhase, MacState};
 use crate::phy::{DecodeResult, Frame, FrameKind, Medium, PhyConfig};
 use crate::rate::RatePolicy;
 use crate::time::{Duration, SimTime};
@@ -108,11 +108,18 @@ impl FlowStats {
     }
 
     fn bump_rate(&mut self, rate: Bitrate, delivered: bool) {
-        let e = self.per_rate.iter_mut().find(|c| (c.mbps - rate.mbps).abs() < 1e-9);
+        let e = self
+            .per_rate
+            .iter_mut()
+            .find(|c| (c.mbps - rate.mbps).abs() < 1e-9);
         let e = match e {
             Some(e) => e,
             None => {
-                self.per_rate.push(RateCount { mbps: rate.mbps, sent: 0, delivered: 0 });
+                self.per_rate.push(RateCount {
+                    mbps: rate.mbps,
+                    sent: 0,
+                    delivered: 0,
+                });
                 self.per_rate.last_mut().unwrap()
             }
         };
@@ -188,7 +195,9 @@ impl Simulator {
         let n = world.len();
         let noise = world.config().noise;
         let mut seeds = SeedStream::new(cfg.seed);
-        let macs = (0..n).map(|_| MacState::new(false, cfg.mac.cw_min)).collect();
+        let macs = (0..n)
+            .map(|_| MacState::new(false, cfg.mac.cw_min))
+            .collect();
         Simulator {
             medium: Medium::new(n, noise, cfg.phy),
             world,
@@ -217,7 +226,10 @@ impl Simulator {
     /// Register a saturated flow from `src` to `dst`. Returns its index.
     pub fn add_flow(&mut self, src: NodeId, dst: NodeId, rate: RatePolicy) -> usize {
         assert_ne!(src, dst);
-        assert!(self.flow_of[src.0 as usize].is_none(), "{src} already has a flow");
+        assert!(
+            self.flow_of[src.0 as usize].is_none(),
+            "{src} already has a flow"
+        );
         let idx = self.flows.len();
         let base = RATES_11A[0];
         self.flows.push(Flow {
@@ -381,7 +393,13 @@ impl Simulator {
             mac.generation += 1;
             let fire = now + timing::DIFS + timing::SLOT * mac.backoff_slots as u64;
             mac.planned_fire = Some(fire);
-            self.queue.push(fire, Event::PlannedTxStart { node, generation: mac.generation });
+            self.queue.push(
+                fire,
+                Event::PlannedTxStart {
+                    node,
+                    generation: mac.generation,
+                },
+            );
         }
     }
 
@@ -406,7 +424,8 @@ impl Simulator {
             });
         }
         self.tx_meta.insert(tx_id, (node, frame, self.now));
-        self.medium.begin_tx(&mut self.world, tx_id, node, frame, end);
+        self.medium
+            .begin_tx(&mut self.world, tx_id, node, frame, end);
         self.queue.push(end, Event::TxEnd { node, tx_id });
         self.replan_all();
     }
@@ -419,10 +438,7 @@ impl Simulator {
         let i = node.0 as usize;
         {
             let mac = &self.macs[i];
-            if mac.generation != generation
-                || mac.phase != MacPhase::Contending
-                || !mac.enabled
-            {
+            if mac.generation != generation || mac.phase != MacPhase::Contending || !mac.enabled {
                 return;
             }
         }
@@ -477,12 +493,16 @@ impl Simulator {
     fn schedule_ctrl(&mut self, node: NodeId, frame: Frame, airtime: Duration, delay: Duration) {
         let ctrl_id = self.next_ctrl_id;
         self.next_ctrl_id += 1;
-        self.pending_ctrl.insert(ctrl_id, PendingCtrl { frame, airtime });
-        self.queue.push(self.now + delay, Event::ControlTxStart { node, ctrl_id });
+        self.pending_ctrl
+            .insert(ctrl_id, PendingCtrl { frame, airtime });
+        self.queue
+            .push(self.now + delay, Event::ControlTxStart { node, ctrl_id });
     }
 
     fn on_ctrl_tx(&mut self, node: NodeId, ctrl_id: u64) {
-        let Some(p) = self.pending_ctrl.remove(&ctrl_id) else { return };
+        let Some(p) = self.pending_ctrl.remove(&ctrl_id) else {
+            return;
+        };
         if self.medium.is_transmitting(node) {
             return; // radio occupied; the exchange will time out
         }
@@ -515,7 +535,9 @@ impl Simulator {
                 FrameKind::Data { dst, .. } => {
                     results.iter().any(|r| r.receiver == dst && r.success)
                 }
-                FrameKind::Ack { dst } | FrameKind::Rts { dst, .. } | FrameKind::Cts { dst, .. } => {
+                FrameKind::Ack { dst }
+                | FrameKind::Rts { dst, .. }
+                | FrameKind::Cts { dst, .. } => {
                     results.iter().any(|r| r.receiver == dst && r.success)
                 }
             };
@@ -542,9 +564,7 @@ impl Simulator {
         match frame.kind {
             FrameKind::Data { dst, ack: false } => {
                 let fi = sender_flow.expect("data from node without flow");
-                let delivered = results
-                    .iter()
-                    .any(|r| r.receiver == dst && r.success);
+                let delivered = results.iter().any(|r| r.receiver == dst && r.success);
                 let f = &mut self.flows[fi];
                 f.stats.sent += 1;
                 if delivered {
@@ -599,7 +619,10 @@ impl Simulator {
                 if r.receiver == dst {
                     if !self.medium.is_transmitting(dst) {
                         let cts = Frame {
-                            kind: FrameKind::Cts { dst: sender, nav_until },
+                            kind: FrameKind::Cts {
+                                dst: sender,
+                                nav_until,
+                            },
                             rate: self.base_rate(),
                             mpdu_bytes: timing::CTS_BYTES,
                             seq: frame.seq,
@@ -623,7 +646,10 @@ impl Simulator {
                         let data_dst = self.flows[fi].dst;
                         let seq = self.flows[fi].seq;
                         let dataf = Frame {
-                            kind: FrameKind::Data { dst: data_dst, ack: true },
+                            kind: FrameKind::Data {
+                                dst: data_dst,
+                                ack: true,
+                            },
                             rate,
                             mpdu_bytes: self.cfg.payload_bytes + timing::MAC_OVERHEAD_BYTES,
                             seq,
@@ -645,8 +671,7 @@ impl Simulator {
                         let rate = self.flows[fi].current_rate;
                         self.flows[fi].stats.acked += 1;
                         self.flows[fi].rate.feedback(rate, true);
-                        let rssi =
-                            self.world.rssi_db(self.flows[fi].src, self.flows[fi].dst);
+                        let rssi = self.world.rssi_db(self.flows[fi].src, self.flows[fi].dst);
                         self.macs[i].record_outcome(true, self.cfg.mac.rts_cts, rssi);
                         self.macs[i].retries = 0;
                         self.macs[i].cw = self.cfg.mac.cw_min;
@@ -721,7 +746,14 @@ mod tests {
     }
 
     fn sim(world: World, mac: MacConfig, seed: u64) -> Simulator {
-        Simulator::new(world, SimConfig { mac, seed, ..Default::default() })
+        Simulator::new(
+            world,
+            SimConfig {
+                mac,
+                seed,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -733,7 +765,11 @@ mod tests {
         let st = s.flow_stats(0);
         let pps = st.throughput_pps(Duration::from_secs(5));
         let ideal = timing::ideal_broadcast_rate(1400, RATES_11A[4]);
-        assert!(st.delivery_rate() > 0.999, "delivery {}", st.delivery_rate());
+        assert!(
+            st.delivery_rate() > 0.999,
+            "delivery {}",
+            st.delivery_rate()
+        );
         assert!(
             (pps - ideal).abs() / ideal < 0.05,
             "pps {pps} vs ideal {ideal}"
@@ -762,7 +798,10 @@ mod tests {
         assert!(a.delivery_rate() > 0.80, "a delivery {}", a.delivery_rate());
         assert!(b.delivery_rate() > 0.80, "b delivery {}", b.delivery_rate());
         assert!(a.delivery_rate() < 0.99, "some slot collisions must occur");
-        assert!((total - lone).abs() / lone < 0.25, "total {total} vs lone {lone}");
+        assert!(
+            (total - lone).abs() / lone < 0.25,
+            "total {total} vs lone {lone}"
+        );
         // Rough fairness.
         let ratio = a.delivered as f64 / b.delivered.max(1) as f64;
         assert!((0.6..1.7).contains(&ratio), "ratio {ratio}");
@@ -779,7 +818,11 @@ mod tests {
         s.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(12.0));
         s.run_for(Duration::from_secs(5));
         let a = s.flow_stats(0);
-        assert!(a.sent > 1000, "concurrent senders should not defer (sent {})", a.sent);
+        assert!(
+            a.sent > 1000,
+            "concurrent senders should not defer (sent {})",
+            a.sent
+        );
         assert!(a.delivery_rate() < 0.2, "delivery {}", a.delivery_rate());
     }
 
@@ -934,7 +977,10 @@ mod tests {
             assert!(tr.same_tick_starts() > 0, "overlap without slot collision");
         }
         // Every start has a matching end in a complete run.
-        let starts = tr.entries().filter(|e| e.kind == crate::trace::TraceKind::TxStart).count();
+        let starts = tr
+            .entries()
+            .filter(|e| e.kind == crate::trace::TraceKind::TxStart)
+            .count();
         let ends = tr
             .entries()
             .filter(|e| matches!(e.kind, crate::trace::TraceKind::TxEnd { .. }))

@@ -55,7 +55,10 @@ impl Default for TestbedConfig {
 /// real links do. Width 4 dB reproduces the paper's mapping from
 /// delivery-rate categories to average SNR (≥94 % ⇒ ≳16 dB at 6 Mbps).
 pub fn testbed_phy() -> PhyConfig {
-    PhyConfig { preamble_snr_db: 4.0, reception: ReceptionModel::Sigmoid { width_db: 4.0 } }
+    PhyConfig {
+        preamble_snr_db: 4.0,
+        reception: ReceptionModel::Sigmoid { width_db: 4.0 },
+    }
 }
 
 /// A generated testbed: node positions plus the frozen channel.
@@ -84,7 +87,10 @@ impl Testbed {
         let mut rng = split_rng(cfg.seed, 0xb1d);
         let positions = (0..cfg.n_nodes)
             .map(|_| {
-                Point2::new(rng.gen_range(0.0..cfg.width), rng.gen_range(0.0..cfg.height))
+                Point2::new(
+                    rng.gen_range(0.0..cfg.width),
+                    rng.gen_range(0.0..cfg.height),
+                )
             })
             .collect();
         Testbed { cfg, positions }
@@ -108,7 +114,11 @@ impl Testbed {
     /// A fresh [`World`] over this testbed (same frozen shadowing every
     /// time — the building doesn't move between runs).
     pub fn world(&self) -> World {
-        World::new(self.positions.clone(), self.cfg.channel, self.cfg.seed ^ 0x5AAD)
+        World::new(
+            self.positions.clone(),
+            self.cfg.channel,
+            self.cfg.seed ^ 0x5AAD,
+        )
     }
 
     /// Interference-free delivery probability of one frame at `rate_idx`
@@ -175,7 +185,10 @@ impl Testbed {
                 let rssi = w.rssi_db(na, nb);
                 let d = w.distance(na, nb);
                 if rssi >= threshold_db {
-                    obs.push(RssiSample { distance: d, rssi_db: rssi });
+                    obs.push(RssiSample {
+                        distance: d,
+                        rssi_db: rssi,
+                    });
                 } else {
                     cens.push(d);
                 }
@@ -212,9 +225,7 @@ mod tests {
         assert!(short.len() >= 20, "short-range links: {}", short.len());
         assert!(long.len() >= 10, "long-range links: {}", long.len());
         // Short-range links have higher RSSI on average.
-        let avg = |v: &[CandidateLink]| {
-            v.iter().map(|l| l.rssi_db).sum::<f64>() / v.len() as f64
-        };
+        let avg = |v: &[CandidateLink]| v.iter().map(|l| l.rssi_db).sum::<f64>() / v.len() as f64;
         assert!(avg(&short) > avg(&long) + 3.0);
     }
 
@@ -249,7 +260,10 @@ mod tests {
         // Figure 14 shows ~50 dB of RSSI spread across the testbed.
         let t = bed();
         let (obs, _) = t.rssi_survey(f64::NEG_INFINITY);
-        let max = obs.iter().map(|s| s.rssi_db).fold(f64::NEG_INFINITY, f64::max);
+        let max = obs
+            .iter()
+            .map(|s| s.rssi_db)
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = obs.iter().map(|s| s.rssi_db).fold(f64::INFINITY, f64::min);
         assert!(max - min > 35.0, "spread {}", max - min);
     }

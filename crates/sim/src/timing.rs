@@ -67,9 +67,9 @@ pub fn cts_airtime(rate: Bitrate) -> Duration {
 /// CW_MIN/2 slots. Used as a sanity anchor in tests and docs.
 pub fn ideal_broadcast_rate(payload_bytes: usize, rate: Bitrate) -> f64 {
     let air = data_frame_airtime(payload_bytes, rate);
-    let cycle =
-        DIFS.as_micros() as f64 + (CW_MIN as f64 / 2.0) * SLOT.as_micros() as f64
-            + air.as_micros() as f64;
+    let cycle = DIFS.as_micros() as f64
+        + (CW_MIN as f64 / 2.0) * SLOT.as_micros() as f64
+        + air.as_micros() as f64;
     1e6 / cycle
 }
 
@@ -82,11 +82,20 @@ mod tests {
     fn known_airtimes() {
         // 1400-byte payload → 1432-byte MPDU → 11478 bits.
         // At 6 Mbps (24 bits/symbol): ⌈11478/24⌉ = 479 symbols → 1936 µs.
-        assert_eq!(data_frame_airtime(1400, RATES_11A[0]), Duration::from_micros(20 + 479 * 4));
+        assert_eq!(
+            data_frame_airtime(1400, RATES_11A[0]),
+            Duration::from_micros(20 + 479 * 4)
+        );
         // At 24 Mbps (96 bits/symbol): ⌈11478/96⌉ = 120 symbols → 500 µs.
-        assert_eq!(data_frame_airtime(1400, RATES_11A[4]), Duration::from_micros(20 + 120 * 4));
+        assert_eq!(
+            data_frame_airtime(1400, RATES_11A[4]),
+            Duration::from_micros(20 + 120 * 4)
+        );
         // At 54 Mbps (216): ⌈11478/216⌉ = 54 symbols → 236 µs.
-        assert_eq!(data_frame_airtime(1400, RATES_11A[7]), Duration::from_micros(20 + 54 * 4));
+        assert_eq!(
+            data_frame_airtime(1400, RATES_11A[7]),
+            Duration::from_micros(20 + 54 * 4)
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl Trace {
     /// A trace bounded at `capacity` entries.
     pub fn bounded(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Trace { entries: std::collections::VecDeque::new(), capacity, dropped: 0 }
+        Trace {
+            entries: std::collections::VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Record one entry.
@@ -235,9 +239,15 @@ mod tests {
     #[test]
     fn frame_tags() {
         assert_eq!(
-            FrameTag::of(FrameKind::Data { dst: NodeId(1), ack: false }),
+            FrameTag::of(FrameKind::Data {
+                dst: NodeId(1),
+                ack: false
+            }),
             FrameTag::Data
         );
-        assert_eq!(FrameTag::of(FrameKind::Ack { dst: NodeId(1) }), FrameTag::Ack);
+        assert_eq!(
+            FrameTag::of(FrameKind::Ack { dst: NodeId(1) }),
+            FrameTag::Ack
+        );
     }
 }

@@ -77,7 +77,11 @@ pub struct World {
 impl World {
     /// Build a world from node positions.
     pub fn new(positions: Vec<Point2>, config: ChannelConfig, seed: u64) -> Self {
-        World { positions, config, shadow: ShadowField::new(config.shadowing, seed) }
+        World {
+            positions,
+            config,
+            shadow: ShadowField::new(config.shadowing, seed),
+        }
     }
 
     /// Number of nodes.

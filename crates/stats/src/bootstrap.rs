@@ -51,12 +51,23 @@ pub fn bootstrap_ci<F: FnMut(&[f64]) -> f64>(
     let alpha = (1.0 - level) / 2.0;
     let lo = crate::summary::quantile(&stats, alpha);
     let hi = crate::summary::quantile(&stats, 1.0 - alpha);
-    BootstrapCi { estimate, lo, hi, level }
+    BootstrapCi {
+        estimate,
+        lo,
+        hi,
+        level,
+    }
 }
 
 /// Bootstrap CI for the mean (the common case).
 pub fn bootstrap_mean_ci(data: &[f64], resamples: usize, level: f64, seed: u64) -> BootstrapCi {
-    bootstrap_ci(data, |xs| xs.iter().sum::<f64>() / xs.len() as f64, resamples, level, seed)
+    bootstrap_ci(
+        data,
+        |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
 }
 
 /// Bootstrap CI for the ratio of the means of two *paired* samples
@@ -108,8 +119,9 @@ mod tests {
         // N(5, 1) sample: the 95 % CI should contain 5 and have width
         // ≈ 2·1.96/√n.
         let mut rng = seeded_rng(1);
-        let data: Vec<f64> =
-            (0..400).map(|_| 5.0 + crate::dist::standard_normal(&mut rng)).collect();
+        let data: Vec<f64> = (0..400)
+            .map(|_| 5.0 + crate::dist::standard_normal(&mut rng))
+            .collect();
         let ci = bootstrap_mean_ci(&data, 2000, 0.95, 2);
         assert!(ci.lo < 5.0 && 5.0 < ci.hi, "{ci:?}");
         let width = ci.hi - ci.lo;

@@ -77,7 +77,9 @@ pub struct Rayleigh {
 impl Rayleigh {
     /// A Rayleigh distribution with unit mean power (σ = 1/√2).
     pub fn unit_power() -> Self {
-        Rayleigh { sigma: std::f64::consts::FRAC_1_SQRT_2 }
+        Rayleigh {
+            sigma: std::f64::consts::FRAC_1_SQRT_2,
+        }
     }
 
     /// Create with explicit scale parameter.
@@ -123,7 +125,10 @@ impl Rician {
         assert!(k >= 0.0);
         let two_sigma2 = 1.0 / (k + 1.0);
         let v2 = k * two_sigma2;
-        Rician { v: v2.sqrt(), sigma: (two_sigma2 / 2.0).sqrt() }
+        Rician {
+            v: v2.sqrt(),
+            sigma: (two_sigma2 / 2.0).sqrt(),
+        }
     }
 
     /// The Rician K-factor v²/(2σ²).

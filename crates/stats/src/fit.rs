@@ -69,9 +69,15 @@ pub fn fit_pathloss_shadowing(
     threshold_db: f64,
     ref_distance: f64,
 ) -> PathLossFit {
-    assert!(samples.len() >= 3, "need at least 3 samples to fit 3 parameters");
+    assert!(
+        samples.len() >= 3,
+        "need at least 3 samples to fit 3 parameters"
+    );
     assert!(ref_distance > 0.0);
-    assert!(samples.iter().all(|s| s.distance > 0.0), "distances must be positive");
+    assert!(
+        samples.iter().all(|s| s.distance > 0.0),
+        "distances must be positive"
+    );
 
     // Initial guess from simple linear regression of rssi on log10(d/d0).
     let n = samples.len() as f64;
@@ -84,7 +90,11 @@ pub fn fit_pathloss_shadowing(
         sxy += x * s.rssi_db;
     }
     let denom = n * sxx - sx * sx;
-    let slope = if denom.abs() > 1e-12 { (n * sxy - sx * sy) / denom } else { -30.0 };
+    let slope = if denom.abs() > 1e-12 {
+        (n * sxy - sx * sy) / denom
+    } else {
+        -30.0
+    };
     let intercept = (sy - slope * sx) / n;
     let alpha0 = (-slope / 10.0).clamp(1.0, 8.0);
     let rssi00 = intercept;
@@ -161,7 +171,10 @@ mod tests {
             let mu = rssi0 - 10.0 * alpha * (d / 20.0).log10();
             let y = mu + shadow.sample_db(&mut rng);
             if y > threshold {
-                obs.push(RssiSample { distance: d, rssi_db: y });
+                obs.push(RssiSample {
+                    distance: d,
+                    rssi_db: y,
+                });
             } else {
                 cens.push(d);
             }
@@ -196,15 +209,27 @@ mod tests {
             naive.alpha
         );
         assert!(trunc_err < 0.35, "alpha {}", trunc.alpha);
-        assert!((trunc.sigma_db - 10.4).abs() < 1.0, "sigma {}", trunc.sigma_db);
+        assert!(
+            (trunc.sigma_db - 10.4).abs() < 1.0,
+            "sigma {}",
+            trunc.sigma_db
+        );
     }
 
     #[test]
     fn censored_distances_help_further() {
         let (obs, cens) = synth(3.6, 10.4, 46.0, 4_000, 12, 0.0);
         let with_cens = fit_pathloss_shadowing(&obs, &cens, 0.0, 20.0);
-        assert!((with_cens.alpha - 3.6).abs() < 0.3, "alpha {}", with_cens.alpha);
-        assert!((with_cens.sigma_db - 10.4).abs() < 0.8, "sigma {}", with_cens.sigma_db);
+        assert!(
+            (with_cens.alpha - 3.6).abs() < 0.3,
+            "alpha {}",
+            with_cens.alpha
+        );
+        assert!(
+            (with_cens.sigma_db - 10.4).abs() < 0.8,
+            "sigma {}",
+            with_cens.sigma_db
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub struct MonteCarlo {
 impl MonteCarlo {
     /// New empty estimator.
     pub fn new() -> Self {
-        MonteCarlo { summary: Summary::new() }
+        MonteCarlo {
+            summary: Summary::new(),
+        }
     }
 
     /// Add one sample.
@@ -75,7 +77,11 @@ impl MonteCarlo {
         } else {
             f64::INFINITY
         };
-        MonteCarloEstimate { mean: self.summary.mean(), std_error: se, n }
+        MonteCarloEstimate {
+            mean: self.summary.mean(),
+            std_error: se,
+            n,
+        }
     }
 
     /// Run `f` until the standard error drops below `target_se` or

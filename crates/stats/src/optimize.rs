@@ -224,7 +224,10 @@ mod tests {
             5_000,
             1e-14,
         );
-        assert!((x[0] - 1.0).abs() < 1e-4 && (x[1] - 1.0).abs() < 1e-4, "{x:?}");
+        assert!(
+            (x[0] - 1.0).abs() < 1e-4 && (x[1] - 1.0).abs() < 1e-4,
+            "{x:?}"
+        );
         assert!(v < 1e-7);
     }
 

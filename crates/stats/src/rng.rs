@@ -58,7 +58,10 @@ pub struct SeedStream {
 impl SeedStream {
     /// Create a stream factory rooted at `seed`.
     pub fn new(seed: u64) -> Self {
-        SeedStream { root: seed, counter: 0 }
+        SeedStream {
+            root: seed,
+            counter: 0,
+        }
     }
 
     /// Return the next derived RNG (deterministic sequence of streams).

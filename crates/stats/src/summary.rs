@@ -13,7 +13,13 @@ pub struct Summary {
 impl Summary {
     /// New empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Build a summary from a slice.
@@ -100,7 +106,10 @@ impl Summary {
 pub fn quantile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q));
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let n = sorted.len();
     if n == 1 {
         return sorted[0];
@@ -126,7 +135,13 @@ impl Histogram {
     /// Create a histogram of `n_bins` equal bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
         assert!(hi > lo && n_bins > 0);
-        Histogram { lo, hi, bins: vec![0; n_bins], below: 0, above: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            below: 0,
+            above: 0,
+        }
     }
 
     /// Record an observation.

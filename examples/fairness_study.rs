@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release --example fairness_study`
 
 use in_defense_of_carrier_sense::capacity::policy::MacPolicy;
-use in_defense_of_carrier_sense::model::distribution::{
-    shadowing_boost, throughput_distribution,
-};
+use in_defense_of_carrier_sense::model::distribution::{shadowing_boost, throughput_distribution};
 use in_defense_of_carrier_sense::model::fairness::cs_fairness;
 use in_defense_of_carrier_sense::model::params::ModelParams;
 

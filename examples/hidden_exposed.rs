@@ -40,7 +40,14 @@ fn run(rate: RatePolicy, rts: RtsCtsPolicy, label: &str) {
         rts_cts: rts,
         ..MacConfig::default()
     };
-    let mut sim = Simulator::new(world(), SimConfig { mac, seed: 3, ..Default::default() });
+    let mut sim = Simulator::new(
+        world(),
+        SimConfig {
+            mac,
+            seed: 3,
+            ..Default::default()
+        },
+    );
     sim.add_flow(NodeId(0), NodeId(1), rate.clone());
     sim.add_flow(NodeId(2), NodeId(3), rate);
     let dur = Duration::from_secs(10);
@@ -58,10 +65,26 @@ fn run(rate: RatePolicy, rts: RtsCtsPolicy, label: &str) {
 
 fn main() {
     println!("Hidden terminal: S1→R1 with S2 transmitting 120 away, unheard by S1.\nR1 sits 40 from S1 and 80 from S2: SIR ≈ 9 dB — enough for low rates only.\n");
-    run(RatePolicy::fixed(24.0), RtsCtsPolicy::Off, "fixed 24 Mbps, no protection");
-    run(RatePolicy::fixed(6.0), RtsCtsPolicy::Off, "fixed 6 Mbps, no protection");
-    run(RatePolicy::sample_paper_subset(), RtsCtsPolicy::Off, "SampleRate adaptation, no protection");
-    run(RatePolicy::fixed(24.0), RtsCtsPolicy::Always, "fixed 24 Mbps, RTS/CTS always");
+    run(
+        RatePolicy::fixed(24.0),
+        RtsCtsPolicy::Off,
+        "fixed 24 Mbps, no protection",
+    );
+    run(
+        RatePolicy::fixed(6.0),
+        RtsCtsPolicy::Off,
+        "fixed 6 Mbps, no protection",
+    );
+    run(
+        RatePolicy::sample_paper_subset(),
+        RtsCtsPolicy::Off,
+        "SampleRate adaptation, no protection",
+    );
+    run(
+        RatePolicy::fixed(24.0),
+        RtsCtsPolicy::Always,
+        "fixed 24 Mbps, RTS/CTS always",
+    );
     run(
         RatePolicy::sample_paper_subset(),
         RtsCtsPolicy::LossTriggered {

@@ -11,12 +11,12 @@
 
 use in_defense_of_carrier_sense::model::average::mc_averages;
 use in_defense_of_carrier_sense::model::params::ModelParams;
+use in_defense_of_carrier_sense::propagation::geometry::Point2;
 use in_defense_of_carrier_sense::sim::mac::MacConfig;
 use in_defense_of_carrier_sense::sim::rate::RatePolicy;
 use in_defense_of_carrier_sense::sim::sim::{SimConfig, Simulator};
 use in_defense_of_carrier_sense::sim::time::Duration;
 use in_defense_of_carrier_sense::sim::world::{ChannelConfig, NodeId, World};
-use in_defense_of_carrier_sense::propagation::geometry::Point2;
 
 /// Simulate one AP pair at separation `d`, client offset `r`; return
 /// combined delivered pkt/s under (carrier sense, concurrency).
@@ -32,14 +32,24 @@ fn simulate(d: f64, r: f64, rate: f64) -> (f64, f64) {
             ChannelConfig::paper_analysis().without_shadowing(),
             0,
         );
-        let mut sim = Simulator::new(world, SimConfig { mac, seed: 11, ..Default::default() });
+        let mut sim = Simulator::new(
+            world,
+            SimConfig {
+                mac,
+                seed: 11,
+                ..Default::default()
+            },
+        );
         sim.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(rate));
         sim.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(rate));
         let dur = Duration::from_secs(5);
         sim.run_for(dur);
         sim.flow_stats(0).throughput_pps(dur) + sim.flow_stats(1).throughput_pps(dur)
     };
-    (run(MacConfig::paper_cs()), run(MacConfig::paper_concurrency()))
+    (
+        run(MacConfig::paper_cs()),
+        run(MacConfig::paper_concurrency()),
+    )
 }
 
 fn main() {

@@ -23,7 +23,10 @@ fn main() {
         let t = optimal_threshold_sigma0(&sigma0, rmax, None)
             .crossing()
             .expect("curves cross in this regime");
-        println!("Rmax = {rmax:>5}: optimal D_thresh ≈ {t:.0} (threshold/Rmax = {:.2})", t / rmax);
+        println!(
+            "Rmax = {rmax:>5}: optimal D_thresh ≈ {t:.0} (threshold/Rmax = {:.2})",
+            t / rmax
+        );
     }
     println!();
 
@@ -31,11 +34,11 @@ fn main() {
     // MAC, with one fixed factory threshold (D_thresh = 55 ⇔ ~13 dB).
     let table = efficiency_table(
         &params,
-        &[20.0, 40.0, 120.0],  // network ranges
-        &[20.0, 55.0, 120.0],  // interferer distances
-        &[55.0, 55.0, 55.0],   // one fixed threshold everywhere
-        50_000,                // Monte Carlo configurations per cell
-        7,                     // seed — every run reproduces exactly
+        &[20.0, 40.0, 120.0], // network ranges
+        &[20.0, 55.0, 120.0], // interferer distances
+        &[55.0, 55.0, 55.0],  // one fixed threshold everywhere
+        50_000,               // Monte Carlo configurations per cell
+        7,                    // seed — every run reproduces exactly
     );
     println!("Carrier-sense efficiency (% of optimal), fixed threshold:");
     println!("{}", table.render());

@@ -23,10 +23,19 @@ fn main() {
     }
     println!("  | σ=0 optimum, regime");
 
-    for (alpha, rmax) in [(3.0, 20.0), (3.0, 40.0), (3.0, 120.0), (2.5, 40.0), (3.5, 40.0)] {
+    for (alpha, rmax) in [
+        (3.0, 20.0),
+        (3.0, 40.0),
+        (3.0, 120.0),
+        (2.5, 40.0),
+        (3.5, 40.0),
+    ] {
         let params = ModelParams::paper_default().with_alpha(alpha);
         let sigma0 = ModelParams::paper_sigma0().with_alpha(alpha);
-        print!("α={alpha:>3}, Rmax={rmax:>4.0} ({:>4.1} dB) |", edge_snr_db(&params, rmax));
+        print!(
+            "α={alpha:>3}, Rmax={rmax:>4.0} ({:>4.1} dB) |",
+            edge_snr_db(&params, rmax)
+        );
         for &t in &thresholds {
             let cell = cs_efficiency(&params, rmax, rmax, t, 20_000, (t + rmax) as u64);
             print!(" {:>5.0}", 100.0 * cell.efficiency);

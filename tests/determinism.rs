@@ -11,9 +11,15 @@ fn model_averages_reproduce_exactly() {
     let p = ModelParams::paper_default();
     let a = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 123);
     let b = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 123);
-    assert_eq!(a.carrier_sense.mean.to_bits(), b.carrier_sense.mean.to_bits());
+    assert_eq!(
+        a.carrier_sense.mean.to_bits(),
+        b.carrier_sense.mean.to_bits()
+    );
     assert_eq!(a.optimal.mean.to_bits(), b.optimal.mean.to_bits());
-    assert_eq!(a.multiplex_fraction.to_bits(), b.multiplex_fraction.to_bits());
+    assert_eq!(
+        a.multiplex_fraction.to_bits(),
+        b.multiplex_fraction.to_bits()
+    );
 }
 
 #[test]
@@ -21,7 +27,10 @@ fn different_seeds_differ() {
     let p = ModelParams::paper_default();
     let a = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 1);
     let b = mc_averages(&p, 40.0, 55.0, 55.0, 10_000, 2);
-    assert_ne!(a.carrier_sense.mean.to_bits(), b.carrier_sense.mean.to_bits());
+    assert_ne!(
+        a.carrier_sense.mean.to_bits(),
+        b.carrier_sense.mean.to_bits()
+    );
 }
 
 #[test]
@@ -40,4 +49,64 @@ fn testbed_experiment_is_stable() {
     let a = wcs_bench::testbed_report(TestbedCategory::ShortRange, Effort::Quick);
     let b = wcs_bench::testbed_report(TestbedCategory::ShortRange, Effort::Quick);
     assert_eq!(a, b);
+}
+
+// ---- engine-driven runs -------------------------------------------------
+//
+// The wcs-runtime engine must be invisible in the numbers: any thread
+// count, any scheduling interleaving, same bits.
+
+use in_defense_of_carrier_sense::runtime::{run_sweep, scenarios, EffortProfile, Engine};
+
+/// A miniature Figure-4-family grid: the full declarative spec shape
+/// (3 Rmax × 3 σ × all policies) at test-sized sample counts.
+fn tiny_fig4_family() -> in_defense_of_carrier_sense::runtime::Sweep {
+    let profile = EffortProfile::quick()
+        .with_curve_points(6)
+        .with_mc_samples(20_000);
+    scenarios::figure4_family(&profile)
+}
+
+#[test]
+fn engine_sweep_is_bitwise_identical_across_thread_counts() {
+    let sweep = tiny_fig4_family();
+    let serial = run_sweep(&sweep, &Engine::new(1), None);
+    let four = run_sweep(&sweep, &Engine::new(4), None);
+    let many = run_sweep(&sweep, &Engine::new(13), None);
+    assert_eq!(serial.report.to_csv(), four.report.to_csv());
+    assert_eq!(serial.report.to_csv(), many.report.to_csv());
+    assert_eq!(serial.report.to_json(), four.report.to_json());
+}
+
+#[test]
+fn engine_driven_generators_match_their_serial_text() {
+    // fig4_5, fig7, table2 and the testbed reports all schedule onto the
+    // engine; forcing different worker counts via WCS_THREADS must not
+    // change a byte. (Each call re-reads the env through Engine::from_env.)
+    std::env::set_var("WCS_THREADS", "1");
+    let serial_fig = figures::fig4_5(Effort::Quick);
+    let serial_tab = tables::table2(Effort::Quick);
+    std::env::set_var("WCS_THREADS", "5");
+    let parallel_fig = figures::fig4_5(Effort::Quick);
+    let parallel_tab = tables::table2(Effort::Quick);
+    std::env::remove_var("WCS_THREADS");
+    assert_eq!(serial_fig, parallel_fig);
+    assert_eq!(serial_tab, parallel_tab);
+}
+
+#[test]
+fn parallel_mc_path_is_thread_count_invariant() {
+    use in_defense_of_carrier_sense::model::average::mc_averages_par;
+    let p = ModelParams::paper_default();
+    let a = mc_averages_par(&p, 40.0, 55.0, 55.0, 10_000, 123, 1);
+    let b = mc_averages_par(&p, 40.0, 55.0, 55.0, 10_000, 123, 8);
+    assert_eq!(
+        a.carrier_sense.mean.to_bits(),
+        b.carrier_sense.mean.to_bits()
+    );
+    assert_eq!(a.optimal.std_error.to_bits(), b.optimal.std_error.to_bits());
+    assert_eq!(
+        a.multiplex_fraction.to_bits(),
+        b.multiplex_fraction.to_bits()
+    );
 }

@@ -29,7 +29,14 @@ fn sim_pps(d: f64, mac: MacConfig, rate: f64) -> f64 {
         ChannelConfig::paper_analysis().without_shadowing(),
         0,
     );
-    let mut sim = Simulator::new(world, SimConfig { mac, seed: 5, ..Default::default() });
+    let mut sim = Simulator::new(
+        world,
+        SimConfig {
+            mac,
+            seed: 5,
+            ..Default::default()
+        },
+    );
     sim.add_flow(NodeId(0), NodeId(1), RatePolicy::fixed(rate));
     sim.add_flow(NodeId(2), NodeId(3), RatePolicy::fixed(rate));
     let dur = Duration::from_secs(4);
@@ -92,8 +99,14 @@ fn transition_region_is_the_exposed_terminal_zone() {
     // at most double throughput over taking turns, exactly the bound the
     // model's C_concurrent ≤ 2·C_multiplexing far-field limit implies.
     let mid = gap(45.0);
-    assert!(mid < 0.0, "D=45 should be an exposed-terminal case, gap {mid}");
-    assert!(mid > -1.1, "exposed loss must stay bounded by 2x, gap {mid}");
+    assert!(
+        mid < 0.0,
+        "D=45 should be an exposed-terminal case, gap {mid}"
+    );
+    assert!(
+        mid > -1.1,
+        "exposed loss must stay bounded by 2x, gap {mid}"
+    );
 }
 
 #[test]

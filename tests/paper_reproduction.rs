@@ -45,7 +45,10 @@ fn fig7_thresholds_cluster_at_short_range() {
     // clean comparisons live in the short/intermediate regime: the first
     // row (Rmax = 5) versus the Rmax = 40 row.
     let first = &rows[0];
-    let mid = rows.iter().find(|r| (r[0] - 40.0).abs() < 1e-9).expect("Rmax = 40 row");
+    let mid = rows
+        .iter()
+        .find(|r| (r[0] - 40.0).abs() < 1e-9)
+        .expect("Rmax = 40 row");
     assert!(
         spread(first) < spread(mid),
         "short-range spread {} should be tighter than mid-range {}\n{out}",
@@ -61,7 +64,10 @@ fn fig7_thresholds_cluster_at_short_range() {
     }
     // The footnote-13 asymptotic tracks the α = 3 column at small Rmax.
     let ratio = first[3] / first[8];
-    assert!((0.8..1.25).contains(&ratio), "asymptotic mismatch: {ratio}\n{out}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "asymptotic mismatch: {ratio}\n{out}"
+    );
 }
 
 #[test]
@@ -97,7 +103,7 @@ fn shadow_example_in_paper_band() {
     let severe: f64 = out
         .lines()
         .find(|l| l.contains("severe"))
-        .and_then(|l| l.split(':').nth(1)?.trim().split_whitespace().next()?.parse().ok())
+        .and_then(|l| l.split(':').nth(1)?.split_whitespace().next()?.parse().ok())
         .unwrap();
     assert!(severe > 0.005 && severe < 0.10, "severe {severe}\n{out}");
 }
@@ -108,7 +114,7 @@ fn short_range_testbed_shape() {
     let grab = |label: &str| -> f64 {
         out.lines()
             .find(|l| l.starts_with(label))
-            .and_then(|l| l.split(':').nth(1)?.trim().split_whitespace().next()?.parse().ok())
+            .and_then(|l| l.split(':').nth(1)?.split_whitespace().next()?.parse().ok())
             .unwrap_or(f64::NAN)
     };
     let optimal = grab("Optimal (max over strategies)");
@@ -117,7 +123,11 @@ fn short_range_testbed_shape() {
     assert!(optimal > 500.0, "{out}");
     // §4.1 pattern: CS ≈ optimal, multiplexing far behind.
     assert!(cs / optimal > 0.85, "CS fraction {}\n{out}", cs / optimal);
-    assert!(mux / optimal < 0.85, "mux fraction {}\n{out}", mux / optimal);
+    assert!(
+        mux / optimal < 0.85,
+        "mux fraction {}\n{out}",
+        mux / optimal
+    );
 }
 
 #[test]
@@ -126,7 +136,7 @@ fn long_range_testbed_shape() {
     let grab = |label: &str| -> f64 {
         out.lines()
             .find(|l| l.starts_with(label))
-            .and_then(|l| l.split(':').nth(1)?.trim().split_whitespace().next()?.parse().ok())
+            .and_then(|l| l.split(':').nth(1)?.split_whitespace().next()?.parse().ok())
             .unwrap_or(f64::NAN)
     };
     let optimal = grab("Optimal (max over strategies)");
@@ -135,7 +145,10 @@ fn long_range_testbed_shape() {
     let conc = grab("Concurrency");
     // §4.2 pattern: CS best, both static strategies clearly below optimal.
     assert!(cs / optimal > 0.80, "CS fraction {}\n{out}", cs / optimal);
-    assert!(cs >= mux - 1e-9 && cs >= conc - 1e-9, "CS must lead: {cs} vs {mux}/{conc}\n{out}");
+    assert!(
+        cs >= mux - 1e-9 && cs >= conc - 1e-9,
+        "CS must lead: {cs} vs {mux}/{conc}\n{out}"
+    );
     assert!(mux / optimal < 0.95, "{out}");
 }
 
@@ -144,13 +157,21 @@ fn pathology_report_signatures() {
     let out = wcs_bench::pathology_report(Effort::Quick);
     assert!(out.contains("slot collisions"), "{out}");
     // chain collisions: preamble-detect number must be the smaller one.
-    let line = out.lines().find(|l| l.contains("chain collisions")).unwrap();
+    let line = out
+        .lines()
+        .find(|l| l.contains("chain collisions"))
+        .unwrap();
     let nums: Vec<f64> = line
         .split_whitespace()
         .filter_map(|t| t.parse().ok())
         .collect();
     assert_eq!(nums.len(), 2, "{line}");
-    assert!(nums[0] > nums[1] + 0.1, "energy {} vs preamble {}", nums[0], nums[1]);
+    assert!(
+        nums[0] > nums[1] + 0.1,
+        "energy {} vs preamble {}",
+        nums[0],
+        nums[1]
+    );
 }
 
 #[test]
@@ -160,7 +181,7 @@ fn exposed_vs_rate_shape() {
     let grab = |label: &str| -> f64 {
         out.lines()
             .find(|l| l.trim_start().starts_with(label))
-            .and_then(|l| l.split(':').nth(1)?.trim().split_whitespace().next()?.parse().ok())
+            .and_then(|l| l.split(':').nth(1)?.split_whitespace().next()?.parse().ok())
             .unwrap_or(f64::NAN)
     };
     let base = grab("base rate");
@@ -168,9 +189,15 @@ fn exposed_vs_rate_shape() {
     let exposed = grab("exposed exploitation alone");
     let both = grab("both");
     // §5: adaptation ≥ ~2×; exposed exploitation a small additive gain.
-    assert!(adapted > 1.8 * base, "adaptation {adapted} vs base {base}\n{out}");
+    assert!(
+        adapted > 1.8 * base,
+        "adaptation {adapted} vs base {base}\n{out}"
+    );
     let exposed_gain = exposed / base - 1.0;
-    assert!((-0.02..0.35).contains(&exposed_gain), "exposed gain {exposed_gain}\n{out}");
+    assert!(
+        (-0.02..0.35).contains(&exposed_gain),
+        "exposed gain {exposed_gain}\n{out}"
+    );
     let combined_gain = both / adapted - 1.0;
     assert!(
         (-0.02..0.15).contains(&combined_gain),
