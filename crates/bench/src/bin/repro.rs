@@ -72,6 +72,11 @@ const ALL: &[&str] = &[
 ];
 
 /// `repro sweep`: run a declarative scenario on the engine.
+///
+/// All scenario names (and flags) are validated *before* anything runs:
+/// an unknown name or a misspelled flag exits 2 with the list of
+/// available scenarios, instead of running earlier scenarios first and
+/// failing halfway through.
 fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
     let mut threads = 0usize; // 0 = auto
     let mut use_cache = true;
@@ -92,6 +97,13 @@ fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             "--no-cache" => use_cache = false,
             "--csv" => format = "csv",
             "--json" => format = "json",
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag '{flag}' for repro sweep");
+                eprintln!(
+                    "usage: repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario]..."
+                );
+                std::process::exit(2);
+            }
             other => names.push(other.to_string()),
         }
     }
@@ -99,19 +111,24 @@ fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
         names.push("figure4-family".to_string());
     }
     let profile = effort.profile();
+    let sweeps: Vec<_> = names
+        .iter()
+        .map(|name| {
+            scenarios::by_name(name, &profile).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown scenario '{name}'; available scenarios: {}",
+                    scenarios::NAMES.join(" ")
+                );
+                std::process::exit(2);
+            })
+        })
+        .collect();
     let engine = Engine::new(threads);
     let cache = ResultCache::default_location();
     let cache_ref = if use_cache { Some(&cache) } else { None };
-    for name in &names {
-        let Some(sweep) = scenarios::by_name(name, &profile) else {
-            eprintln!(
-                "unknown scenario '{name}'; known: {}",
-                scenarios::NAMES.join(" ")
-            );
-            std::process::exit(2);
-        };
+    for (name, sweep) in names.iter().zip(&sweeps) {
         let t0 = std::time::Instant::now();
-        let outcome = run_sweep(&sweep, &engine, cache_ref);
+        let outcome = run_sweep(sweep, &engine, cache_ref);
         match format {
             "csv" => print!("{}", outcome.report.to_csv()),
             "json" => println!("{}", outcome.report.to_json()),

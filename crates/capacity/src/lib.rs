@@ -14,15 +14,22 @@
 //! and the *discrete* 802.11a/g bitrate machinery (SNR thresholds,
 //! rate-capped capacity) used by the simulator and by the "fixed bitrate
 //! makes carrier sense look bad" arguments of §3.3.2.
+//!
+//! The two-pair model generalizes to N mutually interfering pairs in
+//! [`npair`]: an N×N cross-gain matrix, per-pair SINR/rate computation,
+//! and contention-degree carrier sense for more than two contenders,
+//! with N = 2 reducing bitwise to [`TwoPairScenario`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod npair;
 pub mod policy;
 pub mod rates;
 pub mod shannon;
 pub mod twopair;
 
+pub use npair::{sender_positions, NPairScenario, NPairTopology, Placement};
 pub use policy::MacPolicy;
 pub use rates::{Bitrate, RateTable};
 pub use shannon::{shannon_capacity, CapacityModel};

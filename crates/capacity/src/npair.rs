@@ -1,0 +1,538 @@
+//! N-pair generalization of the two-pair capacity model.
+//!
+//! The paper states its model for two interfering sender–receiver pairs
+//! (§3.2.2); the capacity/fairness questions generalize directly to N
+//! mutually interfering pairs — the regime studied by the scale-free
+//! bottleneck literature. An [`NPairScenario`] is one fully-drawn
+//! configuration of N pairs, reduced to the quantities the capacity
+//! formulas need:
+//!
+//! * an N×N **cross-gain matrix** `g[i][j]`: linear channel gain at
+//!   receiver *i* from sender *j* (diagonal = signal links, off-diagonal
+//!   = interference links), shadowing already folded in, and
+//! * an N×N **sense matrix** `sense[i][j]`: gain at sender *i* from
+//!   sender *j* (symmetric — the senders' mutual channel is reciprocal;
+//!   diagonal unused), which drives per-sender carrier-sense decisions.
+//!
+//! MAC policies generalize as:
+//!
+//! * **multiplexing** — ideal TDMA over all N senders: each pair gets
+//!   `C_single / N`;
+//! * **concurrency** — all N transmit; the other N−1 signals add to the
+//!   noise at each receiver;
+//! * **carrier sense** — each sender counts the *contenders* it senses
+//!   above threshold (its contention degree `deg_i`) and transmits a
+//!   `1/(deg_i + 1)` share, while senders it does **not** sense (hidden
+//!   or far) contribute interference at its receiver;
+//! * **optimal** — the paper's binary choice made jointly over all
+//!   pairs: all-concurrent vs all-TDMA, whichever has the larger
+//!   throughput sum;
+//! * **optimal upper bound** — per-pair `max(concurrent, multiplexing)`,
+//!   ignoring the other pairs' preferences (footnote 10).
+//!
+//! **Exactness contract:** every formula is written so that N = 2
+//! reduces to *bitwise* the same arithmetic as [`TwoPairScenario`]
+//! (sums fold from 0.0 in index order, shares are powers of two for
+//! N = 2, `1.0 * x` and `x + 0.0` are exact). [`NPairScenario::from_two_pair`]
+//! builds the matrices from a two-pair configuration with the identical
+//! gain expressions, and the property tests below assert bit equality of
+//! every policy capacity across random draws.
+
+use crate::shannon::CapacityModel;
+use crate::twopair::{PairSample, TwoPairScenario};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wcs_propagation::geometry::Point2;
+use wcs_propagation::model::PropagationModel;
+
+/// How the N senders are placed in the plane (the topology half of a
+/// sweep's topology axis; the pair count is the other half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Senders on the −x axis at spacing D: sender k at (−k·D, 0).
+    /// For N = 2 this is exactly the paper's geometry (S1 at the origin,
+    /// S2 at (−D, 0)).
+    Line,
+    /// Senders on a √N×√N square lattice with spacing D, growing from
+    /// the origin into the third quadrant (row-major, sender 0 at the
+    /// origin).
+    Grid,
+    /// Senders placed uniformly at random in a square of side D·√N,
+    /// from a dedicated placement RNG stream — the placement is frozen
+    /// per (seed, N, D), not redrawn per Monte Carlo sample.
+    Random {
+        /// Placement stream seed (independent of the sweep root seed).
+        seed: u64,
+    },
+}
+
+impl Placement {
+    /// Stable short label used in reports, cache keys and CLI output.
+    pub fn label(&self) -> String {
+        match self {
+            Placement::Line => "line".into(),
+            Placement::Grid => "grid".into(),
+            Placement::Random { seed } => format!("random({seed})"),
+        }
+    }
+
+    /// Numeric code for report columns (line = 0, grid = 1, random = 2).
+    pub fn code(&self) -> f64 {
+        match self {
+            Placement::Line => 0.0,
+            Placement::Grid => 1.0,
+            Placement::Random { .. } => 2.0,
+        }
+    }
+}
+
+/// A pair count plus a sender placement — the value of one point on a
+/// sweep's topology axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NPairTopology {
+    /// Number of interfering pairs N (≥ 2).
+    pub n: usize,
+    /// How the N senders are placed.
+    pub placement: Placement,
+}
+
+impl NPairTopology {
+    /// A topology of `n` pairs under `placement`. Panics if `n < 2`
+    /// (one pair has nothing to interfere with — the failure should
+    /// surface here, not on an engine worker thread mid-sweep).
+    pub fn new(n: usize, placement: Placement) -> Self {
+        assert!(n >= 2, "an N-pair topology needs at least two pairs");
+        NPairTopology { n, placement }
+    }
+
+    /// A line topology of `n` pairs (the paper's geometry for N = 2).
+    /// Panics if `n < 2`.
+    pub fn line(n: usize) -> Self {
+        NPairTopology::new(n, Placement::Line)
+    }
+
+    /// Stable short label, e.g. `4xline` or `9xrandom(7)`.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.n, self.placement.label())
+    }
+
+    /// Sender positions at nearest-neighbour spacing `d`.
+    pub fn senders(&self, d: f64) -> Vec<Point2> {
+        sender_positions(self.n, d, self.placement)
+    }
+}
+
+/// Sender positions for `n` pairs at nearest-neighbour spacing `d` under
+/// `placement`. Deterministic: a fixed (n, d, placement) always yields
+/// the same positions.
+pub fn sender_positions(n: usize, d: f64, placement: Placement) -> Vec<Point2> {
+    assert!(n >= 1, "need at least one pair");
+    match placement {
+        Placement::Line => (0..n).map(|k| Point2::new(-(k as f64) * d, 0.0)).collect(),
+        Placement::Grid => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            (0..n)
+                .map(|k| Point2::new(-((k % side) as f64) * d, -((k / side) as f64) * d))
+                .collect()
+        }
+        Placement::Random { seed } => {
+            let mut rng = wcs_stats::rng::split_rng(seed, 0x70_6c61_6365);
+            let side = d * (n as f64).sqrt();
+            (0..n)
+                .map(|_| {
+                    let x: f64 = rng.gen();
+                    let y: f64 = rng.gen();
+                    Point2::new(-x * side, -y * side)
+                })
+                .collect()
+        }
+    }
+}
+
+/// A fully-drawn N-pair configuration: gain matrices plus the models
+/// that score them. See the module docs for the matrix conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NPairScenario {
+    /// `gains[i][j]`: linear gain at receiver i from sender j
+    /// (shadowing included). Diagonal entries are the signal links.
+    pub gains: Vec<Vec<f64>>,
+    /// `sense[i][j]`: linear gain at sender i from sender j (symmetric,
+    /// shadowing included; diagonal unused and set to 0).
+    pub sense: Vec<Vec<f64>>,
+    /// Propagation model (supplies the noise floor and the threshold
+    /// power mapping for carrier sense).
+    pub prop: PropagationModel,
+    /// Capacity model (Shannon, scaled, or capped).
+    pub cap: CapacityModel,
+}
+
+impl NPairScenario {
+    /// Number of pairs N.
+    pub fn n(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// Build the two-pair configuration's matrices with the *identical*
+    /// gain expressions [`TwoPairScenario`] uses, so every capacity
+    /// method below is bitwise equal to its two-pair counterpart.
+    pub fn from_two_pair(s: &TwoPairScenario) -> Self {
+        let g00 = s.prop.median_gain(s.pair1.r) * s.shadows.signal1;
+        let g11 = s.prop.median_gain(s.pair2.r) * s.shadows.signal2;
+        let g01 = s.prop.median_gain(s.delta_r_1()) * s.shadows.interference1;
+        let g10 = s.prop.median_gain(s.delta_r_2()) * s.shadows.interference2;
+        let sensed = s.prop.median_gain(s.d) * s.shadows.sense;
+        NPairScenario {
+            gains: vec![vec![g00, g01], vec![g10, g11]],
+            sense: vec![vec![0.0, sensed], vec![sensed, 0.0]],
+            prop: s.prop,
+            cap: s.cap,
+        }
+    }
+
+    /// Draw one configuration: receivers placed area-uniformly in the
+    /// Rmax disc around their own sender, then independent lognormal
+    /// shadowing per link. Draw order (fixed — it defines the stream
+    /// layout): receiver offsets pair-by-pair, then signal shadows
+    /// pair-by-pair, then interference shadows row-major (i, then j≠i),
+    /// then sense shadows for i<j (one reciprocal draw per sender pair).
+    pub fn sample<R: Rng + ?Sized>(
+        senders: &[Point2],
+        rmax: f64,
+        prop: &PropagationModel,
+        cap: CapacityModel,
+        rng: &mut R,
+    ) -> Self {
+        let n = senders.len();
+        let offsets: Vec<PairSample> = (0..n)
+            .map(|_| PairSample::sample_uniform(rmax, rng))
+            .collect();
+        let receivers: Vec<Point2> = senders
+            .iter()
+            .zip(&offsets)
+            .map(|(s, o)| {
+                let p = Point2::from_polar(o.r, o.theta);
+                Point2::new(s.x + p.x, s.y + p.y)
+            })
+            .collect();
+
+        let signal_shadow: Vec<f64> = (0..n).map(|_| prop.shadowing.sample_linear(rng)).collect();
+        let mut gains = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            // The signal link uses the polar radius directly (not the
+            // cartesian round trip), exactly like the two-pair model.
+            gains[i][i] = prop.median_gain(offsets[i].r) * signal_shadow[i];
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let dist = receivers[i].distance(&senders[j]);
+                    gains[i][j] = prop.median_gain(dist) * prop.shadowing.sample_linear(rng);
+                }
+            }
+        }
+        let mut sense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = senders[i].distance(&senders[j]);
+                let s = prop.median_gain(dist) * prop.shadowing.sample_linear(rng);
+                sense[i][j] = s;
+                sense[j][i] = s;
+            }
+        }
+
+        NPairScenario {
+            gains,
+            sense,
+            prop: *prop,
+            cap,
+        }
+    }
+
+    /// C_single for pair i: capacity of the signal link alone.
+    pub fn c_single(&self, i: usize) -> f64 {
+        self.cap.capacity(self.gains[i][i] / self.prop.noise)
+    }
+
+    /// C_multiplexing for pair i: a 1/N TDMA share of C_single.
+    pub fn c_multiplexing(&self, i: usize) -> f64 {
+        self.c_single(i) / self.n() as f64
+    }
+
+    /// C_concurrent for pair i: all N senders transmit; the other N−1
+    /// add to the noise.
+    pub fn c_concurrent(&self, i: usize) -> f64 {
+        let mut interf = 0.0;
+        for j in 0..self.n() {
+            if j != i {
+                interf += self.gains[i][j];
+            }
+        }
+        self.cap
+            .capacity(self.gains[i][i] / (self.prop.noise + interf))
+    }
+
+    /// Whether sender i senses sender j above the threshold whose
+    /// no-shadowing switch distance is `d_thresh`.
+    pub fn senses(&self, i: usize, j: usize, d_thresh: f64) -> bool {
+        debug_assert_ne!(i, j);
+        self.sense[i][j] > self.prop.median_gain(d_thresh)
+    }
+
+    /// Contention degree of sender i: how many other senders it senses
+    /// above threshold.
+    pub fn contention_degree(&self, i: usize, d_thresh: f64) -> usize {
+        (0..self.n())
+            .filter(|&j| j != i && self.senses(i, j, d_thresh))
+            .count()
+    }
+
+    /// C_cs for pair i: sender i shares the channel `1/(deg_i + 1)` with
+    /// the contenders it senses; the senders it does *not* sense (hidden
+    /// or far) interfere at its receiver. For N = 2 this is exactly the
+    /// two-pair piecewise C_cs (§3.2.2).
+    pub fn c_cs(&self, i: usize, d_thresh: f64) -> f64 {
+        let mut deg = 0usize;
+        let mut hidden_interf = 0.0;
+        for j in 0..self.n() {
+            if j == i {
+                continue;
+            }
+            if self.senses(i, j, d_thresh) {
+                deg += 1;
+            } else {
+                hidden_interf += self.gains[i][j];
+            }
+        }
+        let share = 1.0 / (deg as f64 + 1.0);
+        share
+            * self
+                .cap
+                .capacity(self.gains[i][i] / (self.prop.noise + hidden_interf))
+    }
+
+    /// Fraction of senders that defer to at least one contender at
+    /// threshold `d_thresh` (the N-pair analogue of the two-pair
+    /// multiplex/concurrent decision indicator).
+    pub fn deferring_senders(&self, d_thresh: f64) -> usize {
+        (0..self.n())
+            .filter(|&i| self.contention_degree(i, d_thresh) > 0)
+            .count()
+    }
+
+    /// Sum of all-concurrent per-pair capacities.
+    pub fn concurrent_sum(&self) -> f64 {
+        (0..self.n()).map(|i| self.c_concurrent(i)).sum()
+    }
+
+    /// Sum of all-TDMA per-pair capacities.
+    pub fn multiplexing_sum(&self) -> f64 {
+        (0..self.n()).map(|i| self.c_multiplexing(i)).sum()
+    }
+
+    /// The optimal MAC's per-pair average throughput: the joint binary
+    /// choice between all-concurrent and all-TDMA (§3.2.2 generalized),
+    /// averaged over pairs.
+    pub fn c_max(&self) -> f64 {
+        (1.0 / self.n() as f64) * self.concurrent_sum().max(self.multiplexing_sum())
+    }
+
+    /// Whether the joint optimum chooses concurrency for this
+    /// configuration.
+    pub fn optimal_prefers_concurrency(&self) -> bool {
+        self.concurrent_sum() > self.multiplexing_sum()
+    }
+
+    /// Per-pair throughput under the joint optimal choice.
+    pub fn c_optimal(&self, i: usize) -> f64 {
+        if self.optimal_prefers_concurrency() {
+            self.c_concurrent(i)
+        } else {
+            self.c_multiplexing(i)
+        }
+    }
+
+    /// C_UBmax for pair i: max(concurrent, multiplexing), ignoring the
+    /// other pairs' preferences (footnote 10).
+    pub fn c_ub_max(&self, i: usize) -> f64 {
+        self.c_concurrent(i).max(self.c_multiplexing(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twopair::ShadowDraws;
+    use proptest::prelude::*;
+    use wcs_stats::rng::seeded_rng;
+
+    fn two_pair(
+        r1: f64,
+        t1: f64,
+        r2: f64,
+        t2: f64,
+        d: f64,
+        shadows: ShadowDraws,
+    ) -> TwoPairScenario {
+        TwoPairScenario {
+            pair1: PairSample { r: r1, theta: t1 },
+            pair2: PairSample { r: r2, theta: t2 },
+            d,
+            shadows,
+            prop: PropagationModel::paper_default(),
+            cap: CapacityModel::SHANNON,
+        }
+    }
+
+    #[test]
+    fn placements_have_right_counts_and_spacing() {
+        for placement in [
+            Placement::Line,
+            Placement::Grid,
+            Placement::Random { seed: 7 },
+        ] {
+            let pos = sender_positions(9, 55.0, placement);
+            assert_eq!(pos.len(), 9);
+        }
+        let line = sender_positions(4, 10.0, Placement::Line);
+        assert!((line[1].distance(&line[0]) - 10.0).abs() < 1e-12);
+        assert!((line[3].distance(&line[0]) - 30.0).abs() < 1e-12);
+        let grid = sender_positions(9, 10.0, Placement::Grid);
+        // 3×3 lattice: sender 4 is the centre, one row down one col left.
+        assert!((grid[4].x - -10.0).abs() < 1e-12);
+        assert!((grid[4].y - -10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pairs")]
+    fn single_pair_topology_rejected_at_construction() {
+        let _ = NPairTopology::line(1);
+    }
+
+    #[test]
+    fn random_placement_is_frozen_by_seed() {
+        let a = sender_positions(6, 55.0, Placement::Random { seed: 3 });
+        let b = sender_positions(6, 55.0, Placement::Random { seed: 3 });
+        let c = sender_positions(6, 55.0, Placement::Random { seed: 4 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn line_n2_matches_paper_geometry() {
+        let pos = sender_positions(2, 55.0, Placement::Line);
+        assert_eq!(pos[0], Point2::new(0.0, 0.0));
+        assert_eq!(pos[1], Point2::new(-55.0, 0.0));
+    }
+
+    #[test]
+    fn contention_counts_thresholds() {
+        // Three senders on a line at spacing 30: neighbours sense each
+        // other at threshold 55 (sense gain over distance 30 > gain over
+        // 55), ends do not sense each other (distance 60 > 55).
+        let senders = sender_positions(3, 30.0, Placement::Line);
+        let prop = PropagationModel::paper_no_shadowing();
+        let mut rng = seeded_rng(1);
+        let s = NPairScenario::sample(&senders, 10.0, &prop, CapacityModel::SHANNON, &mut rng);
+        assert_eq!(s.contention_degree(0, 55.0), 1);
+        assert_eq!(s.contention_degree(1, 55.0), 2);
+        assert_eq!(s.contention_degree(2, 55.0), 1);
+        assert_eq!(s.deferring_senders(55.0), 3);
+        // A tiny threshold makes everyone concurrent.
+        assert_eq!(s.deferring_senders(1.0), 0);
+    }
+
+    #[test]
+    fn cs_share_reflects_degree() {
+        let senders = sender_positions(3, 30.0, Placement::Line);
+        let prop = PropagationModel::paper_no_shadowing();
+        let mut rng = seeded_rng(2);
+        let s = NPairScenario::sample(&senders, 5.0, &prop, CapacityModel::SHANNON, &mut rng);
+        // Middle sender defers to both neighbours: share 1/3 of a clean
+        // channel (no unsensed interferers).
+        let mid = s.c_cs(1, 55.0);
+        let clean = s.cap.capacity(s.gains[1][1] / s.prop.noise);
+        assert!((mid - clean / 3.0).abs() < 1e-12);
+        // End sender shares with one neighbour but eats the far end's
+        // interference.
+        let end = s.c_cs(0, 55.0);
+        let with_hidden = s
+            .cap
+            .capacity(s.gains[0][0] / (s.prop.noise + s.gains[0][2]));
+        assert!((end - with_hidden / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_dominates_fixed_choices() {
+        let senders = sender_positions(5, 40.0, Placement::Grid);
+        let prop = PropagationModel::paper_default();
+        let mut rng = seeded_rng(3);
+        for _ in 0..200 {
+            let s = NPairScenario::sample(&senders, 30.0, &prop, CapacityModel::SHANNON, &mut rng);
+            let n = s.n() as f64;
+            let conc_avg = s.concurrent_sum() / n;
+            let mux_avg = s.multiplexing_sum() / n;
+            assert!(s.c_max() >= conc_avg - 1e-12);
+            assert!(s.c_max() >= mux_avg - 1e-12);
+            for i in 0..s.n() {
+                assert!(s.c_ub_max(i) >= s.c_concurrent(i));
+                assert!(s.c_ub_max(i) >= s.c_multiplexing(i));
+                assert!(s.c_cs(i, 55.0) >= 0.0);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn n2_reproduces_two_pair_bitwise(
+            r1 in 1.0..120.0f64, t1 in 0.0..std::f64::consts::TAU,
+            r2 in 1.0..120.0f64, t2 in 0.0..std::f64::consts::TAU,
+            d in 1.0..300.0f64, seed in 0u64..1000,
+        ) {
+            let mut rng = seeded_rng(seed);
+            let prop = PropagationModel::paper_default();
+            let shadows = ShadowDraws::sample(&prop, &mut rng);
+            let tp = two_pair(r1, t1, r2, t2, d, shadows);
+            let np = NPairScenario::from_two_pair(&tp);
+            prop_assert_eq!(np.c_single(0).to_bits(), tp.c_single_1().to_bits());
+            prop_assert_eq!(np.c_single(1).to_bits(), tp.c_single_2().to_bits());
+            prop_assert_eq!(np.c_multiplexing(0).to_bits(), tp.c_multiplexing_1().to_bits());
+            prop_assert_eq!(np.c_multiplexing(1).to_bits(), tp.c_multiplexing_2().to_bits());
+            prop_assert_eq!(np.c_concurrent(0).to_bits(), tp.c_concurrent_1().to_bits());
+            prop_assert_eq!(np.c_concurrent(1).to_bits(), tp.c_concurrent_2().to_bits());
+            prop_assert_eq!(np.c_max().to_bits(), tp.c_max().to_bits());
+            prop_assert_eq!(np.c_ub_max(0).to_bits(), tp.c_ub_max_1().to_bits());
+            prop_assert_eq!(np.c_ub_max(1).to_bits(), tp.c_ub_max_2().to_bits());
+            prop_assert_eq!(
+                np.optimal_prefers_concurrency(),
+                tp.optimal_prefers_concurrency()
+            );
+            for dt in [20.0, 55.0, 120.0] {
+                prop_assert_eq!(np.c_cs(0, dt).to_bits(), tp.c_cs_1(dt).to_bits());
+                prop_assert_eq!(np.c_cs(1, dt).to_bits(), tp.c_cs_2(dt).to_bits());
+                let deferred = np.deferring_senders(dt);
+                let multiplexed =
+                    tp.cs_decision(dt) == crate::twopair::CsDecision::Multiplex;
+                prop_assert_eq!(deferred == 2, multiplexed);
+                prop_assert!(deferred == 0 || deferred == 2);
+            }
+        }
+
+        #[test]
+        fn capacities_nonnegative_any_n(
+            n in 2usize..10, rmax in 1.0..120.0f64, d in 1.0..300.0f64, seed in 0u64..500,
+        ) {
+            let senders = sender_positions(n, d, Placement::Line);
+            let prop = PropagationModel::paper_default();
+            let mut rng = seeded_rng(seed);
+            let s = NPairScenario::sample(&senders, rmax, &prop, CapacityModel::SHANNON, &mut rng);
+            for i in 0..n {
+                prop_assert!(s.c_single(i) >= 0.0);
+                prop_assert!(s.c_concurrent(i) >= 0.0);
+                prop_assert!(s.c_concurrent(i) <= s.c_single(i) + 1e-12);
+                prop_assert!(s.c_cs(i, 55.0) >= 0.0);
+                prop_assert!(s.c_cs(i, 55.0) <= s.c_single(i) + 1e-12);
+            }
+            prop_assert!(s.c_max() >= 0.0);
+        }
+    }
+}

@@ -19,7 +19,9 @@
 //! * the §3.2.5 efficiency tables and their α/σ sensitivity sweeps
 //!   ([`efficiency`], [`sensitivity`]),
 //! * the §3.4 shadowing worked example ([`shadowing_example`]),
-//! * fairness and starvation metrics ([`fairness`]).
+//! * fairness and starvation metrics ([`fairness`]),
+//! * N-pair topology aggregates — per-policy mean, worst-pair and Jain
+//!   fairness statistics over N mutually interfering pairs ([`npair`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +34,7 @@ pub mod fairness;
 pub mod fixed_bitrate;
 pub mod inefficiency;
 pub mod landscape;
+pub mod npair;
 pub mod params;
 pub mod preference;
 pub mod regimes;
@@ -42,6 +45,7 @@ pub mod threshold;
 pub use average::{mc_averages, quad_concurrency, quad_multiplexing, PolicyAverages};
 pub use curves::{throughput_curves, CurvePoint, ThroughputCurves};
 pub use efficiency::{cs_efficiency, efficiency_table, EfficiencyCell, EfficiencyTable};
+pub use npair::{mc_averages_npair, npair_curves, NPairAverages, NPairPolicyStats};
 pub use params::ModelParams;
 pub use regimes::{classify_regime, RangeRegime};
 pub use threshold::{

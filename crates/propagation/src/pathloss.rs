@@ -50,7 +50,8 @@ impl PathLoss {
         -10.0 * self.gain(d).log10()
     }
 
-    /// The distance at which the gain equals `gain` (inverse of [`gain`]).
+    /// The distance at which the gain equals `gain` (inverse of
+    /// [`PathLoss::gain`]).
     pub fn distance_for_gain(&self, gain: f64) -> f64 {
         assert!(gain > 0.0);
         gain.powf(-1.0 / self.alpha)

@@ -6,8 +6,11 @@
 //! reproduction's execution substrate:
 //!
 //! * a declarative [`Sweep`] spec — parameter grids built with a fluent
-//!   API that lower to a flat list of independent [`Task`]s
-//!   ([`scenario`]),
+//!   API that lower to a flat list of independent [`Task`]s, including a
+//!   **topology axis** (pair count × sender placement) whose N-pair
+//!   points score N mutually interfering pairs with fairness aggregates
+//!   while the default two-pair point stays bitwise identical to the
+//!   pre-axis path ([`scenario`]),
 //! * a work-stealing thread-pool [`Engine`] (std threads + channels, no
 //!   external deps) whose outputs are **bitwise identical** for any
 //!   thread count, because every task draws from its own RNG stream
@@ -60,4 +63,4 @@ pub use config::EffortProfile;
 pub use engine::Engine;
 pub use model::{run_sweep, SweepOutcome};
 pub use report::RunReport;
-pub use scenario::{PolicyAxis, Sweep, Task};
+pub use scenario::{PolicyAxis, Sweep, Task, Topology};

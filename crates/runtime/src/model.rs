@@ -1,20 +1,25 @@
 //! Executing model sweeps on the engine.
 //!
-//! The kernel for one [`Task`] is `wcs_core::average::mc_averages` — one
+//! The kernel for one [`Task`] depends on its topology-axis point:
+//! classic two-pair tasks run `wcs_core::average::mc_averages` — one
 //! Monte Carlo pass scoring *all* MAC policies on common random numbers —
-//! so the sweep's policy axis expands into report rows, not extra
-//! compute. Tasks run on the [`Engine`]; rows are emitted in (task,
-//! policy) order, which together with per-task seeds makes the emitted
-//! CSV bitwise identical for any thread count.
+//! exactly as they did before the topology axis existed (bitwise
+//! identical), and N-pair tasks run `wcs_core::npair::mc_averages_npair`,
+//! which additionally tracks per-configuration Jain fairness and
+//! worst-pair throughput. Either way the sweep's policy axis expands into
+//! report rows, not extra compute. Tasks run on the [`Engine`]; rows are
+//! emitted in (task, policy) order, which together with per-task seeds
+//! makes the emitted CSV bitwise identical for any thread count.
 
 use crate::cache::ResultCache;
 use crate::engine::Engine;
 use crate::report::RunReport;
-use crate::scenario::{PolicyAxis, Sweep};
+use crate::scenario::{PolicyAxis, Sweep, Task, Topology};
 use wcs_core::average::{mc_averages, PolicyAverages};
+use wcs_core::npair::{mc_averages_npair, NPairAverages, NPairPolicyStats};
 use wcs_stats::montecarlo::MonteCarloEstimate;
 
-/// Column layout of a sweep report.
+/// Column layout of a classic two-pair sweep report.
 pub const SWEEP_COLUMNS: [&str; 11] = [
     "rmax",
     "d",
@@ -29,6 +34,40 @@ pub const SWEEP_COLUMNS: [&str; 11] = [
     "multiplex_fraction",
 ];
 
+/// Column layout of a sweep with an N-pair topology axis: the classic
+/// columns plus the topology identity (pair count, placement code) and
+/// the fairness aggregates (per-configuration Jain index and worst-pair
+/// mean). Classic two-pair tasks appearing in such a sweep carry
+/// `n_pairs = 2`, `placement = -1` and NaN fairness cells (the two-pair
+/// kernel does not track them).
+pub const NPAIR_SWEEP_COLUMNS: [&str; 15] = [
+    "rmax",
+    "d",
+    "sigma_db",
+    "alpha",
+    "d_thresh",
+    "cap_efficiency",
+    "policy",
+    "mean",
+    "std_error",
+    "n",
+    "multiplex_fraction",
+    "n_pairs",
+    "placement",
+    "jain",
+    "worst_pair_mean",
+];
+
+/// The report columns a sweep emits (topology-axis sweeps get the
+/// extended fairness layout).
+pub fn sweep_columns(sweep: &Sweep) -> Vec<&'static str> {
+    if sweep.has_npair_topology() {
+        NPAIR_SWEEP_COLUMNS.to_vec()
+    } else {
+        SWEEP_COLUMNS.to_vec()
+    }
+}
+
 /// What `run_sweep` produced and how.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepOutcome {
@@ -40,7 +79,47 @@ pub struct SweepOutcome {
     pub tasks_run: usize,
 }
 
+/// One task's kernel output: whichever evaluation path its topology
+/// selected. The N-pair payload is boxed — it carries three estimates
+/// per policy and would otherwise dominate the variant size.
+enum TaskAverages {
+    TwoPair(PolicyAverages),
+    NPair(Box<NPairAverages>),
+}
+
+fn run_task(task: &Task) -> TaskAverages {
+    match task.topology {
+        Topology::TwoPair => TaskAverages::TwoPair(mc_averages(
+            &task.params(),
+            task.rmax,
+            task.d,
+            task.d_thresh,
+            task.samples,
+            task.seed,
+        )),
+        Topology::NPair(topo) => TaskAverages::NPair(Box::new(mc_averages_npair(
+            &task.params(),
+            topo,
+            task.rmax,
+            task.d,
+            task.d_thresh,
+            task.samples,
+            task.seed,
+        ))),
+    }
+}
+
 fn select(avg: &PolicyAverages, policy: PolicyAxis) -> MonteCarloEstimate {
+    match policy {
+        PolicyAxis::Multiplexing => avg.multiplexing,
+        PolicyAxis::Concurrency => avg.concurrency,
+        PolicyAxis::CarrierSense => avg.carrier_sense,
+        PolicyAxis::Optimal => avg.optimal,
+        PolicyAxis::OptimalUpperBound => avg.upper_bound,
+    }
+}
+
+fn select_npair(avg: &NPairAverages, policy: PolicyAxis) -> NPairPolicyStats {
     match policy {
         PolicyAxis::Multiplexing => avg.multiplexing,
         PolicyAxis::Concurrency => avg.concurrency,
@@ -56,22 +135,22 @@ fn attach_meta(report: &mut RunReport, sweep: &Sweep) {
     for (i, p) in sweep.policies.iter().enumerate() {
         report.add_meta(&format!("policy:{i}"), p.label());
     }
+    if sweep.has_npair_topology() {
+        for (i, t) in sweep.topologies.iter().enumerate() {
+            report.add_meta(&format!("topology:{i}"), &t.label());
+        }
+    }
 }
 
 /// Build the all-policy report (the form that is cached): one row per
 /// (task, policy in [`PolicyAxis::ALL`] order), policy column indexing
 /// `ALL`.
-fn full_report(
-    sweep: &Sweep,
-    tasks: &[crate::scenario::Task],
-    averages: &[PolicyAverages],
-) -> RunReport {
-    let columns: Vec<&str> = SWEEP_COLUMNS.to_vec();
-    let mut report = RunReport::new(&sweep.name, &columns);
+fn full_report(sweep: &Sweep, tasks: &[Task], averages: &[TaskAverages]) -> RunReport {
+    let npair_layout = sweep.has_npair_topology();
+    let mut report = RunReport::new(&sweep.name, &sweep_columns(sweep));
     for (task, avg) in tasks.iter().zip(averages) {
         for (pi, &policy) in PolicyAxis::ALL.iter().enumerate() {
-            let est = select(avg, policy);
-            report.push_row(vec![
+            let mut row = vec![
                 task.rmax,
                 task.d,
                 task.sigma_db,
@@ -79,11 +158,40 @@ fn full_report(
                 task.d_thresh,
                 task.cap.efficiency,
                 pi as f64,
-                est.mean,
-                est.std_error,
-                est.n as f64,
-                avg.multiplex_fraction,
-            ]);
+            ];
+            match avg {
+                TaskAverages::TwoPair(avg) => {
+                    let est = select(avg, policy);
+                    row.extend([
+                        est.mean,
+                        est.std_error,
+                        est.n as f64,
+                        avg.multiplex_fraction,
+                    ]);
+                    if npair_layout {
+                        row.extend([2.0, -1.0, f64::NAN, f64::NAN]);
+                    }
+                }
+                TaskAverages::NPair(avg) => {
+                    // An NPair result can only come from an NPair task
+                    // (see run_task).
+                    let Topology::NPair(topo) = task.topology else {
+                        unreachable!("N-pair averages from a two-pair task")
+                    };
+                    let stats = select_npair(avg, policy);
+                    row.extend([
+                        stats.mean.mean,
+                        stats.mean.std_error,
+                        stats.mean.n as f64,
+                        avg.multiplex_fraction,
+                        avg.n_pairs as f64,
+                        topo.placement.code(),
+                        stats.jain.mean,
+                        stats.worst.mean,
+                    ]);
+                }
+            }
+            report.push_row(row);
         }
     }
     report
@@ -95,7 +203,7 @@ fn select_policies(full: &RunReport, sweep: &Sweep) -> RunReport {
     let n_all = PolicyAxis::ALL.len();
     debug_assert_eq!(full.rows.len() % n_all, 0);
     let all_index = |p: PolicyAxis| PolicyAxis::ALL.iter().position(|&q| q == p).unwrap();
-    let mut report = RunReport::new(&sweep.name, &SWEEP_COLUMNS);
+    let mut report = RunReport::new(&sweep.name, &sweep_columns(sweep));
     for task_block in full.rows.chunks(n_all) {
         for (pi, &policy) in sweep.policies.iter().enumerate() {
             let mut row = task_block[all_index(policy)].clone();
@@ -112,24 +220,27 @@ fn select_policies(full: &RunReport, sweep: &Sweep) -> RunReport {
 /// The cache stores the **all-policy** rows under a key that ignores the
 /// sweep's policy selection (every policy is scored on the same samples
 /// anyway), so re-running a grid with a different reported-policy subset
-/// is a cache hit, not a recompute.
+/// is a cache hit, not a recompute. A cached entry whose column layout
+/// does not match the sweep's expected layout (e.g. written by an older
+/// binary) degrades to a miss and recomputes.
 pub fn run_sweep(sweep: &Sweep, engine: &Engine, cache: Option<&ResultCache>) -> SweepOutcome {
+    let columns = sweep_columns(sweep);
     if let Some(cache) = cache {
         if let Some(full) = cache.load(sweep) {
-            let mut report = select_policies(&full, sweep);
-            attach_meta(&mut report, sweep);
-            return SweepOutcome {
-                report,
-                cache_hit: true,
-                tasks_run: 0,
-            };
+            if full.columns == columns {
+                let mut report = select_policies(&full, sweep);
+                attach_meta(&mut report, sweep);
+                return SweepOutcome {
+                    report,
+                    cache_hit: true,
+                    tasks_run: 0,
+                };
+            }
         }
     }
 
     let tasks = sweep.lower();
-    let averages: Vec<PolicyAverages> = engine.map(&tasks, |t| {
-        mc_averages(&t.params(), t.rmax, t.d, t.d_thresh, t.samples, t.seed)
-    });
+    let averages: Vec<TaskAverages> = engine.map(&tasks, run_task);
 
     let full = full_report(sweep, &tasks, &averages);
     if let Some(cache) = cache {
@@ -148,6 +259,7 @@ pub fn run_sweep(sweep: &Sweep, engine: &Engine, cache: Option<&ResultCache>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wcs_capacity::npair::Placement;
 
     fn tiny_sweep() -> Sweep {
         Sweep::new("tiny")
@@ -158,6 +270,19 @@ mod tests {
             .seed(11)
     }
 
+    fn tiny_npair_sweep() -> Sweep {
+        Sweep::new("tiny-npair")
+            .rmaxes(&[40.0])
+            .ds(&[30.0, 90.0])
+            .topologies(&[
+                Topology::npair_line(2),
+                Topology::npair_line(4),
+                Topology::npair(4, Placement::Grid),
+            ])
+            .samples(1_000)
+            .seed(12)
+    }
+
     #[test]
     fn parallel_matches_serial_bitwise() {
         let sweep = tiny_sweep();
@@ -166,6 +291,14 @@ mod tests {
         assert!(!serial.cache_hit && !parallel.cache_hit);
         assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
         assert_eq!(serial.report, parallel.report);
+    }
+
+    #[test]
+    fn npair_parallel_matches_serial_bitwise() {
+        let sweep = tiny_npair_sweep();
+        let serial = run_sweep(&sweep, &Engine::serial(), None);
+        let parallel = run_sweep(&sweep, &Engine::new(4), None);
+        assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
     }
 
     #[test]
@@ -183,6 +316,35 @@ mod tests {
             assert!(pi < sweep.policies.len());
         }
         assert_eq!(out.report.meta_value("policy:0"), Some("multiplexing"));
+        // Classic sweeps keep the classic 11-column layout.
+        assert_eq!(out.report.columns.len(), SWEEP_COLUMNS.len());
+    }
+
+    #[test]
+    fn npair_rows_carry_topology_and_fairness() {
+        let sweep = tiny_npair_sweep();
+        let out = run_sweep(&sweep, &Engine::serial(), None);
+        assert_eq!(out.report.columns, NPAIR_SWEEP_COLUMNS.to_vec());
+        assert_eq!(
+            out.report.rows.len(),
+            sweep.task_count() * sweep.policies.len()
+        );
+        assert_eq!(out.report.meta_value("topology:0"), Some("2xline"));
+        assert_eq!(out.report.meta_value("topology:2"), Some("4xgrid"));
+        let rows_per_topology = 2 * sweep.policies.len(); // |ds| × policies
+        for (i, row) in out.report.rows.iter().enumerate() {
+            let expected_n = match i / rows_per_topology {
+                0 => 2.0,
+                _ => 4.0,
+            };
+            assert_eq!(row[11], expected_n, "n_pairs in row {i}");
+            // Jain in (0, 1]; worst pair below the mean.
+            assert!(row[13] > 0.0 && row[13] <= 1.0 + 1e-12, "jain in row {i}");
+            assert!(row[14] <= row[7] + 1e-12, "worst ≤ mean in row {i}");
+        }
+        // Placement codes: line for the first two topologies, grid last.
+        assert_eq!(out.report.rows[0][12], 0.0);
+        assert_eq!(out.report.rows[2 * rows_per_topology][12], 1.0);
     }
 
     #[test]
@@ -199,6 +361,24 @@ mod tests {
         assert_eq!(first.report.to_csv(), second.report.to_csv());
         // A changed parameter misses and recomputes.
         let changed = sweep.clone().samples(1_000);
+        let third = run_sweep(&changed, &Engine::new(2), Some(&cache));
+        assert!(!third.cache_hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn npair_sweeps_cache_too() {
+        let dir = std::env::temp_dir().join(format!("wcs-npair-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let sweep = tiny_npair_sweep();
+        let first = run_sweep(&sweep, &Engine::new(2), Some(&cache));
+        assert!(!first.cache_hit);
+        let second = run_sweep(&sweep, &Engine::new(2), Some(&cache));
+        assert!(second.cache_hit);
+        assert_eq!(first.report.to_csv(), second.report.to_csv());
+        // A different topology axis is a different scenario.
+        let changed = sweep.clone().topologies(&[Topology::npair_line(8)]);
         let third = run_sweep(&changed, &Engine::new(2), Some(&cache));
         assert!(!third.cache_hit);
         let _ = std::fs::remove_dir_all(&dir);
@@ -236,6 +416,28 @@ mod tests {
             assert_eq!(row[7].to_bits(), full_row[7].to_bits(), "mean mismatch");
             assert_eq!(row[6], 0.0, "policy column renumbered to the subset");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_column_layout_degrades_to_miss() {
+        // A cache entry whose header does not match the expected layout
+        // (e.g. written before a column was added) must recompute, not
+        // panic or serve short rows.
+        let dir = std::env::temp_dir().join(format!("wcs-stale-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let sweep = tiny_sweep().ds(&[20.0]).sigmas(&[0.0]).samples(500);
+        // Store a full report with a bogus truncated layout under the
+        // sweep's own key.
+        let mut stale = RunReport::new(&sweep.name, &["a", "b"]);
+        for _ in 0..sweep.task_count() * PolicyAxis::ALL.len() {
+            stale.push_row(vec![1.0, 2.0]);
+        }
+        cache.store(&sweep, &stale).unwrap();
+        let out = run_sweep(&sweep, &Engine::serial(), Some(&cache));
+        assert!(!out.cache_hit, "stale layout must recompute");
+        assert_eq!(out.report.columns.len(), SWEEP_COLUMNS.len());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,10 +16,66 @@
 //! kept out too because cached entries always carry all-policy rows.
 
 use crate::config::EffortProfile;
+use wcs_capacity::npair::{NPairTopology, Placement};
 use wcs_capacity::shannon::CapacityModel;
 use wcs_capacity::MacPolicy;
 use wcs_core::params::ModelParams;
 use wcs_stats::rng::splitmix64;
+
+/// One value of a sweep's topology axis.
+///
+/// The default axis is the single classic [`Topology::TwoPair`] point —
+/// the paper's model, evaluated by the exact code path that predates the
+/// axis, so adding the axis changes neither the numbers nor the cache
+/// identity of any existing sweep. [`Topology::NPair`] points evaluate N
+/// mutually interfering pairs under a sender placement instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// The paper's two-pair model (§3.2.2): S1 at the origin, S2 at
+    /// (−D, 0), scored by `wcs_core::average::mc_averages`.
+    TwoPair,
+    /// N mutually interfering pairs under a sender placement, scored by
+    /// `wcs_core::npair::mc_averages_npair`.
+    NPair(NPairTopology),
+}
+
+impl Topology {
+    /// An N-pair line topology (the natural generalization of the
+    /// classic geometry). Panics if `n < 2`.
+    pub fn npair_line(n: usize) -> Self {
+        Topology::NPair(NPairTopology::line(n))
+    }
+
+    /// An N-pair topology under an explicit placement. Panics if
+    /// `n < 2`.
+    pub fn npair(n: usize, placement: Placement) -> Self {
+        Topology::NPair(NPairTopology::new(n, placement))
+    }
+
+    /// Stable short label used in report metadata.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::TwoPair => "two-pair".into(),
+            Topology::NPair(t) => t.label(),
+        }
+    }
+
+    /// Canonical form folded into the sweep hash.
+    pub fn canonical(&self) -> String {
+        match self {
+            Topology::TwoPair => "two-pair".into(),
+            Topology::NPair(t) => format!("npair(n={},placement={})", t.n, t.placement.label()),
+        }
+    }
+
+    /// Number of pairs this topology evaluates.
+    pub fn n_pairs(&self) -> usize {
+        match self {
+            Topology::TwoPair => 2,
+            Topology::NPair(t) => t.n,
+        }
+    }
+}
 
 /// The MAC-policy axis of a sweep (threshold-free; the sweep's
 /// `d_thresh` axis supplies the carrier-sense threshold per point).
@@ -87,6 +143,9 @@ pub struct Sweep {
     pub d_threshes: Vec<f64>,
     /// Bitrate (capacity) model axis.
     pub caps: Vec<CapacityModel>,
+    /// Topology axis (pair count × placement); defaults to the single
+    /// classic two-pair point.
+    pub topologies: Vec<Topology>,
     /// MAC policies whose averages the report emits.
     pub policies: Vec<PolicyAxis>,
     /// Monte Carlo samples per task.
@@ -108,6 +167,7 @@ impl Sweep {
             alphas: vec![3.0],
             d_threshes: vec![55.0],
             caps: vec![CapacityModel::SHANNON],
+            topologies: vec![Topology::TwoPair],
             policies: PolicyAxis::ALL.to_vec(),
             samples: EffortProfile::quick().mc_samples,
             seed: 0,
@@ -156,6 +216,18 @@ impl Sweep {
         self
     }
 
+    /// Set the topology axis (pair count × placement).
+    pub fn topologies(mut self, v: &[Topology]) -> Self {
+        self.topologies = v.to_vec();
+        self
+    }
+
+    /// Whether any point of the topology axis is an N-pair topology
+    /// (selects the extended N-pair report columns).
+    pub fn has_npair_topology(&self) -> bool {
+        self.topologies.iter().any(|t| *t != Topology::TwoPair)
+    }
+
     /// Choose which MAC policies the report emits.
     pub fn policies(mut self, v: &[PolicyAxis]) -> Self {
         self.policies = v.to_vec();
@@ -176,7 +248,8 @@ impl Sweep {
 
     /// Number of tasks this sweep lowers to.
     pub fn task_count(&self) -> usize {
-        self.rmaxes.len()
+        self.topologies.len()
+            * self.rmaxes.len()
             * self.ds.len()
             * self.sigmas.len()
             * self.alphas.len()
@@ -186,28 +259,34 @@ impl Sweep {
 
     /// Lower the grid to its flat task list. Task order — and therefore
     /// report row order and seed assignment — is the fixed nesting
-    /// (α, σ, cap, Rmax, D_thresh, D), so a spec change that only appends
-    /// axis values extends the list without reshuffling existing seeds.
+    /// (topology, α, σ, cap, Rmax, D_thresh, D), so a spec change that
+    /// only appends axis values extends the list without reshuffling
+    /// existing seeds. The topology loop is outermost, so the default
+    /// single-topology axis leaves every pre-existing sweep's task
+    /// indices — and seeds — untouched.
     pub fn lower(&self) -> Vec<Task> {
         let mut tasks = Vec::with_capacity(self.task_count());
-        for &alpha in &self.alphas {
-            for &sigma_db in &self.sigmas {
-                for &cap in &self.caps {
-                    for &rmax in &self.rmaxes {
-                        for &d_thresh in &self.d_threshes {
-                            for &d in &self.ds {
-                                let index = tasks.len();
-                                tasks.push(Task {
-                                    index,
-                                    rmax,
-                                    d,
-                                    sigma_db,
-                                    alpha,
-                                    d_thresh,
-                                    cap,
-                                    samples: self.samples,
-                                    seed: task_seed(self.seed, index as u64),
-                                });
+        for &topology in &self.topologies {
+            for &alpha in &self.alphas {
+                for &sigma_db in &self.sigmas {
+                    for &cap in &self.caps {
+                        for &rmax in &self.rmaxes {
+                            for &d_thresh in &self.d_threshes {
+                                for &d in &self.ds {
+                                    let index = tasks.len();
+                                    tasks.push(Task {
+                                        index,
+                                        topology,
+                                        rmax,
+                                        d,
+                                        sigma_db,
+                                        alpha,
+                                        d_thresh,
+                                        cap,
+                                        samples: self.samples,
+                                        seed: task_seed(self.seed, index as u64),
+                                    });
+                                }
                             }
                         }
                     }
@@ -224,6 +303,12 @@ impl Sweep {
     /// reported subset must still hit). Uses `{:?}` for floats (shortest
     /// round-tripping representation) so the string — and its hash — is
     /// exact, not an approximation.
+    ///
+    /// The topology axis is appended **only when it differs from the
+    /// default** single two-pair point: a sweep that never touches the
+    /// axis serializes to exactly the v1 string it always did, so every
+    /// pre-existing scenario hash — and every on-disk cache entry — stays
+    /// valid.
     pub fn canonical(&self) -> String {
         let fmt = |v: &[f64]| {
             let parts: Vec<String> = v.iter().map(|x| format!("{x:?}")).collect();
@@ -239,7 +324,7 @@ impl Sweep {
                 )
             })
             .collect();
-        format!(
+        let mut out = format!(
             "wcs-sweep-v1;name={};rmaxes=[{}];ds=[{}];sigmas=[{}];alphas=[{}];d_threshes=[{}];caps=[{}];samples={}",
             self.name,
             fmt(&self.rmaxes),
@@ -249,7 +334,12 @@ impl Sweep {
             fmt(&self.d_threshes),
             caps.join(","),
             self.samples,
-        )
+        );
+        if self.topologies != [Topology::TwoPair] {
+            let topos: Vec<String> = self.topologies.iter().map(|t| t.canonical()).collect();
+            out.push_str(&format!(";topologies=[{}]", topos.join(",")));
+        }
+        out
     }
 
     /// FNV-1a hash of [`Sweep::canonical`] — the scenario half of the
@@ -265,6 +355,8 @@ impl Sweep {
 pub struct Task {
     /// Position in the lowered task list (row-block index in the report).
     pub index: usize,
+    /// Topology point (pair count × placement) this task evaluates.
+    pub topology: Topology,
     /// Network range Rmax.
     pub rmax: f64,
     /// Sender–sender distance D.
@@ -375,6 +467,106 @@ mod tests {
         let p = t.params();
         assert_eq!(p.prop.path_loss.alpha, 3.5);
         assert_eq!(p.prop.shadowing.sigma_db, 4.0);
+    }
+
+    #[test]
+    fn default_topology_keeps_v1_canonical() {
+        // The topology axis must be invisible for classic sweeps: no
+        // `topologies=` segment, so every pre-existing scenario hash and
+        // cache entry stays valid.
+        let s = Sweep::new("t").ds(&[10.0, 20.0]);
+        assert!(!s.canonical().contains("topologies"));
+        assert!(s.canonical().starts_with("wcs-sweep-v1;"));
+        let explicit = s.clone().topologies(&[Topology::TwoPair]);
+        assert_eq!(s.canonical(), explicit.canonical());
+        assert_eq!(s.scenario_hash(), explicit.scenario_hash());
+    }
+
+    #[test]
+    fn npair_topology_changes_hash_and_canonical() {
+        let base = Sweep::new("t").ds(&[10.0]);
+        let npair = base.clone().topologies(&[Topology::npair_line(4)]);
+        assert_ne!(base.scenario_hash(), npair.scenario_hash());
+        assert!(npair.canonical().contains("npair(n=4,placement=line)"));
+        // Placement and pair count are both part of the identity.
+        let grid = base
+            .clone()
+            .topologies(&[Topology::npair(4, Placement::Grid)]);
+        let eight = base.clone().topologies(&[Topology::npair_line(8)]);
+        assert_ne!(npair.scenario_hash(), grid.scenario_hash());
+        assert_ne!(npair.scenario_hash(), eight.scenario_hash());
+        // The random placement's frozen seed is identity too.
+        let r1 = base
+            .clone()
+            .topologies(&[Topology::npair(4, Placement::Random { seed: 1 })]);
+        let r2 = base
+            .clone()
+            .topologies(&[Topology::npair(4, Placement::Random { seed: 2 })]);
+        assert_ne!(r1.scenario_hash(), r2.scenario_hash());
+    }
+
+    #[test]
+    fn hash_is_stable_under_axis_reordering() {
+        // Axes are serialized in a fixed field order, so the order the
+        // builder methods are *called* in must not matter.
+        let a = Sweep::new("t")
+            .alphas(&[2.0, 3.0])
+            .sigmas(&[0.0, 8.0])
+            .rmaxes(&[20.0, 55.0])
+            .topologies(&[Topology::npair_line(4)])
+            .ds(&[10.0, 30.0]);
+        let b = Sweep::new("t")
+            .ds(&[10.0, 30.0])
+            .topologies(&[Topology::npair_line(4)])
+            .rmaxes(&[20.0, 55.0])
+            .sigmas(&[0.0, 8.0])
+            .alphas(&[2.0, 3.0]);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.scenario_hash(), b.scenario_hash());
+    }
+
+    #[test]
+    fn topology_axis_lowers_outermost() {
+        let s = Sweep::new("t")
+            .ds(&[10.0, 20.0])
+            .topologies(&[Topology::npair_line(2), Topology::npair_line(4)]);
+        let tasks = s.lower();
+        assert_eq!(tasks.len(), s.task_count());
+        assert_eq!(tasks.len(), 4);
+        assert_eq!(tasks[0].topology, Topology::npair_line(2));
+        assert_eq!(tasks[1].topology, Topology::npair_line(2));
+        assert_eq!(tasks[2].topology, Topology::npair_line(4));
+        assert_eq!(tasks[3].topology, Topology::npair_line(4));
+        // Default-topology sweeps keep their historical task seeds: the
+        // first |grid| tasks of a two-topology sweep coincide with the
+        // single-topology lowering.
+        let classic = Sweep::new("t").ds(&[10.0, 20.0]);
+        let classic_tasks = classic.lower();
+        for (a, b) in classic_tasks.iter().zip(&tasks) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.d, b.d);
+        }
+    }
+
+    #[test]
+    fn topology_labels_are_distinct() {
+        let labels: Vec<String> = [
+            Topology::TwoPair,
+            Topology::npair_line(2),
+            Topology::npair_line(4),
+            Topology::npair(4, Placement::Grid),
+            Topology::npair(4, Placement::Random { seed: 9 }),
+        ]
+        .iter()
+        .map(|t| t.label())
+        .collect();
+        for i in 0..labels.len() {
+            for j in (i + 1)..labels.len() {
+                assert_ne!(labels[i], labels[j]);
+            }
+        }
+        assert_eq!(Topology::TwoPair.n_pairs(), 2);
+        assert_eq!(Topology::npair_line(16).n_pairs(), 16);
     }
 
     #[test]

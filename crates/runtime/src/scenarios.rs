@@ -6,7 +6,8 @@
 //! roadmap grows toward (scenario files on disk, N-pair topologies).
 
 use crate::config::EffortProfile;
-use crate::scenario::{PolicyAxis, Sweep};
+use crate::scenario::{PolicyAxis, Sweep, Topology};
+use wcs_capacity::npair::Placement;
 
 /// The Figure-4 family as one declarative spec: throughput-vs-D curves
 /// for Rmax ∈ {20, 55, 120}, evaluated under **all five MAC policies**
@@ -53,18 +54,66 @@ pub fn threshold_robustness(profile: &EffortProfile) -> Sweep {
         .seed(0x00FF_5E75)
 }
 
+/// N-pair scaling sweep: how throughput, fairness and the worst pair's
+/// lot degrade as N ∈ {2, 4, 8, 16} mutually interfering pairs share a
+/// line at several spacings — the first workload of the topology axis,
+/// in the spirit of the scale-free-network bottleneck literature.
+pub fn npair_scaling(profile: &EffortProfile) -> Sweep {
+    Sweep::new("npair-scaling")
+        .topologies(&[
+            Topology::npair_line(2),
+            Topology::npair_line(4),
+            Topology::npair_line(8),
+            Topology::npair_line(16),
+        ])
+        .rmaxes(&[40.0])
+        .ds(&[20.0, 55.0, 120.0])
+        .sigmas(&[8.0])
+        .d_threshes(&[55.0])
+        .policies(&PolicyAxis::ALL)
+        .samples(profile.mc_samples / 10)
+        .seed(0x4E_AA12)
+}
+
+/// Placement comparison at fixed N = 9: line vs grid vs seeded-random
+/// sender layouts at the same nearest-neighbour spacing, isolating what
+/// topology *shape* (not density) does to carrier sense.
+pub fn npair_placements(profile: &EffortProfile) -> Sweep {
+    Sweep::new("npair-placements")
+        .topologies(&[
+            Topology::npair(9, Placement::Line),
+            Topology::npair(9, Placement::Grid),
+            Topology::npair(9, Placement::Random { seed: 0x9A7E }),
+        ])
+        .rmaxes(&[40.0])
+        .ds(&[20.0, 55.0, 120.0])
+        .sigmas(&[8.0])
+        .d_threshes(&[55.0])
+        .policies(&[PolicyAxis::CarrierSense, PolicyAxis::Optimal])
+        .samples(profile.mc_samples / 10)
+        .seed(0x91AC_E4E7)
+}
+
 /// Look up a named scenario (the `repro sweep` subcommand's registry).
 pub fn by_name(name: &str, profile: &EffortProfile) -> Option<Sweep> {
     match name {
         "figure4-family" | "fig4-family" => Some(figure4_family(profile)),
         "table1-grid" => Some(table1_grid(profile)),
         "threshold-robustness" => Some(threshold_robustness(profile)),
+        "npair-scaling" => Some(npair_scaling(profile)),
+        "npair-placements" => Some(npair_placements(profile)),
         _ => None,
     }
 }
 
 /// Names accepted by [`by_name`].
-pub const NAMES: [&str; 3] = ["figure4-family", "table1-grid", "threshold-robustness"];
+pub const NAMES: [&str; 5] = [
+    "figure4-family",
+    "table1-grid",
+    "threshold-robustness",
+    "npair-scaling",
+    "npair-placements",
+];
 
 #[cfg(test)]
 mod tests {
@@ -93,9 +142,38 @@ mod tests {
     #[test]
     fn specs_have_distinct_hashes() {
         let p = EffortProfile::quick();
-        let a = figure4_family(&p).scenario_hash();
-        let b = table1_grid(&p).scenario_hash();
-        let c = threshold_robustness(&p).scenario_hash();
-        assert!(a != b && b != c && a != c);
+        let mut hashes: Vec<u64> = NAMES
+            .iter()
+            .map(|n| by_name(n, &p).unwrap().scenario_hash())
+            .collect();
+        hashes.sort();
+        hashes.dedup();
+        assert_eq!(hashes.len(), NAMES.len());
+    }
+
+    #[test]
+    fn npair_scaling_shape() {
+        let p = EffortProfile::quick();
+        let s = npair_scaling(&p);
+        assert!(s.has_npair_topology());
+        assert_eq!(s.topologies.len(), 4);
+        assert_eq!(s.task_count(), 4 * 3);
+        let ns: Vec<usize> = s.topologies.iter().map(|t| t.n_pairs()).collect();
+        assert_eq!(ns, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn classic_scenarios_untouched_by_topology_axis() {
+        // The three pre-axis scenarios must keep their v1 canonical
+        // strings (no topologies segment) so their cache identity is
+        // stable across this refactor.
+        let p = EffortProfile::quick();
+        for name in ["figure4-family", "table1-grid", "threshold-robustness"] {
+            let s = by_name(name, &p).unwrap();
+            assert!(
+                !s.canonical().contains("topologies"),
+                "{name} grew a topology segment"
+            );
+        }
     }
 }

@@ -42,7 +42,7 @@ pub trait SeedableRng: Sized {
 }
 
 pub mod distributions {
-    //! Minimal `Distribution`/`Standard` machinery backing [`Rng::gen`].
+    //! Minimal `Distribution`/`Standard` machinery backing `Rng::gen`.
 
     /// A distribution over values of `T`.
     pub trait Distribution<T> {

@@ -25,7 +25,7 @@
 //!   RTS/CTS ([`mac`]),
 //! * bitrate control: fixed rate (the paper sweeps {6,9,12,18,24} and
 //!   picks the best per transmitter), plus a SampleRate-style adaptive
-//!   controller [Bicket05] ([`rate`]),
+//!   controller \[Bicket05\] ([`rate`]),
 //! * the synthetic 50-node testbed and the §4 experiment protocol
 //!   (multiplexing / concurrency / carrier-sense × rate sweep)
 //!   ([`testbed`], [`experiment`]),

@@ -142,7 +142,7 @@ pub struct AsymmetryStats {
 
 /// One node's CCA threshold raised by `offset_db`: it stops hearing its
 /// competitor and claims a disproportionate share of airtime (observed
-/// "on rare occasions" on the paper's testbed, §6, and in [Rao05]).
+/// "on rare occasions" on the paper's testbed, §6, and in \[Rao05\]).
 pub fn threshold_asymmetry_scenario(
     offset_db: f64,
     duration: Duration,
@@ -178,7 +178,7 @@ pub fn threshold_asymmetry_scenario(
     }
 }
 
-/// Result of the rate-anomaly scenario ([Heusse03], cited in §6 as
+/// Result of the rate-anomaly scenario (\[Heusse03\], cited in §6 as
 /// 802.11's "highly inefficient airtime allocation policy").
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RateAnomalyStats {

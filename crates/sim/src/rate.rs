@@ -4,7 +4,7 @@
 //! every run at each of 6, 9, 12, 18, and 24 Mbps, independently
 //! identifying the maximum throughput bitrate for each transmitter") —
 //! that is [`FixedRate`] driven by the experiment harness. The paper also
-//! leans on SampleRate [Bicket05] as the canonical adaptive algorithm;
+//! leans on SampleRate \[Bicket05\] as the canonical adaptive algorithm;
 //! [`SampleRate`] implements its core idea: transmit at the rate with the
 //! best measured expected throughput, and periodically sample other rates
 //! that could plausibly beat it.
@@ -33,7 +33,7 @@ impl RateController for FixedRate {
     fn feedback(&mut self, _rate: Bitrate, _success: bool) {}
 }
 
-/// SampleRate-style adaptation [Bicket05], simplified:
+/// SampleRate-style adaptation \[Bicket05\], simplified:
 ///
 /// * maintain an EWMA delivery probability per rate (optimistic start),
 /// * normally transmit at the rate maximising `mbps × P(success)`,

@@ -63,7 +63,7 @@ pub fn cts_airtime(rate: Bitrate) -> Duration {
 }
 
 /// Ideal saturation throughput for a lone broadcast sender, frames/s:
-/// one frame per (DIFS + E[backoff] + airtime) with E[backoff] =
+/// one frame per (DIFS + E\[backoff\] + airtime) with E\[backoff\] =
 /// CW_MIN/2 slots. Used as a sanity anchor in tests and docs.
 pub fn ideal_broadcast_rate(payload_bytes: usize, rate: Bitrate) -> f64 {
     let air = data_frame_airtime(payload_bytes, rate);

@@ -79,6 +79,35 @@ fn engine_sweep_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn npair_scaling_sweep_is_bitwise_identical_across_thread_counts() {
+    // The topology-axis path (N-pair kernel, extended fairness columns)
+    // must honour the same contract as the classic path: any thread
+    // count, same bits. This is the `repro sweep npair-scaling` CI smoke
+    // in miniature.
+    let profile = EffortProfile::quick().with_mc_samples(10_000);
+    let sweep = scenarios::npair_scaling(&profile);
+    let serial = run_sweep(&sweep, &Engine::new(1), None);
+    let four = run_sweep(&sweep, &Engine::new(4), None);
+    let many = run_sweep(&sweep, &Engine::new(11), None);
+    assert_eq!(serial.report.to_csv(), four.report.to_csv());
+    assert_eq!(serial.report.to_csv(), many.report.to_csv());
+    assert_eq!(serial.report.to_json(), four.report.to_json());
+}
+
+#[test]
+fn adding_the_topology_axis_changed_no_classic_sweep() {
+    // The classic scenarios must hash to the same canonical identity
+    // whether or not the (defaulted) topology axis is spelled out, and
+    // their reports keep the pre-axis 11-column layout.
+    use in_defense_of_carrier_sense::runtime::Topology;
+    let sweep = tiny_fig4_family();
+    let spelled = sweep.clone().topologies(&[Topology::TwoPair]);
+    assert_eq!(sweep.scenario_hash(), spelled.scenario_hash());
+    let out = run_sweep(&sweep, &Engine::new(2), None);
+    assert_eq!(out.report.columns.len(), 11);
+}
+
+#[test]
 fn engine_driven_generators_match_their_serial_text() {
     // fig4_5, fig7, table2 and the testbed reports all schedule onto the
     // engine; forcing different worker counts via WCS_THREADS must not

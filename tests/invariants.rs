@@ -120,3 +120,60 @@ fn efficiency_is_scale_free_in_seed_count() {
         "{small:?} vs {large:?}"
     );
 }
+
+// ---- N-pair topology invariants -----------------------------------------
+
+use in_defense_of_carrier_sense::capacity::npair::{NPairScenario, NPairTopology, Placement};
+use in_defense_of_carrier_sense::model::npair::mc_averages_npair;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The whole-stack N = 2 contract: an `NPairScenario` built from any
+    /// two-pair configuration scores every policy bitwise identically to
+    /// the two-pair formulas, end to end through the facade.
+    #[test]
+    fn npair_two_pair_equivalence_end_to_end(
+        r1 in 1.0..120.0f64, r2 in 1.0..120.0f64,
+        t1 in 0.0..std::f64::consts::TAU, t2 in 0.0..std::f64::consts::TAU,
+        d in 1.0..300.0f64, seed in 0u64..500,
+    ) {
+        let prop = PropagationModel::paper_default();
+        let mut rng = in_defense_of_carrier_sense::stats::rng::seeded_rng(seed);
+        let tp = TwoPairScenario {
+            pair1: PairSample { r: r1, theta: t1 },
+            pair2: PairSample { r: r2, theta: t2 },
+            d,
+            shadows: ShadowDraws::sample(&prop, &mut rng),
+            prop,
+            cap: CapacityModel::SHANNON,
+        };
+        let np = NPairScenario::from_two_pair(&tp);
+        prop_assert_eq!(np.c_max().to_bits(), tp.c_max().to_bits());
+        prop_assert_eq!(np.c_cs(0, 55.0).to_bits(), tp.c_cs_1(55.0).to_bits());
+        prop_assert_eq!(np.c_cs(1, 55.0).to_bits(), tp.c_cs_2(55.0).to_bits());
+    }
+
+    /// Policy dominance holds for any pair count and placement, as it
+    /// does for the two-pair model.
+    #[test]
+    fn npair_policy_dominance(
+        n in 2usize..9,
+        d in 10.0..200.0f64,
+        placement_pick in 0usize..3,
+        seed in 0u64..200,
+    ) {
+        let placement = [Placement::Line, Placement::Grid, Placement::Random { seed: 5 }]
+            [placement_pick];
+        let p = ModelParams::paper_default();
+        let a = mc_averages_npair(&p, NPairTopology { n, placement }, 40.0, d, 55.0, 2_000, seed);
+        prop_assert!(a.optimal.mean.mean + 1e-9 >= a.multiplexing.mean.mean);
+        prop_assert!(a.optimal.mean.mean + 1e-9 >= a.concurrency.mean.mean);
+        prop_assert!(a.upper_bound.mean.mean + 1e-9 >= a.optimal.mean.mean);
+        // Fairness aggregates stay in range for every policy.
+        for s in [a.multiplexing, a.concurrency, a.carrier_sense, a.optimal, a.upper_bound] {
+            prop_assert!(s.jain.mean > 0.0 && s.jain.mean <= 1.0 + 1e-12);
+            prop_assert!(s.worst.mean <= s.mean.mean + 1e-9);
+        }
+    }
+}
