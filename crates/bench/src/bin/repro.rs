@@ -4,7 +4,13 @@
 //! ```text
 //! repro [--full] <experiment>...
 //! repro [--full] all
-//! repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario]
+//! repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario|--spec FILE]...
+//! repro shard plan  <scenario|--spec FILE> -k K [--strategy S] [--dir DIR]
+//! repro shard worker <manifest.toml> [--out DIR] [--threads N] [--no-cache]
+//! repro shard merge <dir> [--csv|--json] [--no-cache]
+//! repro shard run   <scenario|--spec FILE> -k K [--strategy S] [--dir DIR]
+//!                   [--threads N] [--csv|--json] [--no-cache]
+//! repro cache ls|clear
 //! ```
 //!
 //! Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10-11 fig12-13
@@ -13,13 +19,25 @@
 //!
 //! `sweep` runs a declarative `wcs-runtime` scenario (default
 //! `figure4-family`) on the multi-threaded engine with the on-disk result
-//! cache; output is bitwise identical for any `--threads` value.
+//! cache; output is bitwise identical for any `--threads` value. `--spec`
+//! loads a user-authored scenario file (`wcs_runtime::spec` format) whose
+//! canonical hash — and therefore cache key — is exactly that of the
+//! equivalent in-code spec.
+//!
+//! `shard` splits a sweep's task list across worker *processes* and
+//! merges their partial reports in task-index order; the merged output is
+//! bitwise identical to a single-process `sweep` run at any
+//! shard count × thread count. `shard run` drives the whole
+//! plan → worker → merge pipeline with local subprocesses.
 //!
 //! `--full` uses paper-fidelity sample counts (minutes); the default is a
-//! quick pass (seconds per experiment).
+//! quick pass (seconds per experiment). Spec files carry their own sample
+//! budget, so `--full` does not rescale them.
 
+use std::path::{Path, PathBuf};
 use wcs_bench::{figures, tables, Effort, TestbedCategory};
-use wcs_runtime::{run_sweep, scenarios, Engine, ResultCache};
+use wcs_runtime::{run_sweep, scenarios, Engine, ResultCache, Sweep};
+use wcs_shard::{ShardManifest, ShardStrategy};
 
 fn run_one(name: &str, effort: Effort) -> Option<String> {
     let out = match name {
@@ -71,76 +89,410 @@ const ALL: &[&str] = &[
     "fixed-bitrate",
 ];
 
-/// `repro sweep`: run a declarative scenario on the engine.
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Resolve one sweep source: a registry scenario name, or (when `spec`
+/// is set) a spec-file path. Exits 2 with the scenario list on failure.
+fn resolve_sweep(source: &SweepSource, effort: Effort) -> Sweep {
+    match source {
+        SweepSource::Named(name) => {
+            scenarios::by_name(name, &effort.profile()).unwrap_or_else(|| {
+                usage_exit(&format!(
+                    "unknown scenario '{name}'; available scenarios: {}",
+                    scenarios::NAMES.join(" ")
+                ))
+            })
+        }
+        SweepSource::SpecFile(path) => wcs_runtime::load_spec_file(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Where a sweep comes from: the built-in registry or a spec file.
+enum SweepSource {
+    Named(String),
+    SpecFile(PathBuf),
+}
+
+impl SweepSource {
+    fn describe(&self) -> String {
+        match self {
+            SweepSource::Named(n) => n.clone(),
+            SweepSource::SpecFile(p) => p.display().to_string(),
+        }
+    }
+}
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> String {
+    if args.is_empty() {
+        usage_exit(&format!("{flag} needs a value"));
+    }
+    args.remove(0)
+}
+
+fn print_report(report: &wcs_runtime::RunReport, format: &str) {
+    match format {
+        "csv" => print!("{}", report.to_csv()),
+        "json" => println!("{}", report.to_json()),
+        _ => print!("{}", report.render()),
+    }
+}
+
+/// `repro sweep`: run declarative scenarios on the engine.
 ///
-/// All scenario names (and flags) are validated *before* anything runs:
-/// an unknown name or a misspelled flag exits 2 with the list of
-/// available scenarios, instead of running earlier scenarios first and
-/// failing halfway through.
+/// All scenario names, spec files and flags are validated *before*
+/// anything runs: an unknown name or a misspelled flag exits 2 with the
+/// list of available scenarios, instead of running earlier scenarios
+/// first and failing halfway through.
 fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
     let mut threads = 0usize; // 0 = auto
     let mut use_cache = true;
     let mut format = "render";
-    let mut names: Vec<String> = Vec::new();
+    let mut sources: Vec<SweepSource> = Vec::new();
     while !args.is_empty() {
-        match args.remove(0).as_str() {
+        let arg = args.remove(0);
+        match arg.as_str() {
             "--threads" => {
-                if args.is_empty() {
-                    eprintln!("--threads needs a value");
-                    std::process::exit(2);
-                }
-                threads = args.remove(0).parse().unwrap_or_else(|_| {
-                    eprintln!("--threads needs an integer");
-                    std::process::exit(2);
-                });
+                threads = take_flag_value(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        usage_exit("--threads needs an integer");
+                    });
+            }
+            "--spec" => {
+                let v = take_flag_value(&mut args, "--spec");
+                sources.push(SweepSource::SpecFile(PathBuf::from(v)));
             }
             "--no-cache" => use_cache = false,
             "--csv" => format = "csv",
             "--json" => format = "json",
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag '{flag}' for repro sweep");
-                eprintln!(
-                    "usage: repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario]..."
+                usage_exit(
+                    "usage: repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario|--spec FILE]...",
                 );
-                std::process::exit(2);
             }
-            other => names.push(other.to_string()),
+            _ => sources.push(SweepSource::Named(arg)),
         }
     }
-    if names.is_empty() {
-        names.push("figure4-family".to_string());
-    }
-    let profile = effort.profile();
-    let sweeps: Vec<_> = names
-        .iter()
-        .map(|name| {
-            scenarios::by_name(name, &profile).unwrap_or_else(|| {
-                eprintln!(
-                    "unknown scenario '{name}'; available scenarios: {}",
-                    scenarios::NAMES.join(" ")
-                );
-                std::process::exit(2);
-            })
-        })
-        .collect();
+    let sources = if sources.is_empty() {
+        vec![SweepSource::Named("figure4-family".to_string())]
+    } else {
+        sources
+    };
+    let sweeps: Vec<Sweep> = sources.iter().map(|s| resolve_sweep(s, effort)).collect();
     let engine = Engine::new(threads);
     let cache = ResultCache::default_location();
     let cache_ref = if use_cache { Some(&cache) } else { None };
-    for (name, sweep) in names.iter().zip(&sweeps) {
+    for (source, sweep) in sources.iter().zip(&sweeps) {
         let t0 = std::time::Instant::now();
         let outcome = run_sweep(sweep, &engine, cache_ref);
-        match format {
-            "csv" => print!("{}", outcome.report.to_csv()),
-            "json" => println!("{}", outcome.report.to_json()),
-            _ => print!("{}", outcome.report.render()),
-        }
+        print_report(&outcome.report, format);
         eprintln!(
-            "[sweep {name}: {} tasks, {} threads, cache {}, {:.1}s]",
+            "[sweep {}: {} tasks, {} threads, cache {}, {:.1}s]",
+            source.describe(),
             outcome.tasks_run,
             engine.threads(),
             if outcome.cache_hit { "hit" } else { "miss" },
             t0.elapsed().as_secs_f64()
         );
+    }
+    std::process::exit(0);
+}
+
+const SHARD_USAGE: &str = "usage: repro shard plan   <scenario|--spec FILE> -k K [--strategy contiguous|strided] [--dir DIR]
+       repro shard worker <manifest.toml> [--out DIR] [--threads N] [--no-cache]
+       repro shard merge  <dir> [--csv|--json] [--no-cache]
+       repro shard run    <scenario|--spec FILE> -k K [--strategy S] [--dir DIR] [--threads N] [--csv|--json] [--no-cache]";
+
+/// Shared flag soup for the `shard` subcommands. Every field is optional
+/// at parse time; each subcommand enforces what it needs.
+struct ShardArgs {
+    sources: Vec<SweepSource>,
+    k: Option<usize>,
+    strategy: ShardStrategy,
+    dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+    threads: usize,
+    use_cache: bool,
+    format: String,
+}
+
+fn parse_shard_args(mut args: Vec<String>) -> ShardArgs {
+    let mut parsed = ShardArgs {
+        sources: Vec::new(),
+        k: None,
+        strategy: ShardStrategy::Contiguous,
+        dir: None,
+        out: None,
+        threads: 0,
+        use_cache: true,
+        format: "render".to_string(),
+    };
+    while !args.is_empty() {
+        let arg = args.remove(0);
+        match arg.as_str() {
+            "-k" | "--shards" => {
+                let v = take_flag_value(&mut args, "-k");
+                parsed.k = Some(v.parse().unwrap_or_else(|_| {
+                    usage_exit("-k needs a positive integer");
+                }));
+            }
+            "--strategy" => {
+                let v = take_flag_value(&mut args, "--strategy");
+                parsed.strategy = ShardStrategy::parse(&v).unwrap_or_else(|| {
+                    usage_exit(&format!("unknown strategy '{v}' (contiguous or strided)"));
+                });
+            }
+            "--dir" => {
+                let v = take_flag_value(&mut args, "--dir");
+                parsed.dir = Some(PathBuf::from(v));
+            }
+            "--out" => {
+                let v = take_flag_value(&mut args, "--out");
+                parsed.out = Some(PathBuf::from(v));
+            }
+            "--threads" => {
+                let v = take_flag_value(&mut args, "--threads");
+                parsed.threads = v.parse().unwrap_or_else(|_| {
+                    usage_exit("--threads needs an integer");
+                });
+            }
+            "--spec" => {
+                let v = take_flag_value(&mut args, "--spec");
+                parsed.sources.push(SweepSource::SpecFile(PathBuf::from(v)));
+            }
+            "--no-cache" => parsed.use_cache = false,
+            "--csv" => parsed.format = "csv".to_string(),
+            "--json" => parsed.format = "json".to_string(),
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag '{flag}' for repro shard");
+                usage_exit(SHARD_USAGE);
+            }
+            _ => parsed.sources.push(SweepSource::Named(arg)),
+        }
+    }
+    parsed
+}
+
+fn single_source<'a>(parsed: &'a ShardArgs, what: &str) -> &'a SweepSource {
+    match parsed.sources.as_slice() {
+        [one] => one,
+        [] => usage_exit(&format!(
+            "shard {what} needs a scenario name or --spec FILE"
+        )),
+        _ => usage_exit(&format!("shard {what} takes exactly one scenario")),
+    }
+}
+
+fn require_k(parsed: &ShardArgs) -> usize {
+    match parsed.k {
+        Some(k) if k >= 1 => k,
+        _ => usage_exit("shard plan/run need -k K (K >= 1)"),
+    }
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
+/// Default plan directory for a sweep: stable, human-findable, and
+/// distinct per (name, k, strategy).
+fn default_plan_dir(sweep: &Sweep, k: usize, strategy: ShardStrategy) -> PathBuf {
+    PathBuf::from("target").join("wcs-shards").join(format!(
+        "{}-k{k}-{}",
+        wcs_runtime::sanitize_name(&sweep.name),
+        strategy.label()
+    ))
+}
+
+fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
+    if args.is_empty() {
+        usage_exit(SHARD_USAGE);
+    }
+    let verb = args.remove(0);
+    let parsed = parse_shard_args(args);
+    match verb.as_str() {
+        "plan" => {
+            let sweep = resolve_sweep(single_source(&parsed, "plan"), effort);
+            let k = require_k(&parsed);
+            let dir = parsed
+                .dir
+                .clone()
+                .unwrap_or_else(|| default_plan_dir(&sweep, k, parsed.strategy));
+            let paths =
+                wcs_shard::write_plan(&dir, &sweep, k, parsed.strategy).unwrap_or_else(|e| fail(e));
+            for p in &paths {
+                println!("{}", p.display());
+            }
+            eprintln!(
+                "[shard plan {}: {} tasks over {k} {} shards in {}]",
+                sweep.name,
+                sweep.task_count(),
+                parsed.strategy.label(),
+                dir.display()
+            );
+        }
+        "worker" => {
+            let manifest_file = match single_source(&parsed, "worker") {
+                SweepSource::Named(p) => PathBuf::from(p),
+                SweepSource::SpecFile(_) => usage_exit("shard worker takes a manifest path"),
+            };
+            let t0 = std::time::Instant::now();
+            let manifest = ShardManifest::load(&manifest_file).unwrap_or_else(|e| fail(e));
+            let out_dir = parsed
+                .out
+                .clone()
+                .or_else(|| manifest_file.parent().map(Path::to_path_buf))
+                .unwrap_or_else(|| PathBuf::from("."));
+            let engine = Engine::new(parsed.threads);
+            let cache = ResultCache::default_location();
+            let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
+            let partial = wcs_shard::partial::run_worker(&manifest, &engine, cache_ref);
+            let path = wcs_shard::partial_path(&out_dir, manifest.shard);
+            std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(e));
+            partial.save(&path).unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "[shard worker {}/{} ({}): {} tasks, {} threads, {:.1}s -> {}]",
+                manifest.shard,
+                manifest.k,
+                manifest.sweep.name,
+                manifest.indices().len(),
+                engine.threads(),
+                t0.elapsed().as_secs_f64(),
+                path.display()
+            );
+        }
+        "merge" => {
+            let dir = match single_source(&parsed, "merge") {
+                SweepSource::Named(p) => PathBuf::from(p),
+                SweepSource::SpecFile(_) => usage_exit("shard merge takes a plan directory"),
+            };
+            let cache = ResultCache::default_location();
+            let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
+            let outcome = wcs_shard::merge_dir(&dir, cache_ref).unwrap_or_else(|e| fail(e));
+            print_report(&outcome.report, &parsed.format);
+            eprintln!(
+                "[shard merge {}: {} shards, {} tasks{}]",
+                outcome.sweep.name,
+                outcome.shards,
+                outcome.sweep.task_count(),
+                if parsed.use_cache { ", cached" } else { "" }
+            );
+        }
+        "run" => {
+            let sweep = resolve_sweep(single_source(&parsed, "run"), effort);
+            let k = require_k(&parsed);
+            let t0 = std::time::Instant::now();
+            let (dir, ephemeral) = match parsed.dir.clone() {
+                Some(d) => (d, false),
+                None => (
+                    std::env::temp_dir().join(format!(
+                        "wcs-shard-run-{}-{:016x}",
+                        std::process::id(),
+                        sweep.scenario_hash()
+                    )),
+                    true,
+                ),
+            };
+            let exe = std::env::current_exe().unwrap_or_else(|e| fail(e));
+            let cache = ResultCache::default_location();
+            let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
+            let outcome = wcs_shard::run_local(
+                &dir,
+                &sweep,
+                k,
+                parsed.strategy,
+                &exe,
+                parsed.threads,
+                cache_ref,
+            )
+            .unwrap_or_else(|e| fail(e));
+            print_report(&outcome.report, &parsed.format);
+            eprintln!(
+                "[shard run {}: {k} workers ({}), {} tasks, {:.1}s]",
+                sweep.name,
+                parsed.strategy.label(),
+                sweep.task_count(),
+                t0.elapsed().as_secs_f64()
+            );
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        other => {
+            eprintln!("unknown shard subcommand '{other}'");
+            usage_exit(SHARD_USAGE);
+        }
+    }
+    std::process::exit(0);
+}
+
+fn human_size(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn human_age(age_secs: Option<u64>) -> String {
+    match age_secs {
+        None => "?".to_string(),
+        Some(s) if s < 60 => format!("{s}s"),
+        Some(s) if s < 3600 => format!("{}m", s / 60),
+        Some(s) if s < 86_400 => format!("{}h", s / 3600),
+        Some(s) => format!("{}d", s / 86_400),
+    }
+}
+
+/// `repro cache ls|clear`: inspect or prune the shared result cache —
+/// the directory shard workers (and plain sweeps) key their results into.
+fn run_cache_cmd(args: Vec<String>) -> ! {
+    let cache = ResultCache::default_location();
+    match args.first().map(String::as_str) {
+        Some("ls") => {
+            let entries = cache.entries().unwrap_or_else(|e| fail(e));
+            if entries.is_empty() {
+                eprintln!("[cache {}: empty]", cache.dir().display());
+            }
+            let mut total = 0u64;
+            for e in &entries {
+                total += e.bytes;
+                println!(
+                    "{}\t{:016x}\tseed {}\t{}\t{}",
+                    e.scenario,
+                    e.hash,
+                    e.seed,
+                    human_size(e.bytes),
+                    human_age(e.age_secs)
+                );
+            }
+            if !entries.is_empty() {
+                eprintln!(
+                    "[cache {}: {} entries, {}]",
+                    cache.dir().display(),
+                    entries.len(),
+                    human_size(total)
+                );
+            }
+        }
+        Some("clear") => {
+            let removed = cache.clear().unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "[cache {}: removed {removed} entries]",
+                cache.dir().display()
+            );
+        }
+        _ => usage_exit("usage: repro cache ls|clear"),
     }
     std::process::exit(0);
 }
@@ -153,14 +505,19 @@ fn main() {
     } else {
         Effort::Quick
     };
-    if args.first().map(String::as_str) == Some("sweep") {
-        run_sweep_cmd(args.split_off(1), effort);
+    match args.first().map(String::as_str) {
+        Some("sweep") => run_sweep_cmd(args.split_off(1), effort),
+        Some("shard") => run_shard_cmd(args.split_off(1), effort),
+        Some("cache") => run_cache_cmd(args.split_off(1)),
+        _ => {}
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!("usage: repro [--full] <experiment>... | all");
         eprintln!(
-            "       repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario]"
+            "       repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario|--spec FILE]..."
         );
+        eprintln!("       repro shard plan|worker|merge|run ... (see repro shard)");
+        eprintln!("       repro cache ls|clear");
         eprintln!("experiments: {}", ALL.join(" "));
         eprintln!("scenarios: {}", wcs_runtime::scenarios::NAMES.join(" "));
         std::process::exit(2);

@@ -39,19 +39,9 @@ impl ResultCache {
     }
 
     fn entry_path(&self, sweep: &Sweep) -> PathBuf {
-        let safe_name: String = sweep
-            .name
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
         self.dir.join(format!(
-            "{safe_name}-{:016x}-{:016x}.csv",
+            "{}-{:016x}-{:016x}.csv",
+            sanitize_name(&sweep.name),
             sweep.scenario_hash(),
             sweep.seed
         ))
@@ -79,6 +69,59 @@ impl ResultCache {
         RunReport::from_csv(&sweep.name, &body).ok()
     }
 
+    /// List the cache's entries (empty when the directory does not exist
+    /// yet), sorted by file name so output is stable.
+    pub fn entries(&self) -> std::io::Result<Vec<CacheEntry>> {
+        let read_dir = match fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        for entry in read_dir {
+            let entry = entry?;
+            let file_name = entry.file_name().to_string_lossy().into_owned();
+            let Some(parsed) = parse_entry_name(&file_name) else {
+                continue; // foreign file (or a leftover .tmp); not ours to report
+            };
+            let meta = entry.metadata()?;
+            let age_secs = meta
+                .modified()
+                .ok()
+                .and_then(|m| m.elapsed().ok())
+                .map(|d| d.as_secs());
+            entries.push(CacheEntry {
+                scenario: parsed.0,
+                hash: parsed.1,
+                seed: parsed.2,
+                bytes: meta.len(),
+                age_secs,
+                path: entry.path(),
+            });
+        }
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(entries)
+    }
+
+    /// Delete every cache entry (and any stranded `.tmp` files). Returns
+    /// the number of entry files removed. Foreign files are left alone
+    /// and the directory itself is kept.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        for entry in self.entries()? {
+            fs::remove_file(&entry.path)?;
+            removed += 1;
+        }
+        if let Ok(read_dir) = fs::read_dir(&self.dir) {
+            for entry in read_dir.flatten() {
+                if entry.file_name().to_string_lossy().ends_with(".csv.tmp") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(removed)
+    }
+
     /// Store a report under this (scenario, seed).
     pub fn store(&self, sweep: &Sweep, report: &RunReport) -> std::io::Result<()> {
         fs::create_dir_all(&self.dir)?;
@@ -91,6 +134,52 @@ impl ResultCache {
         fs::write(&tmp, text)?;
         fs::rename(&tmp, &path)
     }
+}
+
+/// Map a scenario name to a filesystem-safe form — the one sanitization
+/// rule for every artifact named after a sweep (cache entries, shard
+/// plan directories).
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Metadata of one on-disk cache entry (see [`ResultCache::entries`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Sanitized scenario name (the file-name prefix).
+    pub scenario: String,
+    /// Scenario hash half of the cache key.
+    pub hash: u64,
+    /// Seed half of the cache key.
+    pub seed: u64,
+    /// Entry size in bytes.
+    pub bytes: u64,
+    /// Seconds since the entry was last written, when known.
+    pub age_secs: Option<u64>,
+    /// Full path of the entry file.
+    pub path: PathBuf,
+}
+
+/// Parse `{name}-{hash:016x}-{seed:016x}.csv` (name may itself contain
+/// `-`, so the two 16-hex-digit halves are split off the right end).
+fn parse_entry_name(file_name: &str) -> Option<(String, u64, u64)> {
+    let stem = file_name.strip_suffix(".csv")?;
+    let (rest, seed_hex) = stem.rsplit_once('-')?;
+    let (name, hash_hex) = rest.rsplit_once('-')?;
+    if seed_hex.len() != 16 || hash_hex.len() != 16 {
+        return None;
+    }
+    let seed = u64::from_str_radix(seed_hex, 16).ok()?;
+    let hash = u64::from_str_radix(hash_hex, 16).ok()?;
+    Some((name.to_string(), hash, seed))
 }
 
 #[cfg(test)]
@@ -140,6 +229,41 @@ mod tests {
         );
         assert!(cache.load(&sweep).is_some(), "original still hits");
         let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entries_lists_and_clear_removes() {
+        let cache = ResultCache::new(tmpdir("ls"));
+        assert!(cache.entries().unwrap().is_empty(), "missing dir is empty");
+        let a = Sweep::new("grid-a").ds(&[10.0]).seed(1);
+        let b = Sweep::new("grid-b").ds(&[20.0]).seed(2);
+        cache.store(&a, &report()).unwrap();
+        cache.store(&b, &report()).unwrap();
+        // A foreign file must be ignored by ls and survive clear.
+        fs::write(cache.dir().join("README.txt"), "not a cache entry").unwrap();
+        let entries = cache.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].scenario, "grid-a");
+        assert_eq!(entries[0].hash, a.scenario_hash());
+        assert_eq!(entries[0].seed, 1);
+        assert!(entries[0].bytes > 0);
+        assert_eq!(cache.clear().unwrap(), 2);
+        assert!(cache.entries().unwrap().is_empty());
+        assert!(cache.dir().join("README.txt").exists());
+        assert!(cache.load(&a).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entry_names_with_dashes_parse() {
+        let parsed =
+            parse_entry_name("npair-scaling-0123456789abcdef-00000000004eaa12.csv").unwrap();
+        assert_eq!(parsed.0, "npair-scaling");
+        assert_eq!(parsed.1, 0x0123456789abcdef);
+        assert_eq!(parsed.2, 0x4eaa12);
+        assert!(parse_entry_name("junk.csv").is_none());
+        assert!(parse_entry_name("a-1-2.csv").is_none(), "short hex halves");
+        assert!(parse_entry_name("nope.txt").is_none());
     }
 
     #[test]

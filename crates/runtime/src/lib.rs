@@ -57,10 +57,12 @@ pub mod model;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;
+pub mod spec;
 
-pub use cache::ResultCache;
+pub use cache::{sanitize_name, CacheEntry, ResultCache};
 pub use config::EffortProfile;
 pub use engine::Engine;
-pub use model::{run_sweep, SweepOutcome};
+pub use model::{finalize_report, run_sweep, run_task_subset, sweep_columns, SweepOutcome};
 pub use report::RunReport;
 pub use scenario::{PolicyAxis, Sweep, Task, Topology};
+pub use spec::{load_spec_file, parse_spec_toml, to_spec_toml, SpecError};

@@ -197,6 +197,41 @@ fn full_report(sweep: &Sweep, tasks: &[Task], averages: &[TaskAverages]) -> RunR
     report
 }
 
+/// Run the tasks at `indices` (in the order given) and return their
+/// **all-policy** rows — the partial-report building block of `wcs-shard`
+/// workers. Row blocks are bitwise identical to the corresponding blocks
+/// of a whole-sweep run: each task's kernel is a pure function of the
+/// task alone, so slicing the task list slices the report.
+///
+/// Panics if any index is out of range for the sweep's task list (shard
+/// manifests are validated before execution reaches this point).
+pub fn run_task_subset(sweep: &Sweep, indices: &[usize], engine: &Engine) -> RunReport {
+    let tasks = sweep.lower();
+    let selected: Vec<Task> = indices
+        .iter()
+        .map(|&i| {
+            assert!(
+                i < tasks.len(),
+                "task index {i} out of range ({} tasks)",
+                tasks.len()
+            );
+            tasks[i]
+        })
+        .collect();
+    let averages: Vec<TaskAverages> = engine.map(&selected, run_task);
+    full_report(sweep, &selected, &averages)
+}
+
+/// Finish an **all-policy** report for presentation: project it onto the
+/// sweep's requested policy list and attach the scenario metadata. This
+/// is the exact post-processing `run_sweep` applies, exposed so a
+/// `wcs-shard` merge of partial reports emits byte-identical output.
+pub fn finalize_report(sweep: &Sweep, full: &RunReport) -> RunReport {
+    let mut report = select_policies(full, sweep);
+    attach_meta(&mut report, sweep);
+    report
+}
+
 /// Project the cached all-policy report onto the sweep's requested
 /// policy list, renumbering the policy column to index `sweep.policies`.
 fn select_policies(full: &RunReport, sweep: &Sweep) -> RunReport {
@@ -228,10 +263,8 @@ pub fn run_sweep(sweep: &Sweep, engine: &Engine, cache: Option<&ResultCache>) ->
     if let Some(cache) = cache {
         if let Some(full) = cache.load(sweep) {
             if full.columns == columns {
-                let mut report = select_policies(&full, sweep);
-                attach_meta(&mut report, sweep);
                 return SweepOutcome {
-                    report,
+                    report: finalize_report(sweep, &full),
                     cache_hit: true,
                     tasks_run: 0,
                 };
@@ -244,11 +277,16 @@ pub fn run_sweep(sweep: &Sweep, engine: &Engine, cache: Option<&ResultCache>) ->
 
     let full = full_report(sweep, &tasks, &averages);
     if let Some(cache) = cache {
-        // Cache write failures (read-only FS, etc.) must not fail the run.
-        let _ = cache.store(sweep, &full);
+        // Cache write failures (read-only FS, full disk, ...) must not
+        // fail the run, but they must not be invisible either.
+        if let Err(e) = cache.store(sweep, &full) {
+            eprintln!(
+                "warning: failed to store cache entry in {}: {e}",
+                cache.dir().display()
+            );
+        }
     }
-    let mut report = select_policies(&full, sweep);
-    attach_meta(&mut report, sweep);
+    let report = finalize_report(sweep, &full);
     SweepOutcome {
         report,
         cache_hit: false,

@@ -114,6 +114,11 @@ impl PolicyAxis {
         }
     }
 
+    /// Inverse of [`PolicyAxis::label`] (spec-file parsing).
+    pub fn from_label(label: &str) -> Option<Self> {
+        PolicyAxis::ALL.into_iter().find(|p| p.label() == label)
+    }
+
     /// The corresponding `wcs-capacity` policy at threshold `d_thresh`.
     pub fn to_policy(self, d_thresh: f64) -> MacPolicy {
         match self {
@@ -577,6 +582,8 @@ mod tests {
                 assert_eq!(mac, MacPolicy::CarrierSense { d_thresh: 40.0 });
             }
             assert!(!p.label().is_empty());
+            assert_eq!(PolicyAxis::from_label(p.label()), Some(p));
         }
+        assert_eq!(PolicyAxis::from_label("csma"), None);
     }
 }

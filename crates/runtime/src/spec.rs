@@ -1,0 +1,515 @@
+//! On-disk sweep specifications (the ROADMAP's "scenario files on disk").
+//!
+//! A spec file is a small TOML-ish text document that round-trips a full
+//! [`Sweep`]: `parse ∘ serialize = id`, bitwise — floats are written in
+//! Rust's shortest round-tripping `{:?}` form and parsed back to the same
+//! bits, so a sweep loaded from disk has **exactly** the canonical string
+//! (and therefore the cache key) of the in-code spec it was written from.
+//! The same format is embedded in `wcs-shard` manifests, which is how a
+//! shard worker reconstructs the sweep it is a slice of.
+//!
+//! ```toml
+//! # any line starting with '#' is a comment
+//! name = "my-grid"
+//! rmaxes = [20.0, 55.0]
+//! ds = [30.0, 90.0]
+//! sigmas = [0.0, 8.0]
+//! alphas = [3.0]
+//! d_threshes = [55.0]
+//! caps = ["shannon", "eff=0.85,cap=2.7"]
+//! topologies = ["two-pair", "npair(n=4,placement=line)"]
+//! policies = ["carrier-sense", "optimal"]
+//! samples = 20000
+//! seed = 7
+//! ```
+//!
+//! Every key except `name` is optional and defaults to the corresponding
+//! [`Sweep::new`] default; unknown or duplicate keys are errors (a typo
+//! must not silently fall back to a default). Arrays are single-line.
+//! Topology values use the exact canonical syntax of
+//! [`crate::scenario::Topology::canonical`]; capacity models are
+//! `"shannon"`, `"eff=X"` or `"eff=X,cap=Y"`.
+
+use crate::scenario::{PolicyAxis, Sweep, Topology};
+use wcs_capacity::npair::Placement;
+use wcs_capacity::shannon::CapacityModel;
+
+/// A spec-file failure: what went wrong and on which line (1-based,
+/// 0 when no single line is at fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number, 0 when the error is not tied to a line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "spec: {}", self.message)
+        } else {
+            write!(f, "spec line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn fmt_floats(v: &[f64]) -> String {
+    let parts: Vec<String> = v.iter().map(|x| format!("{x:?}")).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn fmt_strings(v: &[String]) -> String {
+    let parts: Vec<String> = v.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn cap_to_string(c: &CapacityModel) -> String {
+    if *c == CapacityModel::SHANNON {
+        "shannon".to_string()
+    } else {
+        match c.max_spectral_efficiency {
+            Some(cap) => format!("eff={:?},cap={:?}", c.efficiency, cap),
+            None => format!("eff={:?}", c.efficiency),
+        }
+    }
+}
+
+fn cap_from_str(s: &str, line: usize) -> Result<CapacityModel, SpecError> {
+    if s == "shannon" {
+        return Ok(CapacityModel::SHANNON);
+    }
+    let mut efficiency: Option<f64> = None;
+    let mut max_cap: Option<f64> = None;
+    for part in s.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("bad capacity model component '{part}'")))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| err(line, format!("bad capacity model number '{value}'")))?;
+        match key {
+            "eff" => efficiency = Some(value),
+            "cap" => max_cap = Some(value),
+            _ => return Err(err(line, format!("unknown capacity model key '{key}'"))),
+        }
+    }
+    let efficiency =
+        efficiency.ok_or_else(|| err(line, format!("capacity model '{s}' is missing eff=")))?;
+    if !(efficiency > 0.0 && efficiency <= 1.0) {
+        return Err(err(line, format!("efficiency {efficiency} not in (0, 1]")));
+    }
+    if let Some(cap) = max_cap {
+        if cap <= 0.0 {
+            return Err(err(line, format!("spectral-efficiency cap {cap} not > 0")));
+        }
+    }
+    Ok(CapacityModel {
+        efficiency,
+        max_spectral_efficiency: max_cap,
+    })
+}
+
+fn topology_from_str(s: &str, line: usize) -> Result<Topology, SpecError> {
+    if s == "two-pair" {
+        return Ok(Topology::TwoPair);
+    }
+    let inner = s
+        .strip_prefix("npair(n=")
+        .and_then(|rest| rest.strip_suffix(')'))
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("bad topology '{s}' (try \"two-pair\" or \"npair(n=4,placement=line)\")"),
+            )
+        })?;
+    let (n, placement) = inner
+        .split_once(",placement=")
+        .ok_or_else(|| err(line, format!("topology '{s}' is missing ,placement=")))?;
+    let n: usize = n
+        .parse()
+        .map_err(|_| err(line, format!("bad pair count '{n}'")))?;
+    if n < 2 {
+        return Err(err(
+            line,
+            format!("an N-pair topology needs n >= 2, got {n}"),
+        ));
+    }
+    let placement = match placement {
+        "line" => Placement::Line,
+        "grid" => Placement::Grid,
+        other => {
+            let seed = other
+                .strip_prefix("random(")
+                .and_then(|rest| rest.strip_suffix(')'))
+                .and_then(|seed| seed.parse::<u64>().ok())
+                .ok_or_else(|| err(line, format!("bad placement '{other}'")))?;
+            Placement::Random { seed }
+        }
+    };
+    Ok(Topology::npair(n, placement))
+}
+
+/// Serialize a sweep to the spec-file format. The output parses back to
+/// an identical `Sweep` (same canonical string, same scenario hash).
+pub fn to_spec_toml(sweep: &Sweep) -> String {
+    let caps: Vec<String> = sweep.caps.iter().map(cap_to_string).collect();
+    let topologies: Vec<String> = sweep.topologies.iter().map(|t| t.canonical()).collect();
+    let policies: Vec<String> = sweep
+        .policies
+        .iter()
+        .map(|p| p.label().to_string())
+        .collect();
+    format!(
+        "name = \"{}\"\n\
+         rmaxes = {}\n\
+         ds = {}\n\
+         sigmas = {}\n\
+         alphas = {}\n\
+         d_threshes = {}\n\
+         caps = {}\n\
+         topologies = {}\n\
+         policies = {}\n\
+         samples = {}\n\
+         seed = {}\n",
+        escape(&sweep.name),
+        fmt_floats(&sweep.rmaxes),
+        fmt_floats(&sweep.ds),
+        fmt_floats(&sweep.sigmas),
+        fmt_floats(&sweep.alphas),
+        fmt_floats(&sweep.d_threshes),
+        fmt_strings(&caps),
+        fmt_strings(&topologies),
+        fmt_strings(&policies),
+        sweep.samples,
+        sweep.seed,
+    )
+}
+
+/// One parsed right-hand side.
+enum Value {
+    Str(String),
+    Int(u64),
+    Floats(Vec<f64>),
+    Strs(Vec<String>),
+}
+
+fn parse_string(raw: &str, line: usize) -> Result<String, SpecError> {
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected a quoted string, got '{raw}'")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => {
+                    return Err(err(
+                        line,
+                        format!("bad escape '\\{}'", other.unwrap_or(' ')),
+                    ))
+                }
+            }
+        } else if c == '"' {
+            return Err(err(line, "unescaped '\"' inside string"));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Split an array body on top-level commas (quotes may contain commas —
+/// capacity models do).
+fn split_array(body: &str, line: usize) -> Result<Vec<String>, SpecError> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        if in_string {
+            current.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else if c == '"' {
+            in_string = true;
+            current.push(c);
+        } else if c == ',' {
+            items.push(current.trim().to_string());
+            current.clear();
+        } else {
+            current.push(c);
+        }
+    }
+    if in_string {
+        return Err(err(line, "unterminated string in array"));
+    }
+    let last = current.trim();
+    if !last.is_empty() {
+        items.push(last.to_string());
+    } else if !items.is_empty() {
+        return Err(err(line, "trailing comma in array"));
+    }
+    Ok(items)
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, SpecError> {
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(line, "array must open and close on one line"))?;
+        let items = split_array(body, line)?;
+        if items.iter().all(|i| i.starts_with('"')) && !items.is_empty() {
+            let strs: Result<Vec<String>, SpecError> =
+                items.iter().map(|i| parse_string(i, line)).collect();
+            return Ok(Value::Strs(strs?));
+        }
+        let floats: Result<Vec<f64>, SpecError> = items
+            .iter()
+            .map(|i| {
+                i.parse::<f64>()
+                    .map_err(|_| err(line, format!("bad number '{i}'")))
+            })
+            .collect();
+        return Ok(Value::Floats(floats?));
+    }
+    if raw.starts_with('"') {
+        return Ok(Value::Str(parse_string(raw, line)?));
+    }
+    raw.parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| err(line, format!("bad value '{raw}'")))
+}
+
+/// Parse a spec document into a [`Sweep`]. Comments (`#`), blank lines
+/// and an optional `[sweep]` section header are ignored; every other line
+/// must be `key = value`. `name` is required, everything else defaults to
+/// [`Sweep::new`]'s values; unknown or duplicate keys are rejected.
+pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
+    let mut name: Option<String> = None;
+    let mut sweep = Sweep::new("");
+    let mut seen: Vec<String> = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') || line == "[sweep]" {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, format!("expected 'key = value', got '{line}'")))?;
+        let key = key.trim();
+        let value = parse_value(value.trim(), lineno)?;
+        if seen.iter().any(|k| k == key) {
+            return Err(err(lineno, format!("duplicate key '{key}'")));
+        }
+        seen.push(key.to_string());
+        let float_axis = |v: Value| match v {
+            Value::Floats(f) if !f.is_empty() => Ok(f),
+            Value::Floats(_) => Err(err(lineno, format!("'{key}' must not be empty"))),
+            _ => Err(err(lineno, format!("'{key}' must be an array of numbers"))),
+        };
+        let string_axis = |v: Value| match v {
+            Value::Strs(s) => Ok(s),
+            _ => Err(err(lineno, format!("'{key}' must be an array of strings"))),
+        };
+        match key {
+            "name" => match value {
+                Value::Str(s) => name = Some(s),
+                _ => return Err(err(lineno, "'name' must be a quoted string")),
+            },
+            "rmaxes" => sweep.rmaxes = float_axis(value)?,
+            "ds" => sweep.ds = float_axis(value)?,
+            "sigmas" => sweep.sigmas = float_axis(value)?,
+            "alphas" => sweep.alphas = float_axis(value)?,
+            "d_threshes" => sweep.d_threshes = float_axis(value)?,
+            "caps" => {
+                let items = string_axis(value)?;
+                if items.is_empty() {
+                    return Err(err(lineno, "'caps' must not be empty"));
+                }
+                sweep.caps = items
+                    .iter()
+                    .map(|s| cap_from_str(s, lineno))
+                    .collect::<Result<_, _>>()?;
+            }
+            "topologies" => {
+                let items = string_axis(value)?;
+                if items.is_empty() {
+                    return Err(err(lineno, "'topologies' must not be empty"));
+                }
+                sweep.topologies = items
+                    .iter()
+                    .map(|s| topology_from_str(s, lineno))
+                    .collect::<Result<_, _>>()?;
+            }
+            "policies" => {
+                let items = string_axis(value)?;
+                if items.is_empty() {
+                    return Err(err(lineno, "'policies' must not be empty"));
+                }
+                sweep.policies = items
+                    .iter()
+                    .map(|s| {
+                        PolicyAxis::from_label(s)
+                            .ok_or_else(|| err(lineno, format!("unknown policy '{s}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "samples" => match value {
+                Value::Int(n) if n > 0 => sweep.samples = n,
+                _ => return Err(err(lineno, "'samples' must be a positive integer")),
+            },
+            "seed" => match value {
+                Value::Int(n) => sweep.seed = n,
+                _ => return Err(err(lineno, "'seed' must be an unsigned integer")),
+            },
+            other => return Err(err(lineno, format!("unknown key '{other}'"))),
+        }
+    }
+    sweep.name = name.ok_or_else(|| err(0, "missing required key 'name'"))?;
+    Ok(sweep)
+}
+
+/// Read and parse a spec file from `path`.
+pub fn load_spec_file(path: &std::path::Path) -> Result<Sweep, SpecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+    parse_spec_toml(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use crate::EffortProfile;
+
+    fn exotic_sweep() -> Sweep {
+        Sweep::new("exotic \"quoted\" \\ name")
+            .rmaxes(&[20.0, 1.0 / 3.0])
+            .ds(&[5.5, 90.0])
+            .sigmas(&[0.0, 8.25])
+            .alphas(&[2.0, 3.0])
+            .d_threshes(&[40.0, 55.0])
+            .caps(&[
+                CapacityModel::SHANNON,
+                CapacityModel::with_efficiency(0.85),
+                CapacityModel::with_efficiency(0.5).capped(2.7),
+            ])
+            .topologies(&[
+                Topology::TwoPair,
+                Topology::npair_line(4),
+                Topology::npair(9, Placement::Grid),
+                Topology::npair(6, Placement::Random { seed: 0xBEEF }),
+            ])
+            .policies(&[PolicyAxis::CarrierSense, PolicyAxis::Optimal])
+            .samples(12_345)
+            .seed(0xDEAD_BEEF_u64)
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let s = exotic_sweep();
+        let parsed = parse_spec_toml(&to_spec_toml(&s)).expect("parse");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.canonical(), s.canonical());
+        assert_eq!(parsed.scenario_hash(), s.scenario_hash());
+    }
+
+    #[test]
+    fn builtin_scenarios_roundtrip_with_hash_intact() {
+        // A spec file written from a built-in scenario must run with the
+        // same cache key: the whole point of the format.
+        let p = EffortProfile::quick();
+        for name in scenarios::NAMES {
+            let s = scenarios::by_name(name, &p).unwrap();
+            let parsed = parse_spec_toml(&to_spec_toml(&s)).expect(name);
+            assert_eq!(parsed, s, "{name}");
+            assert_eq!(parsed.scenario_hash(), s.scenario_hash(), "{name}");
+        }
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_keys() {
+        let s = parse_spec_toml("name = \"minimal\"\n").unwrap();
+        let d = Sweep::new("minimal");
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    fn comments_blanks_and_section_header_are_ignored() {
+        let text = "# a comment\n\n[sweep]\nname = \"c\"\n  # indented comment\nseed = 9\n";
+        let s = parse_spec_toml(text).unwrap();
+        assert_eq!(s.name, "c");
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "name = \"x\"\nrmaxes = [oops]\n";
+        let e = parse_spec_toml(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn unknown_and_duplicate_keys_are_rejected() {
+        assert!(parse_spec_toml("name = \"x\"\nrmaxxes = [1.0]\n").is_err());
+        assert!(parse_spec_toml("name = \"x\"\nseed = 1\nseed = 2\n").is_err());
+        assert!(parse_spec_toml("seed = 1\n").is_err(), "missing name");
+    }
+
+    #[test]
+    fn bad_topologies_and_caps_are_rejected() {
+        for bad in [
+            "name=\"x\"\ntopologies = [\"npair(n=1,placement=line)\"]\n",
+            "name=\"x\"\ntopologies = [\"triangle\"]\n",
+            "name=\"x\"\ntopologies = [\"npair(n=4,placement=ring)\"]\n",
+            "name=\"x\"\ncaps = [\"eff=1.5\"]\n",
+            "name=\"x\"\ncaps = [\"cap=2.7\"]\n",
+            "name=\"x\"\npolicies = [\"psma\"]\n",
+            "name=\"x\"\nsamples = 0\n",
+            "name=\"x\"\nds = []\n",
+        ] {
+            assert!(parse_spec_toml(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn capacity_models_roundtrip_exactly() {
+        let caps = [
+            CapacityModel::SHANNON,
+            CapacityModel::with_efficiency(1.0 / 3.0),
+            CapacityModel::with_efficiency(0.9).capped(2.7),
+        ];
+        for c in caps {
+            let parsed = cap_from_str(&cap_to_string(&c), 1).unwrap();
+            assert_eq!(parsed.efficiency.to_bits(), c.efficiency.to_bits());
+            assert_eq!(
+                parsed.max_spectral_efficiency.map(f64::to_bits),
+                c.max_spectral_efficiency.map(f64::to_bits)
+            );
+        }
+    }
+}

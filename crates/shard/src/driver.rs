@@ -1,0 +1,213 @@
+//! Planning directories and the local subprocess driver.
+//!
+//! File layout of a plan directory (one per sweep × K):
+//!
+//! ```text
+//! <dir>/shard-0000.manifest.toml   written by `shard plan`
+//! <dir>/shard-0000.partial.csv     written by `shard worker`
+//! <dir>/shard-0001.manifest.toml   ...
+//! ```
+//!
+//! [`run_local`] is the zero-infrastructure path: it spawns the K
+//! workers as subprocesses of the `repro` binary on this machine and
+//! merges when they all exit — the same plan → worker → merge pipeline a
+//! multi-host run executes, so CI and laptops exercise the real seams.
+//! For multi-host runs, ship each manifest to a host, run
+//! `repro shard worker` there, gather the partials into one directory
+//! and `repro shard merge` it.
+
+use crate::manifest::ShardManifest;
+use crate::merge::{merge_dir, MergeOutcome};
+use crate::plan::{ShardPlan, ShardStrategy};
+use crate::ShardError;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use wcs_runtime::Sweep;
+
+/// Manifest file path for shard `shard` under `dir`.
+pub fn manifest_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.manifest.toml"))
+}
+
+/// Partial-report file path for shard `shard` under `dir`.
+pub fn partial_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.partial.csv"))
+}
+
+/// The sorted manifest paths present in a plan directory.
+pub fn find_manifests(dir: &Path) -> Result<Vec<PathBuf>, ShardError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("shard-") && name.ends_with(".manifest.toml") {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Slice `sweep` into `k` shards and write one manifest per shard under
+/// `dir` (created if missing). Any shard files already in `dir` — from a
+/// previous plan with a different k or strategy — are removed first, so
+/// re-planning a reused directory can never leave stale manifests or
+/// partials behind for the merge to choke on. Returns the manifest paths
+/// in shard order.
+pub fn write_plan(
+    dir: &Path,
+    sweep: &Sweep,
+    k: usize,
+    strategy: ShardStrategy,
+) -> Result<Vec<PathBuf>, ShardError> {
+    let plan = ShardPlan::new(sweep.task_count(), k, strategy)?;
+    std::fs::create_dir_all(dir)?;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("shard-")
+            && (name.ends_with(".manifest.toml") || name.ends_with(".partial.csv"))
+        {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    let mut paths = Vec::with_capacity(k);
+    for shard in 0..k {
+        let path = manifest_path(dir, shard);
+        ShardManifest::new(sweep, &plan, shard).save(&path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Run the whole plan → worker → merge pipeline locally: write the plan
+/// under `dir`, spawn one `repro shard worker` subprocess per shard
+/// (`repro_exe` is the binary to spawn — callers pass
+/// `std::env::current_exe()`), wait for all of them, and merge.
+///
+/// `threads_per_worker` is forwarded as each worker's `--threads` (0 =
+/// auto). With `cache = Some(c)`, workers share `c`'s directory (via
+/// `WCS_CACHE_DIR`) and the merge stores the reassembled full report
+/// there; with `None`, workers get `--no-cache` and nothing is stored.
+/// Workers inherit stderr so their progress lines surface.
+pub fn run_local(
+    dir: &Path,
+    sweep: &Sweep,
+    k: usize,
+    strategy: ShardStrategy,
+    repro_exe: &Path,
+    threads_per_worker: usize,
+    cache: Option<&wcs_runtime::ResultCache>,
+) -> Result<MergeOutcome, ShardError> {
+    let manifests = write_plan(dir, sweep, k, strategy)?;
+    // threads 0 (auto) would hand *each* of the K workers a full-core
+    // pool — K-fold oversubscription. Split the cores across workers
+    // instead; an explicit --threads value is forwarded untouched.
+    let threads_per_worker = if threads_per_worker == 0 {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores / k).max(1)
+    } else {
+        threads_per_worker
+    };
+    let mut children = Vec::with_capacity(k);
+    for (shard, manifest) in manifests.iter().enumerate() {
+        let mut cmd = Command::new(repro_exe);
+        cmd.arg("shard")
+            .arg("worker")
+            .arg(manifest)
+            .arg("--threads")
+            .arg(threads_per_worker.to_string())
+            .stdout(std::process::Stdio::null());
+        match cache {
+            Some(c) => {
+                cmd.env("WCS_CACHE_DIR", c.dir());
+            }
+            None => {
+                cmd.arg("--no-cache");
+            }
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((shard, child)),
+            Err(e) => {
+                // Don't orphan the workers already launched: reap them
+                // before surfacing the spawn failure.
+                for (_, mut child) in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(e.into());
+            }
+        }
+    }
+    // Wait for every worker before judging any: a partial failure should
+    // report *which* shard failed, not leave zombies behind.
+    let mut failures = Vec::new();
+    for (shard, mut child) in children {
+        let status = child.wait()?;
+        if !status.success() {
+            failures.push((shard, status));
+        }
+    }
+    if let Some((shard, status)) = failures.into_iter().next() {
+        return Err(ShardError::WorkerFailed {
+            shard,
+            status: status.to_string(),
+        });
+    }
+    merge_dir(dir, cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wcs-driver-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_plan_covers_every_shard() {
+        let dir = tmpdir("plan");
+        let sweep = Sweep::new("drv").ds(&[10.0, 20.0, 30.0]).samples(100);
+        let paths = write_plan(&dir, &sweep, 3, ShardStrategy::Strided).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(find_manifests(&dir).unwrap(), paths);
+        let m = ShardManifest::load(&paths[2]).unwrap();
+        assert_eq!(m.shard, 2);
+        assert_eq!(m.k, 3);
+        assert_eq!(m.sweep.scenario_hash(), sweep.scenario_hash());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replanning_a_directory_removes_stale_shard_files() {
+        // A k = 5 plan followed by a k = 3 plan in the same directory
+        // must not leave shards 3 and 4 behind: the merge globs every
+        // shard file and a stale one would poison the set.
+        let dir = tmpdir("replan");
+        let sweep = Sweep::new("drv")
+            .ds(&[10.0, 20.0, 30.0, 40.0, 50.0])
+            .samples(100);
+        write_plan(&dir, &sweep, 5, ShardStrategy::Contiguous).unwrap();
+        // Simulate a delivered partial from the old plan too.
+        std::fs::write(partial_path(&dir, 4), "stale").unwrap();
+        let paths = write_plan(&dir, &sweep, 3, ShardStrategy::Strided).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(find_manifests(&dir).unwrap(), paths);
+        assert!(!manifest_path(&dir, 3).exists());
+        assert!(!manifest_path(&dir, 4).exists());
+        assert!(!partial_path(&dir, 4).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paths_sort_with_shard_index() {
+        let dir = PathBuf::from("/p");
+        assert!(manifest_path(&dir, 2) < manifest_path(&dir, 10));
+        assert!(partial_path(&dir, 9) < partial_path(&dir, 11));
+    }
+}

@@ -1,0 +1,298 @@
+//! Deterministic index-order merge of shard partials.
+//!
+//! The merge trusts nothing: every partial must carry the **same**
+//! canonical spec string (full string, not just the hash), seed, shard
+//! count, strategy, task count and column layout; the shard indices must
+//! tile `0..k` with no duplicates (overlap) and no holes (gap); and every
+//! partial's row count must equal its slice length × the all-policy row
+//! block size. Only then are the row blocks dealt back into task-index
+//! order — reconstructing the exact all-policy report a single-process
+//! run produces, which then goes through the same
+//! [`finalize_report`] projection (and
+//! optionally into the shared [`ResultCache`] under the same key).
+
+use crate::manifest::ShardManifest;
+use crate::partial::PartialReport;
+use crate::{driver, ShardError};
+use std::path::Path;
+use wcs_runtime::{finalize_report, PolicyAxis, ResultCache, RunReport, Sweep};
+
+/// Validate a shard set and reassemble the full **all-policy** report in
+/// task-index order. The partials may arrive in any order.
+pub fn merge_partials(parts: &[PartialReport]) -> Result<RunReport, ShardError> {
+    let first = parts
+        .first()
+        .ok_or_else(|| ShardError::SpecMismatch("no partials to merge".into()))?;
+    let k = first.k;
+    for p in parts {
+        if p.spec != first.spec {
+            return Err(ShardError::SpecMismatch(format!(
+                "shard {} was computed from a different sweep spec",
+                p.shard
+            )));
+        }
+        if p.seed != first.seed {
+            return Err(ShardError::SpecMismatch(format!(
+                "shard {} used seed {} but shard {} used {}",
+                p.shard, p.seed, first.shard, first.seed
+            )));
+        }
+        if p.k != k || p.strategy != first.strategy || p.task_count != first.task_count {
+            return Err(ShardError::SpecMismatch(format!(
+                "shard {} belongs to a different plan ({}/{} {}, {} tasks)",
+                p.shard,
+                p.shard,
+                p.k,
+                p.strategy.label(),
+                p.task_count
+            )));
+        }
+        if p.report.columns != first.report.columns {
+            return Err(ShardError::SpecMismatch(format!(
+                "shard {} has a different column layout",
+                p.shard
+            )));
+        }
+    }
+    // Exactly one partial per shard index: duplicates are overlapping
+    // slices, absences are gaps. (Parsing rejects shard >= k, but a
+    // programmatically built PartialReport can still carry one.)
+    let mut by_shard: Vec<Option<&PartialReport>> = vec![None; k];
+    for p in parts {
+        if p.shard >= k {
+            return Err(ShardError::SpecMismatch(format!(
+                "shard index {} out of range for k = {k}",
+                p.shard
+            )));
+        }
+        let slot = &mut by_shard[p.shard];
+        if slot.is_some() {
+            return Err(ShardError::Overlap { shard: p.shard });
+        }
+        *slot = Some(p);
+    }
+    let plan = crate::plan::ShardPlan::new(first.task_count, k, first.strategy)
+        .expect("k >= 1 was checked at parse");
+    let rows_per_task = PolicyAxis::ALL.len();
+    let mut slots: Vec<Option<&Vec<f64>>> = vec![None; first.task_count * rows_per_task];
+    for (shard, slot) in by_shard.iter().enumerate() {
+        let p = slot.ok_or(ShardError::Gap { shard, k })?;
+        let indices = plan.indices(shard);
+        if p.report.rows.len() != indices.len() * rows_per_task {
+            return Err(ShardError::BadShape(format!(
+                "shard {} carries {} rows, its slice of {} tasks needs {}",
+                shard,
+                p.report.rows.len(),
+                indices.len(),
+                indices.len() * rows_per_task
+            )));
+        }
+        for (block, &task_index) in indices.iter().enumerate() {
+            for r in 0..rows_per_task {
+                slots[task_index * rows_per_task + r] =
+                    Some(&p.report.rows[block * rows_per_task + r]);
+            }
+        }
+    }
+    let columns: Vec<&str> = first.report.columns.iter().map(String::as_str).collect();
+    let mut full = RunReport::new("merged", &columns);
+    for row in slots {
+        full.push_row(row.expect("partition covers every task").clone());
+    }
+    Ok(full)
+}
+
+/// What [`merge_dir`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOutcome {
+    /// The finalized report — byte-identical to a single-process
+    /// `run_sweep` of the same spec.
+    pub report: RunReport,
+    /// The sweep the shards were slices of (from the manifests).
+    pub sweep: Sweep,
+    /// How many shards were merged.
+    pub shards: usize,
+}
+
+/// Merge a plan directory: load every `shard-*.manifest.toml` and its
+/// `shard-*.partial.csv`, validate the set, reassemble, finalize through
+/// the standard policy projection, and — unless `cache` is `None` —
+/// store the full all-policy report under the exact (scenario hash, seed)
+/// key a single-process run would use, so the *next* `repro sweep` of
+/// this spec is a cache hit.
+pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome, ShardError> {
+    let manifest_paths = driver::find_manifests(dir)?;
+    let first_manifest = match manifest_paths.first() {
+        Some(p) => ShardManifest::load(p)?,
+        None => {
+            return Err(ShardError::SpecMismatch(format!(
+                "no shard manifests in {}",
+                dir.display()
+            )))
+        }
+    };
+    let mut parts = Vec::with_capacity(manifest_paths.len());
+    for mpath in &manifest_paths {
+        let manifest = ShardManifest::load(mpath)?;
+        if manifest.sweep.canonical() != first_manifest.sweep.canonical() {
+            return Err(ShardError::SpecMismatch(format!(
+                "{} plans a different sweep than {}",
+                mpath.display(),
+                manifest_paths[0].display()
+            )));
+        }
+        let ppath = driver::partial_path(dir, manifest.shard);
+        if !ppath.exists() {
+            return Err(ShardError::Gap {
+                shard: manifest.shard,
+                k: manifest.k,
+            });
+        }
+        parts.push(PartialReport::load(&ppath)?);
+    }
+    let sweep = first_manifest.sweep;
+    for p in &parts {
+        if p.spec != sweep.canonical() || p.seed != sweep.seed {
+            return Err(ShardError::SpecMismatch(format!(
+                "partial for shard {} does not match the plan's sweep",
+                p.shard
+            )));
+        }
+    }
+    let full = merge_partials(&parts)?;
+    if let Some(cache) = cache {
+        // Same tolerance as run_sweep: a failed store warns, never fails.
+        if let Err(e) = cache.store(&sweep, &full) {
+            eprintln!(
+                "warning: failed to store cache entry in {}: {e}",
+                cache.dir().display()
+            );
+        }
+    }
+    let report = finalize_report(&sweep, &full);
+    let shards = parts.len();
+    Ok(MergeOutcome {
+        report,
+        sweep,
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial::run_worker;
+    use crate::plan::{ShardPlan, ShardStrategy};
+    use wcs_runtime::{run_sweep, Engine, Topology};
+
+    fn sweep() -> Sweep {
+        Sweep::new("merge-test")
+            .ds(&[15.0, 55.0, 110.0])
+            .sigmas(&[0.0, 8.0])
+            .topologies(&[Topology::TwoPair, Topology::npair_line(3)])
+            .samples(300)
+            .seed(21)
+    }
+
+    fn partials(s: &Sweep, k: usize, strategy: ShardStrategy) -> Vec<PartialReport> {
+        let plan = ShardPlan::new(s.task_count(), k, strategy).unwrap();
+        (0..k)
+            .map(|i| run_worker(&ShardManifest::new(s, &plan, i), &Engine::serial(), None))
+            .collect()
+    }
+
+    #[test]
+    fn merge_reconstructs_single_process_rows_in_any_arrival_order() {
+        let s = sweep();
+        let single = run_sweep(&s, &Engine::serial(), None).report;
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::Strided] {
+            let mut parts = partials(&s, 3, strategy);
+            parts.rotate_left(2); // arrival order must not matter
+            let full = merge_partials(&parts).unwrap();
+            let merged = finalize_report(&s, &full);
+            assert_eq!(merged.to_csv(), single.to_csv(), "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn duplicate_shard_is_overlap() {
+        let s = sweep();
+        let mut parts = partials(&s, 3, ShardStrategy::Contiguous);
+        parts.push(parts[1].clone());
+        assert!(matches!(
+            merge_partials(&parts),
+            Err(ShardError::Overlap { shard: 1 })
+        ));
+    }
+
+    #[test]
+    fn missing_shard_is_gap() {
+        let s = sweep();
+        let mut parts = partials(&s, 3, ShardStrategy::Contiguous);
+        parts.remove(1);
+        assert!(matches!(
+            merge_partials(&parts),
+            Err(ShardError::Gap { shard: 1, k: 3 })
+        ));
+        assert!(merge_partials(&[]).is_err(), "empty set");
+    }
+
+    #[test]
+    fn foreign_spec_or_seed_is_rejected() {
+        let s = sweep();
+        let mut parts = partials(&s, 2, ShardStrategy::Contiguous);
+        let other = sweep().ds(&[15.0, 55.0, 111.0]);
+        let foreign = partials(&other, 2, ShardStrategy::Contiguous);
+        parts[1] = foreign[1].clone();
+        assert!(matches!(
+            merge_partials(&parts),
+            Err(ShardError::SpecMismatch(_))
+        ));
+        // Same spec, different seed: also rejected (seed is outside the
+        // canonical string but very much part of the numbers).
+        let mut parts = partials(&s, 2, ShardStrategy::Contiguous);
+        let reseeded = partials(&sweep().seed(22), 2, ShardStrategy::Contiguous);
+        parts[1] = reseeded[1].clone();
+        assert!(merge_partials(&parts).is_err());
+    }
+
+    #[test]
+    fn mixed_plans_are_rejected() {
+        let s = sweep();
+        let mut parts = partials(&s, 3, ShardStrategy::Contiguous);
+        let strided = partials(&s, 3, ShardStrategy::Strided);
+        parts[2] = strided[2].clone();
+        assert!(matches!(
+            merge_partials(&parts),
+            Err(ShardError::SpecMismatch(_))
+        ));
+        let mut parts = partials(&s, 3, ShardStrategy::Contiguous);
+        let k2 = partials(&s, 2, ShardStrategy::Contiguous);
+        parts[1] = k2[1].clone();
+        assert!(merge_partials(&parts).is_err());
+    }
+
+    #[test]
+    fn out_of_range_shard_index_is_an_error_not_a_panic() {
+        // PartialReport fields are pub; a programmatically built set can
+        // carry shard >= k and must get Err, not an index panic.
+        let s = sweep();
+        let mut parts = partials(&s, 2, ShardStrategy::Contiguous);
+        parts[1].shard = 7;
+        assert!(matches!(
+            merge_partials(&parts),
+            Err(ShardError::SpecMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_rows_are_bad_shape() {
+        let s = sweep();
+        let mut parts = partials(&s, 2, ShardStrategy::Contiguous);
+        parts[0].report.rows.pop();
+        assert!(matches!(
+            merge_partials(&parts),
+            Err(ShardError::BadShape(_))
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-shard partial reports.
+//!
+//! A worker writes one partial file: a `#`-comment header carrying the
+//! sweep's canonical spec string, seed, shard coordinates and strategy,
+//! then the shard's **all-policy** CSV rows (the cache's row form, not
+//! the policy-projected presentation form). The header lets the merge
+//! validate a directory of partials sight unseen — same spec, same seed,
+//! same plan, no overlaps, no gaps — before it trusts a single row.
+
+use crate::manifest::ShardManifest;
+use crate::plan::ShardStrategy;
+use crate::ShardError;
+use std::path::Path;
+use wcs_runtime::{run_task_subset, sweep_columns, Engine, ResultCache, RunReport};
+
+/// Magic first line of every partial file.
+pub const PARTIAL_MAGIC: &str = "# wcs-shard partial v1";
+
+/// One shard's computed slice of a sweep, plus the header metadata the
+/// merge validates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialReport {
+    /// The sweep's canonical spec string (not just its hash: equality of
+    /// the full string is what the merge checks, so a 64-bit collision
+    /// cannot splice two different sweeps).
+    pub spec: String,
+    /// The sweep's root seed.
+    pub seed: u64,
+    /// This shard's index in `0..k`.
+    pub shard: usize,
+    /// Total shard count of the plan.
+    pub k: usize,
+    /// The plan's dealing strategy.
+    pub strategy: ShardStrategy,
+    /// The sweep's total task count.
+    pub task_count: usize,
+    /// The shard's all-policy row blocks, in ascending task-index order.
+    pub report: RunReport,
+}
+
+/// Execute a manifest's slice and package the result. When `cache` holds
+/// the **full** sweep's entry (stored by a previous merged or
+/// single-process run), the shard's row blocks are sliced straight out of
+/// it — byte-for-byte what a recompute would produce, since cache entries
+/// round-trip bitwise.
+pub fn run_worker(
+    manifest: &ShardManifest,
+    engine: &Engine,
+    cache: Option<&ResultCache>,
+) -> PartialReport {
+    let sweep = &manifest.sweep;
+    let indices = manifest.indices();
+    let columns = sweep_columns(sweep);
+    let rows_per_task = wcs_runtime::PolicyAxis::ALL.len();
+    let report = cache
+        .and_then(|c| c.load(sweep))
+        .filter(|full| {
+            full.columns == columns && full.rows.len() == manifest.task_count * rows_per_task
+        })
+        .map(|full| {
+            let mut sliced = RunReport::new(&sweep.name, &columns);
+            for &i in &indices {
+                for row in &full.rows[i * rows_per_task..(i + 1) * rows_per_task] {
+                    sliced.push_row(row.clone());
+                }
+            }
+            sliced
+        })
+        .unwrap_or_else(|| run_task_subset(sweep, &indices, engine));
+    PartialReport {
+        spec: sweep.canonical(),
+        seed: sweep.seed,
+        shard: manifest.shard,
+        k: manifest.k,
+        strategy: manifest.strategy,
+        task_count: manifest.task_count,
+        report,
+    }
+}
+
+impl PartialReport {
+    /// Serialize to the partial file format.
+    pub fn to_text(&self) -> String {
+        format!(
+            "{PARTIAL_MAGIC}\n\
+             # spec: {}\n\
+             # seed: {}\n\
+             # shard: {}/{}\n\
+             # strategy: {}\n\
+             # task_count: {}\n{}",
+            self.spec,
+            self.seed,
+            self.shard,
+            self.k,
+            self.strategy.label(),
+            self.task_count,
+            self.report.to_csv(),
+        )
+    }
+
+    /// Parse a partial document. `path` is only used for error messages.
+    pub fn parse(text: &str, path: &Path) -> Result<Self, ShardError> {
+        let parse_err = |message: String| ShardError::Parse {
+            path: path.to_path_buf(),
+            message,
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(PARTIAL_MAGIC) {
+            return Err(parse_err(format!(
+                "not a shard partial (missing '{PARTIAL_MAGIC}' first line)"
+            )));
+        }
+        let mut take = |prefix: &str| -> Result<String, ShardError> {
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix(prefix))
+                .map(str::to_string)
+                .ok_or_else(|| parse_err(format!("missing '{prefix}' header line")))
+        };
+        let spec = take("# spec: ")?;
+        let seed = take("# seed: ")?
+            .parse::<u64>()
+            .map_err(|_| parse_err("bad seed".into()))?;
+        let shard_of_k = take("# shard: ")?;
+        let (shard, k) = shard_of_k
+            .split_once('/')
+            .and_then(|(s, k)| Some((s.parse::<usize>().ok()?, k.parse::<usize>().ok()?)))
+            .ok_or_else(|| parse_err(format!("bad shard coordinates '{shard_of_k}'")))?;
+        let strategy_label = take("# strategy: ")?;
+        let strategy = ShardStrategy::parse(&strategy_label)
+            .ok_or_else(|| parse_err(format!("unknown strategy '{strategy_label}'")))?;
+        let task_count = take("# task_count: ")?
+            .parse::<usize>()
+            .map_err(|_| parse_err("bad task_count".into()))?;
+        if k == 0 || shard >= k {
+            return Err(parse_err(format!(
+                "shard index {shard} out of range for k = {k}"
+            )));
+        }
+        let body: String = lines.collect::<Vec<_>>().join("\n");
+        let report = RunReport::from_csv("partial", &body).map_err(parse_err)?;
+        Ok(PartialReport {
+            spec,
+            seed,
+            shard,
+            k,
+            strategy,
+            task_count,
+            report,
+        })
+    }
+
+    /// Load a partial file.
+    pub fn load(path: &Path) -> Result<Self, ShardError> {
+        let text = std::fs::read_to_string(path)?;
+        PartialReport::parse(&text, path)
+    }
+
+    /// Write this partial to `path` (temp-file rename: a crashed worker
+    /// never leaves a half-written partial for the merge to trip on).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("csv.tmp");
+        std::fs::write(&tmp, self.to_text())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardPlan;
+    use wcs_runtime::Sweep;
+
+    fn manifest(shard: usize, k: usize) -> ShardManifest {
+        let sweep = Sweep::new("partial-test")
+            .ds(&[20.0, 60.0, 100.0])
+            .samples(400)
+            .seed(5);
+        let plan = ShardPlan::new(sweep.task_count(), k, ShardStrategy::Contiguous).unwrap();
+        ShardManifest::new(&sweep, &plan, shard)
+    }
+
+    #[test]
+    fn worker_output_roundtrips_bitwise() {
+        let m = manifest(1, 2);
+        let p = run_worker(&m, &Engine::serial(), None);
+        assert_eq!(p.report.rows.len(), m.indices().len() * 5);
+        let parsed = PartialReport::parse(&p.to_text(), Path::new("x")).unwrap();
+        assert_eq!(parsed.spec, p.spec);
+        assert_eq!(parsed.strategy, p.strategy);
+        assert_eq!(parsed.report.columns, p.report.columns);
+        for (a, b) in parsed.report.rows.iter().zip(&p.report.rows) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn worker_is_engine_thread_count_invariant() {
+        let m = manifest(0, 3);
+        let serial = run_worker(&m, &Engine::serial(), None);
+        let parallel = run_worker(&m, &Engine::new(4), None);
+        assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
+    }
+
+    #[test]
+    fn truncated_partial_is_rejected() {
+        let m = manifest(0, 2);
+        let text = run_worker(&m, &Engine::serial(), None).to_text();
+        let missing_header: String = text
+            .lines()
+            .filter(|l| !l.starts_with("# strategy"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(PartialReport::parse(&missing_header, Path::new("x")).is_err());
+        assert!(PartialReport::parse("garbage", Path::new("x")).is_err());
+    }
+}

@@ -7,5 +7,6 @@ pub use wcs_capacity as capacity;
 pub use wcs_core as model;
 pub use wcs_propagation as propagation;
 pub use wcs_runtime as runtime;
+pub use wcs_shard as shard;
 pub use wcs_sim as sim;
 pub use wcs_stats as stats;
