@@ -10,7 +10,7 @@
 //! repro shard merge <dir> [--csv|--json] [--no-cache]
 //! repro shard run   <scenario|--spec FILE> -k K [--strategy S] [--dir DIR]
 //!                   [--threads N] [--csv|--json] [--no-cache]
-//! repro cache ls|clear
+//! repro cache ls|clear [--kind model|sim]
 //! ```
 //!
 //! Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10-11 fig12-13
@@ -19,16 +19,23 @@
 //!
 //! `sweep` runs a declarative `wcs-runtime` scenario (default
 //! `figure4-family`) on the multi-threaded engine with the on-disk result
-//! cache; output is bitwise identical for any `--threads` value. `--spec`
-//! loads a user-authored scenario file (`wcs_runtime::spec` format) whose
-//! canonical hash — and therefore cache key — is exactly that of the
-//! equivalent in-code spec.
+//! cache; output is bitwise identical for any `--threads` value.
+//! Scenarios are **workloads**: analytic model sweeps (`figure4-family`,
+//! `npair-scaling`, ...) and §4 protocol-simulation sweeps
+//! (`sim-threshold-grid`, `sim-rate-policies`) run through the same
+//! engine, cache, spec files and sharding. `--spec` loads a
+//! user-authored scenario file (`wcs_runtime::spec` format; a
+//! `workload = "sim"` key selects the sim family) whose canonical hash —
+//! and therefore cache key — is exactly that of the equivalent in-code
+//! spec.
 //!
-//! `shard` splits a sweep's task list across worker *processes* and
+//! `shard` splits a workload's task list across worker *processes* and
 //! merges their partial reports in task-index order; the merged output is
 //! bitwise identical to a single-process `sweep` run at any
 //! shard count × thread count. `shard run` drives the whole
-//! plan → worker → merge pipeline with local subprocesses.
+//! plan → worker → merge pipeline with local subprocesses. Workers cache
+//! their per-shard partials in the shared result cache, so re-running a
+//! plan after a lost worker only recomputes the lost shard.
 //!
 //! `--full` uses paper-fidelity sample counts (minutes); the default is a
 //! quick pass (seconds per experiment). Spec files carry their own sample
@@ -36,7 +43,7 @@
 
 use std::path::{Path, PathBuf};
 use wcs_bench::{figures, tables, Effort, TestbedCategory};
-use wcs_runtime::{run_sweep, scenarios, Engine, ResultCache, Sweep};
+use wcs_runtime::{scenarios, AnyWorkload, Engine, ResultCache, WorkloadKind, WorkloadSpec};
 use wcs_shard::{ShardManifest, ShardStrategy};
 
 fn run_one(name: &str, effort: Effort) -> Option<String> {
@@ -94,19 +101,20 @@ fn usage_exit(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Resolve one sweep source: a registry scenario name, or (when `spec`
-/// is set) a spec-file path. Exits 2 with the scenario list on failure.
-fn resolve_sweep(source: &SweepSource, effort: Effort) -> Sweep {
+/// Resolve one workload source: a registry scenario name (model or sim
+/// family), or (when `spec` is set) a spec-file path. Exits 2 with the
+/// scenario list on failure.
+fn resolve_workload(source: &SweepSource, effort: Effort) -> AnyWorkload {
     match source {
         SweepSource::Named(name) => {
-            scenarios::by_name(name, &effort.profile()).unwrap_or_else(|| {
+            scenarios::any_by_name(name, &effort.profile()).unwrap_or_else(|| {
                 usage_exit(&format!(
                     "unknown scenario '{name}'; available scenarios: {}",
-                    scenarios::NAMES.join(" ")
+                    scenarios::all_names().join(" ")
                 ))
             })
         }
-        SweepSource::SpecFile(path) => wcs_runtime::load_spec_file(path).unwrap_or_else(|e| {
+        SweepSource::SpecFile(path) => wcs_runtime::load_any_spec_file(path).unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         }),
@@ -185,17 +193,21 @@ fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
     } else {
         sources
     };
-    let sweeps: Vec<Sweep> = sources.iter().map(|s| resolve_sweep(s, effort)).collect();
+    let workloads: Vec<AnyWorkload> = sources
+        .iter()
+        .map(|s| resolve_workload(s, effort))
+        .collect();
     let engine = Engine::new(threads);
     let cache = ResultCache::default_location();
     let cache_ref = if use_cache { Some(&cache) } else { None };
-    for (source, sweep) in sources.iter().zip(&sweeps) {
+    for (source, workload) in sources.iter().zip(&workloads) {
         let t0 = std::time::Instant::now();
-        let outcome = run_sweep(sweep, &engine, cache_ref);
+        let outcome = workload.run(&engine, cache_ref);
         print_report(&outcome.report, format);
         eprintln!(
-            "[sweep {}: {} tasks, {} threads, cache {}, {:.1}s]",
+            "[sweep {} ({}): {} tasks, {} threads, cache {}, {:.1}s]",
             source.describe(),
+            workload.kind(),
             outcome.tasks_run,
             engine.threads(),
             if outcome.cache_hit { "hit" } else { "miss" },
@@ -302,12 +314,12 @@ fn fail(e: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
-/// Default plan directory for a sweep: stable, human-findable, and
+/// Default plan directory for a workload: stable, human-findable, and
 /// distinct per (name, k, strategy).
-fn default_plan_dir(sweep: &Sweep, k: usize, strategy: ShardStrategy) -> PathBuf {
+fn default_plan_dir(workload: &AnyWorkload, k: usize, strategy: ShardStrategy) -> PathBuf {
     PathBuf::from("target").join("wcs-shards").join(format!(
         "{}-k{k}-{}",
-        wcs_runtime::sanitize_name(&sweep.name),
+        wcs_runtime::sanitize_name(workload.name()),
         strategy.label()
     ))
 }
@@ -320,21 +332,22 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
     let parsed = parse_shard_args(args);
     match verb.as_str() {
         "plan" => {
-            let sweep = resolve_sweep(single_source(&parsed, "plan"), effort);
+            let workload = resolve_workload(single_source(&parsed, "plan"), effort);
             let k = require_k(&parsed);
             let dir = parsed
                 .dir
                 .clone()
-                .unwrap_or_else(|| default_plan_dir(&sweep, k, parsed.strategy));
-            let paths =
-                wcs_shard::write_plan(&dir, &sweep, k, parsed.strategy).unwrap_or_else(|e| fail(e));
+                .unwrap_or_else(|| default_plan_dir(&workload, k, parsed.strategy));
+            let paths = wcs_shard::write_plan(&dir, workload.clone(), k, parsed.strategy)
+                .unwrap_or_else(|e| fail(e));
             for p in &paths {
                 println!("{}", p.display());
             }
             eprintln!(
-                "[shard plan {}: {} tasks over {k} {} shards in {}]",
-                sweep.name,
-                sweep.task_count(),
+                "[shard plan {} ({}): {} tasks over {k} {} shards in {}]",
+                workload.name(),
+                workload.kind(),
+                workload.task_count(),
                 parsed.strategy.label(),
                 dir.display()
             );
@@ -359,10 +372,11 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(e));
             partial.save(&path).unwrap_or_else(|e| fail(e));
             eprintln!(
-                "[shard worker {}/{} ({}): {} tasks, {} threads, {:.1}s -> {}]",
+                "[shard worker {}/{} ({}, {}): {} tasks, {} threads, {:.1}s -> {}]",
                 manifest.shard,
                 manifest.k,
-                manifest.sweep.name,
+                manifest.workload.name(),
+                manifest.kind(),
                 manifest.indices().len(),
                 engine.threads(),
                 t0.elapsed().as_secs_f64(),
@@ -379,15 +393,17 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             let outcome = wcs_shard::merge_dir(&dir, cache_ref).unwrap_or_else(|e| fail(e));
             print_report(&outcome.report, &parsed.format);
             eprintln!(
-                "[shard merge {}: {} shards, {} tasks{}]",
-                outcome.sweep.name,
+                "[shard merge {} ({}): {} shards ({} from cache), {} tasks{}]",
+                outcome.workload.name(),
+                outcome.workload.kind(),
                 outcome.shards,
-                outcome.sweep.task_count(),
+                outcome.shards_from_cache,
+                outcome.workload.task_count(),
                 if parsed.use_cache { ", cached" } else { "" }
             );
         }
         "run" => {
-            let sweep = resolve_sweep(single_source(&parsed, "run"), effort);
+            let workload = resolve_workload(single_source(&parsed, "run"), effort);
             let k = require_k(&parsed);
             let t0 = std::time::Instant::now();
             let (dir, ephemeral) = match parsed.dir.clone() {
@@ -396,7 +412,7 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                     std::env::temp_dir().join(format!(
                         "wcs-shard-run-{}-{:016x}",
                         std::process::id(),
-                        sweep.scenario_hash()
+                        workload.scenario_hash()
                     )),
                     true,
                 ),
@@ -406,7 +422,7 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
             let outcome = wcs_shard::run_local(
                 &dir,
-                &sweep,
+                workload.clone(),
                 k,
                 parsed.strategy,
                 &exe,
@@ -416,10 +432,11 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             .unwrap_or_else(|e| fail(e));
             print_report(&outcome.report, &parsed.format);
             eprintln!(
-                "[shard run {}: {k} workers ({}), {} tasks, {:.1}s]",
-                sweep.name,
+                "[shard run {} ({}): {k} workers ({}), {} tasks, {:.1}s]",
+                workload.name(),
+                workload.kind(),
                 parsed.strategy.label(),
-                sweep.task_count(),
+                workload.task_count(),
                 t0.elapsed().as_secs_f64()
             );
             if ephemeral {
@@ -454,13 +471,40 @@ fn human_age(age_secs: Option<u64>) -> String {
     }
 }
 
-/// `repro cache ls|clear`: inspect or prune the shared result cache —
-/// the directory shard workers (and plain sweeps) key their results into.
-fn run_cache_cmd(args: Vec<String>) -> ! {
+/// `repro cache ls|clear [--kind model|sim]`: inspect or prune the
+/// shared result cache — the directory shard workers (and plain sweeps)
+/// key their results into. `ls` prints each entry's workload kind and
+/// row-layout version; `clear --kind` removes only one workload family.
+fn run_cache_cmd(mut args: Vec<String>) -> ! {
+    const CACHE_USAGE: &str = "usage: repro cache ls|clear [--kind model|sim]";
     let cache = ResultCache::default_location();
-    match args.first().map(String::as_str) {
-        Some("ls") => {
-            let entries = cache.entries().unwrap_or_else(|e| fail(e));
+    let verb = if args.is_empty() {
+        usage_exit(CACHE_USAGE);
+    } else {
+        args.remove(0)
+    };
+    let mut kind: Option<WorkloadKind> = None;
+    while !args.is_empty() {
+        let arg = args.remove(0);
+        match arg.as_str() {
+            "--kind" => {
+                let v = take_flag_value(&mut args, "--kind");
+                kind = Some(WorkloadKind::from_label(&v).unwrap_or_else(|| {
+                    usage_exit(&format!("unknown workload kind '{v}' (model or sim)"));
+                }));
+            }
+            other => {
+                eprintln!("unknown argument '{other}' for repro cache");
+                usage_exit(CACHE_USAGE);
+            }
+        }
+    }
+    match verb.as_str() {
+        "ls" => {
+            let mut entries = cache.entries().unwrap_or_else(|e| fail(e));
+            if let Some(filter) = kind {
+                entries.retain(|e| e.kind == Some(filter));
+            }
             if entries.is_empty() {
                 eprintln!("[cache {}: empty]", cache.dir().display());
             }
@@ -468,8 +512,10 @@ fn run_cache_cmd(args: Vec<String>) -> ! {
             for e in &entries {
                 total += e.bytes;
                 println!(
-                    "{}\t{:016x}\tseed {}\t{}\t{}",
+                    "{}\t{}\t{}\t{:016x}\tseed {}\t{}\t{}",
                     e.scenario,
+                    e.kind.map_or("?", WorkloadKind::label),
+                    e.layout(),
                     e.hash,
                     e.seed,
                     human_size(e.bytes),
@@ -485,14 +531,15 @@ fn run_cache_cmd(args: Vec<String>) -> ! {
                 );
             }
         }
-        Some("clear") => {
-            let removed = cache.clear().unwrap_or_else(|e| fail(e));
+        "clear" => {
+            let removed = cache.clear_kind(kind).unwrap_or_else(|e| fail(e));
             eprintln!(
-                "[cache {}: removed {removed} entries]",
-                cache.dir().display()
+                "[cache {}: removed {removed} {}entries]",
+                cache.dir().display(),
+                kind.map_or(String::new(), |k| format!("{k} "))
             );
         }
-        _ => usage_exit("usage: repro cache ls|clear"),
+        _ => usage_exit(CACHE_USAGE),
     }
     std::process::exit(0);
 }
@@ -517,9 +564,12 @@ fn main() {
             "       repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario|--spec FILE]..."
         );
         eprintln!("       repro shard plan|worker|merge|run ... (see repro shard)");
-        eprintln!("       repro cache ls|clear");
+        eprintln!("       repro cache ls|clear [--kind model|sim]");
         eprintln!("experiments: {}", ALL.join(" "));
-        eprintln!("scenarios: {}", wcs_runtime::scenarios::NAMES.join(" "));
+        eprintln!(
+            "scenarios: {}",
+            wcs_runtime::scenarios::all_names().join(" ")
+        );
         std::process::exit(2);
     }
     let names: Vec<String> = if args.iter().any(|a| a == "all") {

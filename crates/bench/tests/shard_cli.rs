@@ -78,6 +78,99 @@ fn shard_run_matches_single_process_sweep_bitwise() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A sim-workload spec small enough for CI (1 simulated second per run,
+/// two ensemble points) but wide enough to cross a CCA axis.
+const TINY_SIM_SPEC: &str = r#"
+workload = "sim"
+name = "cli-sim-tiny"
+ccas = [7.0, 13.0]
+rates = ["best-fixed"]
+points = 2
+run_secs = 1
+sweep_rates = [6.0, 24.0]
+seed = 4242
+"#;
+
+#[test]
+fn sim_spec_shard_run_matches_single_process_sweep_bitwise() {
+    // The sim workload flows through the same spec/engine/shard/report
+    // machinery as model sweeps: `sweep --spec sim.toml` and
+    // `shard run --spec sim.toml` must agree byte for byte.
+    let dir = tmpdir("sim-run");
+    let cache = dir.join("cache");
+    let spec = dir.join("sim.toml");
+    std::fs::write(&spec, TINY_SIM_SPEC).unwrap();
+    let single = run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .args(["--threads", "2", "--no-cache", "--csv"])
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    assert!(
+        String::from_utf8_lossy(&single.stdout).starts_with("testbed,point,cca_db"),
+        "sim report layout"
+    );
+    for (k, strategy) in [("2", "contiguous"), ("3", "strided")] {
+        let merged = run_ok(
+            repro()
+                .args(["shard", "run", "--spec"])
+                .arg(&spec)
+                .args(["-k", k, "--strategy", strategy, "--csv", "--no-cache"])
+                .env("WCS_CACHE_DIR", &cache),
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&single.stdout),
+            String::from_utf8_lossy(&merged.stdout),
+            "sim k = {k} {strategy} diverged from single-process run"
+        );
+    }
+    // A cached run hits, and cache ls classifies the entry as sim.
+    run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .arg("--csv")
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    let served = run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .arg("--csv")
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    assert!(
+        String::from_utf8_lossy(&served.stderr).contains("cache hit"),
+        "expected a sim cache hit: {}",
+        String::from_utf8_lossy(&served.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&single.stdout),
+        String::from_utf8_lossy(&served.stdout)
+    );
+    let ls = run_ok(repro().args(["cache", "ls"]).env("WCS_CACHE_DIR", &cache));
+    let listing = String::from_utf8_lossy(&ls.stdout).into_owned();
+    assert!(
+        listing
+            .lines()
+            .any(|l| l.contains("cli-sim-tiny") && l.contains("sim")),
+        "cache ls should classify the sim entry: {listing}"
+    );
+    // `cache clear --kind model` must leave the sim entry alone.
+    run_ok(
+        repro()
+            .args(["cache", "clear", "--kind", "model"])
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    let ls2 = run_ok(repro().args(["cache", "ls"]).env("WCS_CACHE_DIR", &cache));
+    assert!(
+        String::from_utf8_lossy(&ls2.stdout).contains("cli-sim-tiny"),
+        "kind-filtered clear must not remove the other kind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn plan_worker_merge_pipeline_and_cache_handoff() {
     let dir = tmpdir("pipeline");

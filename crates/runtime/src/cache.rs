@@ -2,14 +2,24 @@
 //!
 //! Each cached run is one CSV file whose header comments record the full
 //! canonical spec string; a lookup verifies the stored spec matches the
-//! requesting sweep's canonical form exactly, so a 64-bit hash collision
-//! degrades to a miss rather than serving wrong numbers. Files are
-//! written via a temp-file rename so a crashed run never leaves a
+//! requesting workload's canonical form exactly, so a 64-bit hash
+//! collision degrades to a miss rather than serving wrong numbers. Files
+//! are written via a temp-file rename so a crashed run never leaves a
 //! half-written entry behind.
+//!
+//! Since the workload-API redesign the cache is workload-agnostic: any
+//! [`WorkloadSpec`] (model sweeps, sim sweeps, future workloads) keys
+//! entries the same way, and the entry's canonical-string prefix
+//! classifies its [`WorkloadKind`] — which is how entries written before
+//! the kind existed are still recognised as model entries, byte for
+//! byte. The cache also stores free-form named **blobs** (used by
+//! `wcs-shard` for per-shard partial reports), which are invisible to
+//! entry listings.
 
 use crate::report::RunReport;
-use crate::scenario::Sweep;
+use crate::workload::{WorkloadKind, WorkloadSpec};
 use std::fs;
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
 /// A directory of cached sweep results.
@@ -38,19 +48,19 @@ impl ResultCache {
         &self.dir
     }
 
-    fn entry_path(&self, sweep: &Sweep) -> PathBuf {
+    fn entry_path<W: WorkloadSpec + ?Sized>(&self, w: &W) -> PathBuf {
         self.dir.join(format!(
             "{}-{:016x}-{:016x}.csv",
-            sanitize_name(&sweep.name),
-            sweep.scenario_hash(),
-            sweep.seed
+            sanitize_name(w.name()),
+            w.scenario_hash(),
+            w.seed()
         ))
     }
 
-    /// Look up a stored report for this (scenario, seed). Returns `None`
+    /// Look up a stored report for this (workload, seed). Returns `None`
     /// on absence, spec mismatch, or any parse failure.
-    pub fn load(&self, sweep: &Sweep) -> Option<RunReport> {
-        let path = self.entry_path(sweep);
+    pub fn load<W: WorkloadSpec + ?Sized>(&self, w: &W) -> Option<RunReport> {
+        let path = self.entry_path(w);
         let text = fs::read_to_string(&path).ok()?;
         let mut lines = text.lines();
         let magic = lines.next()?;
@@ -58,19 +68,20 @@ impl ResultCache {
             return None;
         }
         let spec = lines.next()?.strip_prefix("# spec: ")?;
-        if spec != sweep.canonical() {
+        if spec != w.canonical() {
             return None;
         }
         let seed_line = lines.next()?.strip_prefix("# seed: ")?;
-        if seed_line.parse::<u64>().ok()? != sweep.seed {
+        if seed_line.parse::<u64>().ok()? != w.seed() {
             return None;
         }
         let body: String = lines.collect::<Vec<_>>().join("\n");
-        RunReport::from_csv(&sweep.name, &body).ok()
+        RunReport::from_csv(w.name(), &body).ok()
     }
 
     /// List the cache's entries (empty when the directory does not exist
-    /// yet), sorted by file name so output is stable.
+    /// yet), sorted by file name so output is stable. Shard partial
+    /// blobs (`*.partial.csv`) are not entries and are not listed.
     pub fn entries(&self) -> std::io::Result<Vec<CacheEntry>> {
         let read_dir = match fs::read_dir(&self.dir) {
             Ok(rd) => rd,
@@ -81,6 +92,9 @@ impl ResultCache {
         for entry in read_dir {
             let entry = entry?;
             let file_name = entry.file_name().to_string_lossy().into_owned();
+            if file_name.ends_with(".partial.csv") {
+                continue; // shard partial blob, not a result entry
+            }
             let Some(parsed) = parse_entry_name(&file_name) else {
                 continue; // foreign file (or a leftover .tmp); not ours to report
             };
@@ -90,12 +104,15 @@ impl ResultCache {
                 .ok()
                 .and_then(|m| m.elapsed().ok())
                 .map(|d| d.as_secs());
+            let (kind, columns) = peek_entry(&entry.path());
             entries.push(CacheEntry {
                 scenario: parsed.0,
                 hash: parsed.1,
                 seed: parsed.2,
                 bytes: meta.len(),
                 age_secs,
+                kind,
+                columns,
                 path: entry.path(),
             });
         }
@@ -103,36 +120,79 @@ impl ResultCache {
         Ok(entries)
     }
 
-    /// Delete every cache entry (and any stranded `.tmp` files). Returns
-    /// the number of entry files removed. Foreign files are left alone
-    /// and the directory itself is kept.
+    /// Delete every cache entry and shard partial blob (plus any
+    /// stranded `.tmp` files). Returns the number of files removed.
+    /// Foreign files are left alone and the directory itself is kept.
     pub fn clear(&self) -> std::io::Result<usize> {
+        self.clear_kind(None)
+    }
+
+    /// Like [`ResultCache::clear`], but when `kind` is `Some`, only
+    /// entries and partial blobs of that workload kind are removed
+    /// (files whose kind cannot be determined are left alone).
+    pub fn clear_kind(&self, kind: Option<WorkloadKind>) -> std::io::Result<usize> {
         let mut removed = 0;
         for entry in self.entries()? {
+            if let Some(filter) = kind {
+                if entry.kind != Some(filter) {
+                    continue;
+                }
+            }
             fs::remove_file(&entry.path)?;
             removed += 1;
         }
         if let Ok(read_dir) = fs::read_dir(&self.dir) {
             for entry in read_dir.flatten() {
-                if entry.file_name().to_string_lossy().ends_with(".csv.tmp") {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".csv.tmp") && kind.is_none() {
                     let _ = fs::remove_file(entry.path());
+                } else if name.ends_with(".partial.csv") {
+                    let (blob_kind, _) = peek_entry(&entry.path());
+                    if (kind.is_none() || blob_kind == kind)
+                        && fs::remove_file(entry.path()).is_ok()
+                    {
+                        removed += 1;
+                    }
                 }
             }
         }
         Ok(removed)
     }
 
-    /// Store a report under this (scenario, seed).
-    pub fn store(&self, sweep: &Sweep, report: &RunReport) -> std::io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
-        let path = self.entry_path(sweep);
-        let tmp = path.with_extension("csv.tmp");
+    /// Store a report under this (workload, seed).
+    pub fn store<W: WorkloadSpec + ?Sized>(
+        &self,
+        w: &W,
+        report: &RunReport,
+    ) -> std::io::Result<()> {
         let mut text = String::from("# wcs-runtime cache v1\n");
-        text.push_str(&format!("# spec: {}\n", sweep.canonical()));
-        text.push_str(&format!("# seed: {}\n", sweep.seed));
+        text.push_str(&format!("# spec: {}\n", w.canonical()));
+        text.push_str(&format!("# seed: {}\n", w.seed()));
         text.push_str(&report.to_csv());
+        self.write_file(&self.entry_path(w), &text)
+    }
+
+    /// Store a free-form named blob (e.g. a `wcs-shard` partial report)
+    /// next to the result entries, via the same temp-file rename.
+    /// `file_name` must be a bare file name, not a path.
+    pub fn store_blob(&self, file_name: &str, text: &str) -> std::io::Result<()> {
+        assert!(
+            !file_name.contains('/') && !file_name.contains('\\'),
+            "blob name must not contain path separators"
+        );
+        self.write_file(&self.dir.join(file_name), text)
+    }
+
+    /// Load a named blob stored with [`ResultCache::store_blob`].
+    pub fn load_blob(&self, file_name: &str) -> Option<String> {
+        fs::read_to_string(self.dir.join(file_name)).ok()
+    }
+
+    fn write_file(&self, path: &Path, text: &str) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = path.with_extension("csv.tmp");
         fs::write(&tmp, text)?;
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, path)
     }
 }
 
@@ -164,8 +224,52 @@ pub struct CacheEntry {
     pub bytes: u64,
     /// Seconds since the entry was last written, when known.
     pub age_secs: Option<u64>,
+    /// Workload kind, classified from the entry's canonical-spec line
+    /// (`None` when the file is unreadable or carries no spec).
+    pub kind: Option<WorkloadKind>,
+    /// Number of report columns in the entry, when readable.
+    pub columns: Option<usize>,
     /// Full path of the entry file.
     pub path: PathBuf,
+}
+
+impl CacheEntry {
+    /// Human-readable row-layout version for `repro cache ls`: `v1` is
+    /// each workload's original layout (11 columns for classic model
+    /// sweeps, 9 for sim sweeps), `v2` the extended 15-column N-pair
+    /// model layout; anything else is shown by its raw column count.
+    pub fn layout(&self) -> String {
+        match (self.kind, self.columns) {
+            (Some(WorkloadKind::Model), Some(11)) => "v1".to_string(),
+            (Some(WorkloadKind::Model), Some(15)) => "v2".to_string(),
+            (Some(WorkloadKind::Sim), Some(9)) => "v1".to_string(),
+            (_, Some(n)) => format!("{n}-col"),
+            (_, None) => "?".to_string(),
+        }
+    }
+}
+
+/// Read just enough of a cache entry (or partial blob) to classify its
+/// workload kind and column count: scan the leading `#` comment lines
+/// for the `# spec: ` header, then count the CSV header's columns.
+fn peek_entry(path: &Path) -> (Option<WorkloadKind>, Option<usize>) {
+    let Ok(file) = fs::File::open(path) else {
+        return (None, None);
+    };
+    let mut kind = None;
+    let mut columns = None;
+    for line in BufReader::new(file).lines().take(8) {
+        let Ok(line) = line else { break };
+        if let Some(spec) = line.strip_prefix("# spec: ") {
+            kind = WorkloadKind::of_canonical(spec);
+        } else if !line.starts_with('#') {
+            if !line.is_empty() {
+                columns = Some(line.split(',').count());
+            }
+            break;
+        }
+    }
+    (kind, columns)
 }
 
 /// Parse `{name}-{hash:016x}-{seed:016x}.csv` (name may itself contain
@@ -185,6 +289,8 @@ fn parse_entry_name(file_name: &str) -> Option<(String, u64, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::Sweep;
+    use crate::simsweep::SimSweep;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("wcs-cache-test-{tag}-{}", std::process::id()));
@@ -247,10 +353,64 @@ mod tests {
         assert_eq!(entries[0].hash, a.scenario_hash());
         assert_eq!(entries[0].seed, 1);
         assert!(entries[0].bytes > 0);
+        assert_eq!(entries[0].kind, Some(WorkloadKind::Model));
         assert_eq!(cache.clear().unwrap(), 2);
         assert!(cache.entries().unwrap().is_empty());
         assert!(cache.dir().join("README.txt").exists());
         assert!(cache.load(&a).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entries_carry_kind_and_layout() {
+        let cache = ResultCache::new(tmpdir("kinds"));
+        let model = Sweep::new("m-grid").ds(&[10.0]).seed(1);
+        let sim = SimSweep::new("s-grid").seed(2);
+        let mut model_report = RunReport::new("m-grid", &crate::model::SWEEP_COLUMNS);
+        model_report.push_row(vec![0.0; 11]);
+        let mut sim_report = RunReport::new("s-grid", &crate::simsweep::SIM_SWEEP_COLUMNS);
+        sim_report.push_row(vec![0.0; 9]);
+        cache.store(&model, &model_report).unwrap();
+        cache.store(&sim, &sim_report).unwrap();
+        let entries = cache.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        let by_name = |n: &str| entries.iter().find(|e| e.scenario == n).unwrap();
+        let m = by_name("m-grid");
+        assert_eq!(m.kind, Some(WorkloadKind::Model));
+        assert_eq!(m.layout(), "v1");
+        let s = by_name("s-grid");
+        assert_eq!(s.kind, Some(WorkloadKind::Sim));
+        assert_eq!(s.layout(), "v1");
+        // Kind-filtered clear removes only that kind.
+        assert_eq!(cache.clear_kind(Some(WorkloadKind::Sim)).unwrap(), 1);
+        let left = cache.entries().unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].scenario, "m-grid");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn blobs_roundtrip_and_stay_out_of_entries() {
+        let cache = ResultCache::new(tmpdir("blob"));
+        assert!(cache
+            .load_blob("x-0000-k2-contiguous-0001.partial.csv")
+            .is_none());
+        cache
+            .store_blob(
+                "x-0000-k2-contiguous-0001.partial.csv",
+                "# wcs-shard partial v1\n# spec: wcs-sweep-v1;name=x\nbody\n",
+            )
+            .unwrap();
+        assert!(cache
+            .load_blob("x-0000-k2-contiguous-0001.partial.csv")
+            .unwrap()
+            .contains("body"));
+        assert!(cache.entries().unwrap().is_empty(), "blobs are not entries");
+        // clear removes blobs too (counted).
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert!(cache
+            .load_blob("x-0000-k2-contiguous-0001.partial.csv")
+            .is_none());
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -5,6 +5,13 @@
 //! Figures 2–9 and Tables 1–3. This crate turns that observation into the
 //! reproduction's execution substrate:
 //!
+//! * the [`Workload`] trait ([`workload`]) — the one seam behind every
+//!   sweep-shaped run: a workload names its columns, lowers to
+//!   deterministic per-seed tasks, runs one task to a row block, and
+//!   contributes a canonical string/hash. Model sweeps ([`Sweep`]) and
+//!   §4 protocol-simulation sweeps ([`SimSweep`], [`simsweep`]) are the
+//!   two implementors; [`AnyWorkload`] is the runtime-dispatch form the
+//!   CLI, spec files and `wcs-shard` use,
 //! * a declarative [`Sweep`] spec — parameter grids built with a fluent
 //!   API that lower to a flat list of independent [`Task`]s, including a
 //!   **topology axis** (pair count × sender placement) whose N-pair
@@ -57,7 +64,9 @@ pub mod model;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;
+pub mod simsweep;
 pub mod spec;
+pub mod workload;
 
 pub use cache::{sanitize_name, CacheEntry, ResultCache};
 pub use config::EffortProfile;
@@ -65,4 +74,12 @@ pub use engine::Engine;
 pub use model::{finalize_report, run_sweep, run_task_subset, sweep_columns, SweepOutcome};
 pub use report::RunReport;
 pub use scenario::{PolicyAxis, Sweep, Task, Topology};
-pub use spec::{load_spec_file, parse_spec_toml, to_spec_toml, SpecError};
+pub use simsweep::{RateAxis, SimSweep, SimTask};
+pub use spec::{
+    load_any_spec_file, load_spec_file, parse_any_spec_toml, parse_sim_spec_toml, parse_spec_toml,
+    to_sim_spec_toml, to_spec_toml, SpecError,
+};
+pub use workload::{
+    run_workload, run_workload_subset, AnyWorkload, Workload, WorkloadKind, WorkloadOutcome,
+    WorkloadSpec,
+};

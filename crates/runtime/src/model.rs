@@ -1,4 +1,4 @@
-//! Executing model sweeps on the engine.
+//! The model workload: [`Sweep`] as the first [`Workload`] implementor.
 //!
 //! The kernel for one [`Task`] depends on its topology-axis point:
 //! classic two-pair tasks run `wcs_core::average::mc_averages` — one
@@ -10,11 +10,19 @@
 //! report rows, not extra compute. Tasks run on the [`Engine`]; rows are
 //! emitted in (task, policy) order, which together with per-task seeds
 //! makes the emitted CSV bitwise identical for any thread count.
+//!
+//! Since the workload-API redesign, the engine scheduling, cache
+//! consultation and report assembly all live in the generic
+//! [`crate::workload`] runner; this module contributes the model task
+//! kernel and the policy-projection finalization — with reports,
+//! canonical strings and cache keys bit-for-bit identical to the
+//! pre-trait code (pinned by `tests/determinism.rs`).
 
 use crate::cache::ResultCache;
 use crate::engine::Engine;
 use crate::report::RunReport;
 use crate::scenario::{PolicyAxis, Sweep, Task, Topology};
+use crate::workload::{run_workload, run_workload_subset, Workload, WorkloadKind, WorkloadSpec};
 use wcs_core::average::{mc_averages, PolicyAverages};
 use wcs_core::npair::{mc_averages_npair, NPairAverages, NPairPolicyStats};
 use wcs_stats::montecarlo::MonteCarloEstimate;
@@ -68,16 +76,9 @@ pub fn sweep_columns(sweep: &Sweep) -> Vec<&'static str> {
     }
 }
 
-/// What `run_sweep` produced and how.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepOutcome {
-    /// The (possibly cache-served) report.
-    pub report: RunReport,
-    /// Whether the result came from the on-disk cache.
-    pub cache_hit: bool,
-    /// Number of tasks the sweep lowered to (0 when served from cache).
-    pub tasks_run: usize,
-}
+/// What `run_sweep` produced and how (the generic workload outcome,
+/// under its historical model-sweep name).
+pub type SweepOutcome = crate::workload::WorkloadOutcome;
 
 /// One task's kernel output: whichever evaluation path its topology
 /// selected. The N-pair payload is boxed — it carries three estimates
@@ -87,7 +88,7 @@ enum TaskAverages {
     NPair(Box<NPairAverages>),
 }
 
-fn run_task(task: &Task) -> TaskAverages {
+fn run_task_kernel(task: &Task) -> TaskAverages {
     match task.topology {
         Topology::TwoPair => TaskAverages::TwoPair(mc_averages(
             &task.params(),
@@ -142,13 +143,51 @@ fn attach_meta(report: &mut RunReport, sweep: &Sweep) {
     }
 }
 
-/// Build the all-policy report (the form that is cached): one row per
-/// (task, policy in [`PolicyAxis::ALL`] order), policy column indexing
-/// `ALL`.
-fn full_report(sweep: &Sweep, tasks: &[Task], averages: &[TaskAverages]) -> RunReport {
-    let npair_layout = sweep.has_npair_topology();
-    let mut report = RunReport::new(&sweep.name, &sweep_columns(sweep));
-    for (task, avg) in tasks.iter().zip(averages) {
+impl WorkloadSpec for Sweep {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Model
+    }
+
+    fn canonical(&self) -> String {
+        Sweep::canonical(self)
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn columns(&self) -> Vec<&'static str> {
+        sweep_columns(self)
+    }
+
+    fn task_count(&self) -> usize {
+        Sweep::task_count(self)
+    }
+
+    fn finalize(&self, full: &RunReport) -> RunReport {
+        finalize_report(self, full)
+    }
+}
+
+impl Workload for Sweep {
+    type Task = Task;
+
+    fn lower(&self) -> Vec<Task> {
+        Sweep::lower(self)
+    }
+
+    /// Build one task's **all-policy** row block (the form that is
+    /// cached): one row per policy in [`PolicyAxis::ALL`] order, policy
+    /// column indexing `ALL` — exactly the rows the pre-trait
+    /// `full_report` emitted for this task.
+    fn run_task(&self, task: &Task) -> Vec<Vec<f64>> {
+        let npair_layout = self.has_npair_topology();
+        let avg = run_task_kernel(task);
+        let mut block = Vec::with_capacity(PolicyAxis::ALL.len());
         for (pi, &policy) in PolicyAxis::ALL.iter().enumerate() {
             let mut row = vec![
                 task.rmax,
@@ -159,7 +198,7 @@ fn full_report(sweep: &Sweep, tasks: &[Task], averages: &[TaskAverages]) -> RunR
                 task.cap.efficiency,
                 pi as f64,
             ];
-            match avg {
+            match &avg {
                 TaskAverages::TwoPair(avg) => {
                     let est = select(avg, policy);
                     row.extend([
@@ -174,7 +213,7 @@ fn full_report(sweep: &Sweep, tasks: &[Task], averages: &[TaskAverages]) -> RunR
                 }
                 TaskAverages::NPair(avg) => {
                     // An NPair result can only come from an NPair task
-                    // (see run_task).
+                    // (see run_task_kernel).
                     let Topology::NPair(topo) = task.topology else {
                         unreachable!("N-pair averages from a two-pair task")
                     };
@@ -191,35 +230,20 @@ fn full_report(sweep: &Sweep, tasks: &[Task], averages: &[TaskAverages]) -> RunR
                     ]);
                 }
             }
-            report.push_row(row);
+            block.push(row);
         }
+        block
     }
-    report
 }
 
 /// Run the tasks at `indices` (in the order given) and return their
 /// **all-policy** rows — the partial-report building block of `wcs-shard`
-/// workers. Row blocks are bitwise identical to the corresponding blocks
-/// of a whole-sweep run: each task's kernel is a pure function of the
-/// task alone, so slicing the task list slices the report.
+/// workers. Thin wrapper over the generic [`run_workload_subset`].
 ///
 /// Panics if any index is out of range for the sweep's task list (shard
 /// manifests are validated before execution reaches this point).
 pub fn run_task_subset(sweep: &Sweep, indices: &[usize], engine: &Engine) -> RunReport {
-    let tasks = sweep.lower();
-    let selected: Vec<Task> = indices
-        .iter()
-        .map(|&i| {
-            assert!(
-                i < tasks.len(),
-                "task index {i} out of range ({} tasks)",
-                tasks.len()
-            );
-            tasks[i]
-        })
-        .collect();
-    let averages: Vec<TaskAverages> = engine.map(&selected, run_task);
-    full_report(sweep, &selected, &averages)
+    run_workload_subset(sweep, indices, engine)
 }
 
 /// Finish an **all-policy** report for presentation: project it onto the
@@ -250,7 +274,7 @@ fn select_policies(full: &RunReport, sweep: &Sweep) -> RunReport {
 }
 
 /// Execute `sweep` on `engine`, consulting (and filling) `cache` if one
-/// is given.
+/// is given. Thin wrapper over the generic [`run_workload`].
 ///
 /// The cache stores the **all-policy** rows under a key that ignores the
 /// sweep's policy selection (every policy is scored on the same samples
@@ -259,39 +283,7 @@ fn select_policies(full: &RunReport, sweep: &Sweep) -> RunReport {
 /// does not match the sweep's expected layout (e.g. written by an older
 /// binary) degrades to a miss and recomputes.
 pub fn run_sweep(sweep: &Sweep, engine: &Engine, cache: Option<&ResultCache>) -> SweepOutcome {
-    let columns = sweep_columns(sweep);
-    if let Some(cache) = cache {
-        if let Some(full) = cache.load(sweep) {
-            if full.columns == columns {
-                return SweepOutcome {
-                    report: finalize_report(sweep, &full),
-                    cache_hit: true,
-                    tasks_run: 0,
-                };
-            }
-        }
-    }
-
-    let tasks = sweep.lower();
-    let averages: Vec<TaskAverages> = engine.map(&tasks, run_task);
-
-    let full = full_report(sweep, &tasks, &averages);
-    if let Some(cache) = cache {
-        // Cache write failures (read-only FS, full disk, ...) must not
-        // fail the run, but they must not be invisible either.
-        if let Err(e) = cache.store(sweep, &full) {
-            eprintln!(
-                "warning: failed to store cache entry in {}: {e}",
-                cache.dir().display()
-            );
-        }
-    }
-    let report = finalize_report(sweep, &full);
-    SweepOutcome {
-        report,
-        cache_hit: false,
-        tasks_run: tasks.len(),
-    }
+    run_workload(sweep, engine, cache)
 }
 
 #[cfg(test)]

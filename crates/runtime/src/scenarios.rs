@@ -7,6 +7,8 @@
 
 use crate::config::EffortProfile;
 use crate::scenario::{PolicyAxis, Sweep, Topology};
+use crate::simsweep::{RateAxis, SimSweep};
+use crate::workload::AnyWorkload;
 use wcs_capacity::npair::Placement;
 
 /// The Figure-4 family as one declarative spec: throughput-vs-D curves
@@ -94,7 +96,39 @@ pub fn npair_placements(profile: &EffortProfile) -> Sweep {
         .seed(0x91AC_E4E7)
 }
 
-/// Look up a named scenario (the `repro sweep` subcommand's registry).
+/// CCA-threshold grid on the §4 protocol simulator: the analytic
+/// threshold-robustness sweep's experimental twin. One synthetic
+/// short-range testbed, the paper's best-fixed rate protocol, CCA energy
+/// thresholds from eager (7 dB) to reluctant (19 dB) — the first sim
+/// workload to flow through the sweep/spec/cache/shard machinery.
+pub fn sim_threshold_grid(profile: &EffortProfile) -> SimSweep {
+    SimSweep::new("sim-threshold-grid")
+        .cca_thresholds_db(&[7.0, 13.0, 19.0])
+        .rates(&[RateAxis::BestFixed])
+        .points((profile.ensemble_points / 4).max(2))
+        .run_secs(profile.run_secs)
+        .seed(0x51_CCA)
+}
+
+/// Rate-policy comparison on the §4 protocol simulator: the paper's
+/// best-fixed protocol vs the 6 Mbps base rate vs SampleRate adaptation
+/// (§5's bitrate-adaptation discussion), at the default CCA threshold,
+/// on the same planned link pairs.
+pub fn sim_rate_policies(profile: &EffortProfile) -> SimSweep {
+    SimSweep::new("sim-rate-policies")
+        .cca_thresholds_db(&[13.0])
+        .rates(&[
+            RateAxis::BestFixed,
+            RateAxis::Fixed(6.0),
+            RateAxis::Adaptive,
+        ])
+        .points((profile.ensemble_points / 4).max(2))
+        .run_secs(profile.run_secs)
+        .seed(0x51_4A7E)
+}
+
+/// Look up a named **model** scenario (kept for the pre-workload API;
+/// the CLI resolves through [`any_by_name`]).
 pub fn by_name(name: &str, profile: &EffortProfile) -> Option<Sweep> {
     match name {
         "figure4-family" | "fig4-family" => Some(figure4_family(profile)),
@@ -106,7 +140,20 @@ pub fn by_name(name: &str, profile: &EffortProfile) -> Option<Sweep> {
     }
 }
 
-/// Names accepted by [`by_name`].
+/// Look up a named scenario of either workload family (the `repro
+/// sweep` subcommand's registry).
+pub fn any_by_name(name: &str, profile: &EffortProfile) -> Option<AnyWorkload> {
+    if let Some(sweep) = by_name(name, profile) {
+        return Some(AnyWorkload::Model(sweep));
+    }
+    match name {
+        "sim-threshold-grid" => Some(AnyWorkload::Sim(sim_threshold_grid(profile))),
+        "sim-rate-policies" => Some(AnyWorkload::Sim(sim_rate_policies(profile))),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`by_name`] (model scenarios).
 pub const NAMES: [&str; 5] = [
     "figure4-family",
     "table1-grid",
@@ -114,6 +161,14 @@ pub const NAMES: [&str; 5] = [
     "npair-scaling",
     "npair-placements",
 ];
+
+/// Sim-workload scenario names accepted by [`any_by_name`].
+pub const SIM_NAMES: [&str; 2] = ["sim-threshold-grid", "sim-rate-policies"];
+
+/// Every name [`any_by_name`] accepts, in listing order.
+pub fn all_names() -> Vec<&'static str> {
+    NAMES.iter().chain(SIM_NAMES.iter()).copied().collect()
+}
 
 #[cfg(test)]
 mod tests {
@@ -137,18 +192,37 @@ mod tests {
             assert!(by_name(name, &p).is_some(), "{name} missing from registry");
         }
         assert!(by_name("nope", &p).is_none());
+        for name in all_names() {
+            assert!(
+                any_by_name(name, &p).is_some(),
+                "{name} missing from any-workload registry"
+            );
+        }
+        assert!(any_by_name("nope", &p).is_none());
     }
 
     #[test]
     fn specs_have_distinct_hashes() {
+        use crate::workload::WorkloadSpec;
         let p = EffortProfile::quick();
-        let mut hashes: Vec<u64> = NAMES
+        let mut hashes: Vec<u64> = all_names()
             .iter()
-            .map(|n| by_name(n, &p).unwrap().scenario_hash())
+            .map(|n| any_by_name(n, &p).unwrap().scenario_hash())
             .collect();
         hashes.sort();
         hashes.dedup();
-        assert_eq!(hashes.len(), NAMES.len());
+        assert_eq!(hashes.len(), all_names().len());
+    }
+
+    #[test]
+    fn sim_scenarios_have_sane_shapes() {
+        let p = EffortProfile::quick();
+        let grid = sim_threshold_grid(&p);
+        assert_eq!(grid.cca_thresholds_db.len(), 3);
+        assert_eq!(grid.rates.len(), 1);
+        let rates = sim_rate_policies(&p);
+        assert_eq!(rates.rates.len(), 3);
+        assert_eq!(rates.cca_thresholds_db.len(), 1);
     }
 
     #[test]

@@ -29,8 +29,40 @@
 //! Topology values use the exact canonical syntax of
 //! [`crate::scenario::Topology::canonical`]; capacity models are
 //! `"shannon"`, `"eff=X"` or `"eff=X,cap=Y"`.
+//!
+//! ## Workload dispatch
+//!
+//! Since the workload-API redesign a spec file is self-describing: an
+//! optional `workload = "model" | "sim"` key selects which workload
+//! family the remaining keys configure ([`parse_any_spec_toml`]). Files
+//! without the key are model sweeps — the original format, parsed to the
+//! same [`Sweep`], same canonical string, same cache key, byte for byte.
+//! Sim spec files configure a [`SimSweep`]:
+//!
+//! ```toml
+//! workload = "sim"
+//! name = "my-sim-grid"
+//! testbeds = [3053]            # testbed seeds (one synthetic bed each)
+//! nodes = 50
+//! floor = [180.0, 90.0]
+//! window = [0.94, 1.0]         # link-delivery category
+//! ccas = [7.0, 13.0, 19.0]     # CCA energy thresholds (dB over noise)
+//! rates = ["best-fixed", "fixed(6.0)", "samplerate"]
+//! points = 4                   # link pairs per testbed ensemble
+//! run_secs = 3
+//! sweep_rates = [6.0, 9.0, 12.0, 18.0, 24.0]
+//! payload = 1400
+//! seed = 7
+//! ```
+//!
+//! Either family may also pin `expect_hash = "<16 hex digits>"`: after
+//! parsing, the spec's canonical hash is verified against it, so a file
+//! edited after its hash was recorded fails loudly instead of silently
+//! computing different numbers under a stale name.
 
 use crate::scenario::{PolicyAxis, Sweep, Topology};
+use crate::simsweep::{RateAxis, SimSweep};
+use crate::workload::{AnyWorkload, WorkloadKind, WorkloadSpec};
 use wcs_capacity::npair::Placement;
 use wcs_capacity::shannon::CapacityModel;
 
@@ -203,6 +235,7 @@ pub fn to_spec_toml(sweep: &Sweep) -> String {
 enum Value {
     Str(String),
     Int(u64),
+    Ints(Vec<u64>),
     Floats(Vec<f64>),
     Strs(Vec<String>),
 }
@@ -285,6 +318,12 @@ fn parse_value(raw: &str, line: usize) -> Result<Value, SpecError> {
                 items.iter().map(|i| parse_string(i, line)).collect();
             return Ok(Value::Strs(strs?));
         }
+        // Dot-free numerals are integers (u64 seeds don't round-trip
+        // through f64); anything else must parse as a float.
+        if !items.is_empty() && items.iter().all(|i| i.parse::<u64>().is_ok()) {
+            let ints: Vec<u64> = items.iter().map(|i| i.parse::<u64>().unwrap()).collect();
+            return Ok(Value::Ints(ints));
+        }
         let floats: Result<Vec<f64>, SpecError> = items
             .iter()
             .map(|i| {
@@ -302,13 +341,15 @@ fn parse_value(raw: &str, line: usize) -> Result<Value, SpecError> {
         .map_err(|_| err(line, format!("bad value '{raw}'")))
 }
 
-/// Parse a spec document into a [`Sweep`]. Comments (`#`), blank lines
-/// and an optional `[sweep]` section header are ignored; every other line
-/// must be `key = value`. `name` is required, everything else defaults to
-/// [`Sweep::new`]'s values; unknown or duplicate keys are rejected.
-pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
-    let mut name: Option<String> = None;
-    let mut sweep = Sweep::new("");
+/// The shared line discipline of every spec-file family: comments
+/// (`#`), blank lines and an optional `[sweep]` section header are
+/// ignored; every other line must be `key = value`; duplicate keys are
+/// rejected. Each accepted (key, value, lineno) triple is handed to the
+/// family-specific `apply` callback, which owns the key vocabulary.
+fn for_each_spec_key(
+    text: &str,
+    mut apply: impl FnMut(&str, Value, usize) -> Result<(), SpecError>,
+) -> Result<(), SpecError> {
     let mut seen: Vec<String> = Vec::new();
     for (i, raw_line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -325,11 +366,30 @@ pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
             return Err(err(lineno, format!("duplicate key '{key}'")));
         }
         seen.push(key.to_string());
-        let float_axis = |v: Value| match v {
-            Value::Floats(f) if !f.is_empty() => Ok(f),
-            Value::Floats(_) => Err(err(lineno, format!("'{key}' must not be empty"))),
-            _ => Err(err(lineno, format!("'{key}' must be an array of numbers"))),
-        };
+        apply(key, value, lineno)?;
+    }
+    Ok(())
+}
+
+/// Shared non-empty float-array axis reader (dot-free integer literals
+/// are promoted to floats).
+fn float_axis(v: Value, key: &str, lineno: usize) -> Result<Vec<f64>, SpecError> {
+    match v {
+        Value::Floats(f) if !f.is_empty() => Ok(f),
+        Value::Ints(i) if !i.is_empty() => Ok(i.into_iter().map(|x| x as f64).collect()),
+        Value::Floats(_) | Value::Ints(_) => Err(err(lineno, format!("'{key}' must not be empty"))),
+        _ => Err(err(lineno, format!("'{key}' must be an array of numbers"))),
+    }
+}
+
+/// Parse a spec document into a [`Sweep`]. Comments (`#`), blank lines
+/// and an optional `[sweep]` section header are ignored; every other line
+/// must be `key = value`. `name` is required, everything else defaults to
+/// [`Sweep::new`]'s values; unknown or duplicate keys are rejected.
+pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
+    let mut name: Option<String> = None;
+    let mut sweep = Sweep::new("");
+    for_each_spec_key(text, |key, value, lineno| {
         let string_axis = |v: Value| match v {
             Value::Strs(s) => Ok(s),
             _ => Err(err(lineno, format!("'{key}' must be an array of strings"))),
@@ -339,11 +399,11 @@ pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
                 Value::Str(s) => name = Some(s),
                 _ => return Err(err(lineno, "'name' must be a quoted string")),
             },
-            "rmaxes" => sweep.rmaxes = float_axis(value)?,
-            "ds" => sweep.ds = float_axis(value)?,
-            "sigmas" => sweep.sigmas = float_axis(value)?,
-            "alphas" => sweep.alphas = float_axis(value)?,
-            "d_threshes" => sweep.d_threshes = float_axis(value)?,
+            "rmaxes" => sweep.rmaxes = float_axis(value, key, lineno)?,
+            "ds" => sweep.ds = float_axis(value, key, lineno)?,
+            "sigmas" => sweep.sigmas = float_axis(value, key, lineno)?,
+            "alphas" => sweep.alphas = float_axis(value, key, lineno)?,
+            "d_threshes" => sweep.d_threshes = float_axis(value, key, lineno)?,
             "caps" => {
                 let items = string_axis(value)?;
                 if items.is_empty() {
@@ -385,9 +445,20 @@ pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
                 Value::Int(n) => sweep.seed = n,
                 _ => return Err(err(lineno, "'seed' must be an unsigned integer")),
             },
+            "workload" => match value {
+                Value::Str(s) if s == "model" => {}
+                Value::Str(s) => {
+                    return Err(err(
+                        lineno,
+                        format!("this parser only reads model sweeps, not workload '{s}' (use parse_any_spec_toml)"),
+                    ))
+                }
+                _ => return Err(err(lineno, "'workload' must be a quoted string")),
+            },
             other => return Err(err(lineno, format!("unknown key '{other}'"))),
         }
-    }
+        Ok(())
+    })?;
     sweep.name = name.ok_or_else(|| err(0, "missing required key 'name'"))?;
     Ok(sweep)
 }
@@ -397,6 +468,217 @@ pub fn load_spec_file(path: &std::path::Path) -> Result<Sweep, SpecError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
     parse_spec_toml(&text)
+}
+
+/// Serialize a sim sweep to the spec-file format (self-describing via
+/// the leading `workload = "sim"` key). The output parses back to an
+/// identical `SimSweep` (same canonical string, same scenario hash).
+pub fn to_sim_spec_toml(sweep: &SimSweep) -> String {
+    let seeds: Vec<String> = sweep.testbed_seeds.iter().map(u64::to_string).collect();
+    let rates: Vec<String> = sweep.rates.iter().map(RateAxis::label).collect();
+    format!(
+        "workload = \"sim\"\n\
+         name = \"{}\"\n\
+         testbeds = [{}]\n\
+         nodes = {}\n\
+         floor = [{:?}, {:?}]\n\
+         window = [{:?}, {:?}]\n\
+         ccas = {}\n\
+         rates = {}\n\
+         points = {}\n\
+         run_secs = {}\n\
+         sweep_rates = {}\n\
+         payload = {}\n\
+         seed = {}\n",
+        escape(&sweep.name),
+        seeds.join(", "),
+        sweep.n_nodes,
+        sweep.floor.0,
+        sweep.floor.1,
+        sweep.window.0,
+        sweep.window.1,
+        fmt_floats(&sweep.cca_thresholds_db),
+        fmt_strings(&rates),
+        sweep.points,
+        sweep.run_secs,
+        fmt_floats(&sweep.sweep_rates_mbps),
+        sweep.payload_bytes,
+        sweep.seed,
+    )
+}
+
+/// Parse a sim-workload spec document into a [`SimSweep`]. Same line
+/// discipline as [`parse_spec_toml`]: comments, blanks and `[sweep]`
+/// headers are ignored, `name` is required, everything else defaults to
+/// [`SimSweep::new`]'s values, unknown or duplicate keys are rejected.
+pub fn parse_sim_spec_toml(text: &str) -> Result<SimSweep, SpecError> {
+    let mut name: Option<String> = None;
+    let mut sweep = SimSweep::new("");
+    for_each_spec_key(text, |key, value, lineno| {
+        let float_pair = |v: Value| -> Result<(f64, f64), SpecError> {
+            match float_axis(v, key, lineno)?.as_slice() {
+                [a, b] => Ok((*a, *b)),
+                other => Err(err(
+                    lineno,
+                    format!("'{key}' must be a two-element array, got {}", other.len()),
+                )),
+            }
+        };
+        let positive_int = |v: Value| match v {
+            Value::Int(n) if n > 0 => Ok(n),
+            _ => Err(err(lineno, format!("'{key}' must be a positive integer"))),
+        };
+        match key {
+            "name" => match value {
+                Value::Str(s) => name = Some(s),
+                _ => return Err(err(lineno, "'name' must be a quoted string")),
+            },
+            "workload" => match value {
+                Value::Str(s) if s == "sim" => {}
+                Value::Str(s) => {
+                    return Err(err(
+                        lineno,
+                        format!("this parser only reads sim sweeps, not workload '{s}'"),
+                    ))
+                }
+                _ => return Err(err(lineno, "'workload' must be a quoted string")),
+            },
+            "testbeds" => match value {
+                Value::Ints(v) if !v.is_empty() => sweep.testbed_seeds = v,
+                Value::Ints(_) => return Err(err(lineno, "'testbeds' must not be empty")),
+                _ => return Err(err(lineno, "'testbeds' must be an array of integer seeds")),
+            },
+            "nodes" => sweep.n_nodes = positive_int(value)? as usize,
+            "floor" => sweep.floor = float_pair(value)?,
+            "window" => {
+                let (lo, hi) = float_pair(value)?;
+                if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+                    return Err(err(
+                        lineno,
+                        format!("'window' must be 0 <= lo <= hi <= 1, got [{lo:?}, {hi:?}]"),
+                    ));
+                }
+                sweep.window = (lo, hi);
+            }
+            "ccas" => sweep.cca_thresholds_db = float_axis(value, key, lineno)?,
+            "rates" => {
+                let items = match value {
+                    Value::Strs(s) if !s.is_empty() => s,
+                    _ => return Err(err(lineno, "'rates' must be a non-empty array of strings")),
+                };
+                sweep.rates = items
+                    .iter()
+                    .map(|s| {
+                        RateAxis::from_label(s).ok_or_else(|| {
+                            err(
+                                lineno,
+                                format!(
+                                    "unknown rate policy '{s}' (try \"best-fixed\", \"fixed(6.0)\" or \"samplerate\")"
+                                ),
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "points" => sweep.points = positive_int(value)? as usize,
+            "run_secs" => sweep.run_secs = positive_int(value)?,
+            "sweep_rates" => sweep.sweep_rates_mbps = float_axis(value, key, lineno)?,
+            "payload" => sweep.payload_bytes = positive_int(value)? as usize,
+            "seed" => match value {
+                Value::Int(n) => sweep.seed = n,
+                _ => return Err(err(lineno, "'seed' must be an unsigned integer")),
+            },
+            other => return Err(err(lineno, format!("unknown key '{other}'"))),
+        }
+        Ok(())
+    })?;
+    sweep.name = name.ok_or_else(|| err(0, "missing required key 'name'"))?;
+    Ok(sweep)
+}
+
+/// Parse a spec document of either workload family ([`parse_spec_toml`]
+/// for model sweeps, [`parse_sim_spec_toml`] for sim sweeps), selected
+/// by the optional `workload = "model" | "sim"` key (default: model —
+/// every pre-redesign spec file parses unchanged, to the same cache
+/// key). An optional `expect_hash = "<16 hex digits>"` key pins the
+/// spec's canonical hash; a mismatch is its own error, distinct from
+/// parse failures.
+pub fn parse_any_spec_toml(text: &str) -> Result<AnyWorkload, SpecError> {
+    let mut kind = WorkloadKind::Model;
+    let mut kind_line = 0usize;
+    let mut expect_hash: Option<(u64, usize)> = None;
+    // Blank the dispatcher's own keys (preserving line numbers) so the
+    // family parsers never see them.
+    let mut body = String::with_capacity(text.len());
+    for (i, raw_line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw_line.trim();
+        if let Some((key, value)) = line.split_once('=') {
+            match key.trim() {
+                "workload" => {
+                    if kind_line != 0 {
+                        return Err(err(lineno, "duplicate key 'workload'"));
+                    }
+                    kind_line = lineno;
+                    let label = parse_string(value.trim(), lineno)?;
+                    kind = WorkloadKind::from_label(&label).ok_or_else(|| {
+                        err(
+                            lineno,
+                            format!("unknown workload '{label}' (known workloads: model, sim)"),
+                        )
+                    })?;
+                    body.push('#');
+                    body.push('\n');
+                    continue;
+                }
+                "expect_hash" => {
+                    if expect_hash.is_some() {
+                        return Err(err(lineno, "duplicate key 'expect_hash'"));
+                    }
+                    let hex = parse_string(value.trim(), lineno)?;
+                    let hash = (hex.len() == 16)
+                        .then(|| u64::from_str_radix(&hex, 16).ok())
+                        .flatten()
+                        .ok_or_else(|| {
+                            err(
+                                lineno,
+                                format!("'expect_hash' must be 16 hex digits, got '{hex}'"),
+                            )
+                        })?;
+                    expect_hash = Some((hash, lineno));
+                    body.push('#');
+                    body.push('\n');
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        body.push_str(raw_line);
+        body.push('\n');
+    }
+    let workload = match kind {
+        WorkloadKind::Model => AnyWorkload::Model(parse_spec_toml(&body)?),
+        WorkloadKind::Sim => AnyWorkload::Sim(parse_sim_spec_toml(&body)?),
+    };
+    if let Some((expected, lineno)) = expect_hash {
+        let computed = workload.scenario_hash();
+        if computed != expected {
+            return Err(err(
+                lineno,
+                format!(
+                    "scenario hash mismatch: expect_hash pins {expected:016x} but the spec hashes to {computed:016x} — the file was edited after its hash was recorded (update or drop expect_hash)"
+                ),
+            ));
+        }
+    }
+    Ok(workload)
+}
+
+/// Read and parse a spec file of either workload family from `path`.
+pub fn load_any_spec_file(path: &std::path::Path) -> Result<AnyWorkload, SpecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+    parse_any_spec_toml(&text)
 }
 
 #[cfg(test)]
@@ -494,6 +776,127 @@ mod tests {
         ] {
             assert!(parse_spec_toml(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    fn exotic_sim_sweep() -> SimSweep {
+        SimSweep::new("exotic-sim")
+            .testbed_seeds(&[0xBED, u64::MAX, 7])
+            .n_nodes(40)
+            .floor(120.0, 60.5)
+            .window(0.80, 0.95)
+            .cca_thresholds_db(&[7.0, 13.0, 19.5])
+            .rates(&[
+                RateAxis::BestFixed,
+                RateAxis::Fixed(6.0),
+                RateAxis::Fixed(13.5),
+                RateAxis::Adaptive,
+            ])
+            .points(3)
+            .run_secs(2)
+            .sweep_rates_mbps(&[6.0, 12.0, 24.0])
+            .payload_bytes(800)
+            .seed(0xFEED_5EED)
+    }
+
+    #[test]
+    fn sim_roundtrip_is_identity() {
+        let s = exotic_sim_sweep();
+        let text = to_sim_spec_toml(&s);
+        assert!(text.starts_with("workload = \"sim\"\n"));
+        let parsed = parse_sim_spec_toml(&text).expect("parse");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.canonical(), s.canonical());
+        assert_eq!(parsed.scenario_hash(), s.scenario_hash());
+        // u64 seeds survive exactly (they would not through f64).
+        assert_eq!(parsed.testbed_seeds[1], u64::MAX);
+    }
+
+    #[test]
+    fn any_dispatch_selects_the_workload_family() {
+        // No workload key: model, byte-identical to the classic parser.
+        let model_text = to_spec_toml(&Sweep::new("m").ds(&[10.0]));
+        match parse_any_spec_toml(&model_text).unwrap() {
+            AnyWorkload::Model(s) => assert_eq!(s, Sweep::new("m").ds(&[10.0])),
+            other => panic!("expected model, got {other:?}"),
+        }
+        // workload = "model" is accepted and equivalent.
+        let spelled = format!("workload = \"model\"\n{model_text}");
+        assert_eq!(
+            parse_any_spec_toml(&spelled).unwrap(),
+            parse_any_spec_toml(&model_text).unwrap()
+        );
+        // workload = "sim" dispatches to the sim parser.
+        let sim = exotic_sim_sweep();
+        match parse_any_spec_toml(&to_sim_spec_toml(&sim)).unwrap() {
+            AnyWorkload::Sim(s) => assert_eq!(s, sim),
+            other => panic!("expected sim, got {other:?}"),
+        }
+        // Unknown workloads are a distinct, actionable error.
+        let e = parse_any_spec_toml("workload = \"quantum\"\nname = \"x\"\n").unwrap_err();
+        assert!(e.to_string().contains("unknown workload 'quantum'"), "{e}");
+        assert!(e.to_string().contains("model, sim"), "{e}");
+    }
+
+    #[test]
+    fn expect_hash_pins_the_scenario_identity() {
+        let sweep = Sweep::new("pinned").ds(&[10.0, 20.0]);
+        let good = format!(
+            "expect_hash = \"{:016x}\"\n{}",
+            sweep.scenario_hash(),
+            to_spec_toml(&sweep)
+        );
+        assert_eq!(
+            parse_any_spec_toml(&good).unwrap(),
+            AnyWorkload::Model(sweep.clone())
+        );
+        // Edit an axis without updating the hash: distinct error.
+        let tampered = good.replace("ds = [10.0, 20.0]", "ds = [10.0, 21.0]");
+        assert_ne!(good, tampered);
+        let e = parse_any_spec_toml(&tampered).unwrap_err();
+        assert!(e.to_string().contains("scenario hash mismatch"), "{e}");
+        // Malformed hashes are rejected up front.
+        assert!(parse_any_spec_toml("expect_hash = \"xyz\"\nname = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn sim_error_paths_are_actionable() {
+        for (bad, needle) in [
+            ("workload = \"sim\"\n", "missing required key 'name'"),
+            (
+                "workload = \"sim\"\nname = \"x\"\nrates = [\"warp\"]\n",
+                "unknown rate policy 'warp'",
+            ),
+            (
+                "workload = \"sim\"\nname = \"x\"\nccas = []\n",
+                "must not be empty",
+            ),
+            (
+                "workload = \"sim\"\nname = \"x\"\nwindow = [0.5]\n",
+                "two-element",
+            ),
+            (
+                "workload = \"sim\"\nname = \"x\"\nwindow = [0.9, 0.2]\n",
+                "lo <= hi",
+            ),
+            (
+                "workload = \"sim\"\nname = \"x\"\npoints = 0\n",
+                "positive integer",
+            ),
+            (
+                "workload = \"sim\"\nname = \"x\"\ntestbeds = [1.5]\n",
+                "integer seeds",
+            ),
+            (
+                "workload = \"sim\"\nname = \"x\"\nrmaxes = [10.0]\n",
+                "unknown key 'rmaxes'",
+            ),
+        ] {
+            let e = parse_any_spec_toml(bad).unwrap_err();
+            assert!(e.to_string().contains(needle), "{bad:?} -> {e}");
+        }
+        // A sim key in a model spec is equally loud.
+        let e = parse_any_spec_toml("name = \"x\"\nccas = [13.0]\n").unwrap_err();
+        assert!(e.to_string().contains("unknown key 'ccas'"), "{e}");
     }
 
     #[test]

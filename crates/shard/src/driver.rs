@@ -22,7 +22,7 @@ use crate::plan::{ShardPlan, ShardStrategy};
 use crate::ShardError;
 use std::path::{Path, PathBuf};
 use std::process::Command;
-use wcs_runtime::Sweep;
+use wcs_runtime::{AnyWorkload, WorkloadSpec};
 
 /// Manifest file path for shard `shard` under `dir`.
 pub fn manifest_path(dir: &Path, shard: usize) -> PathBuf {
@@ -48,19 +48,20 @@ pub fn find_manifests(dir: &Path) -> Result<Vec<PathBuf>, ShardError> {
     Ok(out)
 }
 
-/// Slice `sweep` into `k` shards and write one manifest per shard under
-/// `dir` (created if missing). Any shard files already in `dir` — from a
-/// previous plan with a different k or strategy — are removed first, so
-/// re-planning a reused directory can never leave stale manifests or
-/// partials behind for the merge to choke on. Returns the manifest paths
-/// in shard order.
+/// Slice a workload into `k` shards and write one manifest per shard
+/// under `dir` (created if missing). Any shard files already in `dir` —
+/// from a previous plan with a different k or strategy — are removed
+/// first, so re-planning a reused directory can never leave stale
+/// manifests or partials behind for the merge to choke on. Returns the
+/// manifest paths in shard order.
 pub fn write_plan(
     dir: &Path,
-    sweep: &Sweep,
+    workload: impl Into<AnyWorkload>,
     k: usize,
     strategy: ShardStrategy,
 ) -> Result<Vec<PathBuf>, ShardError> {
-    let plan = ShardPlan::new(sweep.task_count(), k, strategy)?;
+    let workload = workload.into();
+    let plan = ShardPlan::new(workload.task_count(), k, strategy)?;
     std::fs::create_dir_all(dir)?;
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
@@ -74,7 +75,7 @@ pub fn write_plan(
     let mut paths = Vec::with_capacity(k);
     for shard in 0..k {
         let path = manifest_path(dir, shard);
-        ShardManifest::new(sweep, &plan, shard).save(&path)?;
+        ShardManifest::new(workload.clone(), &plan, shard).save(&path)?;
         paths.push(path);
     }
     Ok(paths)
@@ -92,14 +93,14 @@ pub fn write_plan(
 /// Workers inherit stderr so their progress lines surface.
 pub fn run_local(
     dir: &Path,
-    sweep: &Sweep,
+    workload: impl Into<AnyWorkload>,
     k: usize,
     strategy: ShardStrategy,
     repro_exe: &Path,
     threads_per_worker: usize,
     cache: Option<&wcs_runtime::ResultCache>,
 ) -> Result<MergeOutcome, ShardError> {
-    let manifests = write_plan(dir, sweep, k, strategy)?;
+    let manifests = write_plan(dir, workload, k, strategy)?;
     // threads 0 (auto) would hand *each* of the K workers a full-core
     // pool — K-fold oversubscription. Split the cores across workers
     // instead; an explicit --threads value is forwarded untouched.
@@ -162,6 +163,7 @@ pub fn run_local(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wcs_runtime::Sweep;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("wcs-driver-{tag}-{}", std::process::id()));
@@ -179,7 +181,7 @@ mod tests {
         let m = ShardManifest::load(&paths[2]).unwrap();
         assert_eq!(m.shard, 2);
         assert_eq!(m.k, 3);
-        assert_eq!(m.sweep.scenario_hash(), sweep.scenario_hash());
+        assert_eq!(m.workload.scenario_hash(), sweep.scenario_hash());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

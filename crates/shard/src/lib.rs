@@ -45,8 +45,8 @@ pub mod plan;
 
 pub use driver::{manifest_path, partial_path, run_local, write_plan};
 pub use manifest::ShardManifest;
-pub use merge::{merge_dir, merge_partials};
-pub use partial::PartialReport;
+pub use merge::{merge_dir, merge_partials, MergeOutcome};
+pub use partial::{partial_cache_name, PartialReport};
 pub use plan::{ShardPlan, ShardStrategy};
 
 /// Everything that can go wrong while planning, loading, or merging
@@ -75,6 +75,15 @@ pub enum ShardError {
     /// Shards to be merged disagree on spec, seed, shard count,
     /// strategy, task count, or column layout.
     SpecMismatch(String),
+    /// Artifacts of different workload kinds (model vs sim) were mixed:
+    /// a manifest whose `[shard]` kind contradicts its spec body, or a
+    /// merge across kinds.
+    WorkloadMismatch {
+        /// The kind the rest of the artifact set claims.
+        expected: wcs_runtime::WorkloadKind,
+        /// The kind actually found.
+        found: wcs_runtime::WorkloadKind,
+    },
     /// Two shards claim the same shard index (their slices overlap).
     Overlap {
         /// The duplicated shard index.
@@ -116,6 +125,10 @@ impl std::fmt::Display for ShardError {
                 path.display()
             ),
             ShardError::SpecMismatch(msg) => write!(f, "shard set mismatch: {msg}"),
+            ShardError::WorkloadMismatch { expected, found } => write!(
+                f,
+                "workload kind mismatch: expected {expected} shards, found {found} (model and sim artifacts cannot be mixed)"
+            ),
             ShardError::Overlap { shard } => {
                 write!(f, "overlapping shards: index {shard} appears more than once")
             }

@@ -1,17 +1,21 @@
 //! On-disk shard manifests.
 //!
 //! A manifest is everything a worker process needs to run its slice of a
-//! sweep: the full sweep spec (embedded via [`wcs_runtime::spec`], so it
+//! workload: the full spec (embedded via [`wcs_runtime::spec`], so it
 //! round-trips bitwise) and the shard coordinates (index, shard count,
-//! strategy, expected task count). The sweep's canonical-string hash is
-//! embedded too and **re-verified on load** — a manifest whose spec was
-//! edited after planning (or corrupted in transit between hosts) is
-//! rejected instead of silently computing different numbers under the
-//! original identity.
+//! strategy, expected task count). Since the workload-API redesign the
+//! manifest also **carries its workload kind** — both as an explicit
+//! `workload =` key in the `[shard]` table and via the self-describing
+//! spec body — so a sim shard can never be mistaken for a model shard.
+//! The spec's canonical-string hash is embedded too and **re-verified on
+//! load** — a manifest whose spec was edited after planning (or
+//! corrupted in transit between hosts) is rejected instead of silently
+//! computing different numbers under the original identity.
 //!
 //! ```text
 //! # wcs-shard manifest v1
 //! [shard]
+//! workload = "model"
 //! k = 3
 //! index = 0
 //! strategy = "contiguous"
@@ -26,7 +30,7 @@
 use crate::plan::{ShardPlan, ShardStrategy};
 use crate::ShardError;
 use std::path::Path;
-use wcs_runtime::{parse_spec_toml, to_spec_toml, Sweep};
+use wcs_runtime::{parse_any_spec_toml, AnyWorkload, WorkloadKind, WorkloadSpec};
 
 /// Magic first line of every manifest file.
 pub const MANIFEST_MAGIC: &str = "# wcs-shard manifest v1";
@@ -34,27 +38,28 @@ pub const MANIFEST_MAGIC: &str = "# wcs-shard manifest v1";
 /// One shard's self-contained work order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardManifest {
-    /// The full sweep this shard is a slice of.
-    pub sweep: Sweep,
+    /// The full workload this shard is a slice of.
+    pub workload: AnyWorkload,
     /// Total number of shards in the plan.
     pub k: usize,
     /// This shard's index in `0..k`.
     pub shard: usize,
     /// How the plan deals task indices to shards.
     pub strategy: ShardStrategy,
-    /// `sweep.task_count()` at planning time, double-checked on load.
+    /// `workload.task_count()` at planning time, double-checked on load.
     pub task_count: usize,
 }
 
 impl ShardManifest {
-    /// Manifest for shard `shard` of `plan` over `sweep`. Panics if the
-    /// plan's task count disagrees with the sweep's (the caller built the
-    /// plan *from* the sweep).
-    pub fn new(sweep: &Sweep, plan: &ShardPlan, shard: usize) -> Self {
+    /// Manifest for shard `shard` of `plan` over `workload`. Panics if
+    /// the plan's task count disagrees with the workload's (the caller
+    /// built the plan *from* the workload).
+    pub fn new(workload: impl Into<AnyWorkload>, plan: &ShardPlan, shard: usize) -> Self {
+        let workload = workload.into();
         assert_eq!(
             plan.task_count,
-            sweep.task_count(),
-            "plan does not match sweep"
+            workload.task_count(),
+            "plan does not match workload"
         );
         assert!(
             shard < plan.k,
@@ -62,12 +67,17 @@ impl ShardManifest {
             plan.k
         );
         ShardManifest {
-            sweep: sweep.clone(),
+            workload,
             k: plan.k,
             shard,
             strategy: plan.strategy,
             task_count: plan.task_count,
         }
+    }
+
+    /// Which workload family this shard slices.
+    pub fn kind(&self) -> WorkloadKind {
+        self.workload.kind()
     }
 
     /// The plan this manifest is one shard of.
@@ -89,6 +99,7 @@ impl ShardManifest {
         format!(
             "{MANIFEST_MAGIC}\n\
              [shard]\n\
+             workload = \"{}\"\n\
              k = {}\n\
              index = {}\n\
              strategy = \"{}\"\n\
@@ -96,17 +107,19 @@ impl ShardManifest {
              spec_hash = \"{:016x}\"\n\
              \n\
              [sweep]\n{}",
+            self.workload.kind().label(),
             self.k,
             self.shard,
             self.strategy.label(),
             self.task_count,
-            self.sweep.scenario_hash(),
-            to_spec_toml(&self.sweep),
+            self.workload.scenario_hash(),
+            self.workload.to_spec_toml(),
         )
     }
 
-    /// Parse a manifest document, verifying the embedded spec hash and
-    /// shard coordinates. `path` is only used for error messages.
+    /// Parse a manifest document, verifying the embedded spec hash,
+    /// workload kind and shard coordinates. `path` is only used for
+    /// error messages.
     pub fn parse(text: &str, path: &Path) -> Result<Self, ShardError> {
         let parse_err = |message: String| ShardError::Parse {
             path: path.to_path_buf(),
@@ -136,6 +149,7 @@ impl ShardManifest {
             }
         }
 
+        let mut kind: Option<WorkloadKind> = None;
         let mut k: Option<usize> = None;
         let mut shard: Option<usize> = None;
         let mut strategy: Option<ShardStrategy> = None;
@@ -150,6 +164,14 @@ impl ShardManifest {
                 .ok_or_else(|| parse_err(format!("bad [shard] line '{line}'")))?;
             let (key, value) = (key.trim(), value.trim());
             match key {
+                "workload" => {
+                    let label = unquote(value).map_err(&parse_err)?;
+                    kind = Some(WorkloadKind::from_label(label).ok_or_else(|| {
+                        parse_err(format!(
+                            "unknown workload '{label}' (known workloads: model, sim)"
+                        ))
+                    })?);
+                }
                 "k" => k = Some(parse_usize(value).map_err(&parse_err)?),
                 "index" => shard = Some(parse_usize(value).map_err(&parse_err)?),
                 "task_count" => task_count = Some(parse_usize(value).map_err(&parse_err)?),
@@ -177,9 +199,20 @@ impl ShardManifest {
         let task_count = task_count.ok_or_else(|| missing("task_count"))?;
         let spec_hash = spec_hash.ok_or_else(|| missing("spec_hash"))?;
 
-        let sweep = parse_spec_toml(&sweep_lines.join("\n"))
+        let workload = parse_any_spec_toml(&sweep_lines.join("\n"))
             .map_err(|e| parse_err(format!("[sweep] section: {e}")))?;
-        let computed = sweep.scenario_hash();
+        // A `workload =` key in [shard] (written by every post-redesign
+        // plan; optional for pre-redesign model manifests) must agree
+        // with the self-describing spec body.
+        if let Some(kind) = kind {
+            if kind != workload.kind() {
+                return Err(ShardError::WorkloadMismatch {
+                    expected: kind,
+                    found: workload.kind(),
+                });
+            }
+        }
+        let computed = workload.scenario_hash();
         if computed != spec_hash {
             return Err(ShardError::HashMismatch {
                 path: path.to_path_buf(),
@@ -187,11 +220,11 @@ impl ShardManifest {
                 computed,
             });
         }
-        if task_count != sweep.task_count() {
+        if task_count != workload.task_count() {
             return Err(parse_err(format!(
-                "task_count {} does not match the sweep's {} tasks",
+                "task_count {} does not match the workload's {} tasks",
                 task_count,
-                sweep.task_count()
+                workload.task_count()
             )));
         }
         if k == 0 || shard >= k {
@@ -200,7 +233,7 @@ impl ShardManifest {
             )));
         }
         Ok(ShardManifest {
-            sweep,
+            workload,
             k,
             shard,
             strategy,
@@ -236,7 +269,7 @@ fn unquote(s: &str) -> Result<&str, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wcs_runtime::Topology;
+    use wcs_runtime::{SimSweep, Sweep, Topology};
 
     fn sweep() -> Sweep {
         Sweep::new("manifest-test")
@@ -244,6 +277,14 @@ mod tests {
             .topologies(&[Topology::TwoPair, Topology::npair_line(4)])
             .samples(500)
             .seed(42)
+    }
+
+    fn sim_sweep() -> SimSweep {
+        SimSweep::new("manifest-sim")
+            .cca_thresholds_db(&[7.0, 13.0])
+            .points(2)
+            .run_secs(1)
+            .seed(5)
     }
 
     fn path() -> std::path::PathBuf {
@@ -256,11 +297,33 @@ mod tests {
         let plan = ShardPlan::new(s.task_count(), 3, ShardStrategy::Strided).unwrap();
         for shard in 0..3 {
             let m = ShardManifest::new(&s, &plan, shard);
+            assert_eq!(m.kind(), WorkloadKind::Model);
             let parsed = ShardManifest::parse(&m.to_toml(), &path()).expect("parse");
             assert_eq!(parsed, m);
-            assert_eq!(parsed.sweep.scenario_hash(), s.scenario_hash());
+            assert_eq!(parsed.workload.scenario_hash(), s.scenario_hash());
             assert_eq!(parsed.indices(), plan.indices(shard));
         }
+    }
+
+    #[test]
+    fn sim_manifests_roundtrip_and_carry_their_kind() {
+        let s = sim_sweep();
+        let plan =
+            ShardPlan::new(WorkloadSpec::task_count(&s), 2, ShardStrategy::Contiguous).unwrap();
+        let m = ShardManifest::new(&s, &plan, 1);
+        assert_eq!(m.kind(), WorkloadKind::Sim);
+        let text = m.to_toml();
+        assert!(text.contains("workload = \"sim\""), "{text}");
+        let parsed = ShardManifest::parse(&text, &path()).expect("parse");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.kind(), WorkloadKind::Sim);
+        // A [shard] kind that contradicts the spec body is refused.
+        let lied = text.replacen("workload = \"sim\"", "workload = \"model\"", 1);
+        assert_ne!(text, lied);
+        assert!(matches!(
+            ShardManifest::parse(&lied, &path()),
+            Err(ShardError::WorkloadMismatch { .. })
+        ));
     }
 
     #[test]
@@ -302,6 +365,9 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         assert!(ShardManifest::parse(&no_hash, &path()).is_err());
+        // An unknown workload label is its own clear error.
+        let alien = text.replacen("workload = \"model\"", "workload = \"quantum\"", 1);
+        assert!(ShardManifest::parse(&alien, &path()).is_err());
     }
 
     #[test]

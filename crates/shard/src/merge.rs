@@ -1,30 +1,41 @@
 //! Deterministic index-order merge of shard partials.
 //!
 //! The merge trusts nothing: every partial must carry the **same**
-//! canonical spec string (full string, not just the hash), seed, shard
-//! count, strategy, task count and column layout; the shard indices must
-//! tile `0..k` with no duplicates (overlap) and no holes (gap); and every
-//! partial's row count must equal its slice length × the all-policy row
-//! block size. Only then are the row blocks dealt back into task-index
-//! order — reconstructing the exact all-policy report a single-process
-//! run produces, which then goes through the same
-//! [`finalize_report`] projection (and
+//! workload kind (model and sim shards are never mixed), canonical spec
+//! string (full string, not just the hash), seed, shard count, strategy,
+//! task count and column layout; the shard indices must tile `0..k` with
+//! no duplicates (overlap) and no holes (gap); and every partial's row
+//! count must equal its slice length × the workload's per-task row block
+//! size. Only then are the row blocks dealt back into task-index order —
+//! reconstructing the exact full report a single-process run produces,
+//! which then goes through the same workload finalization (and
 //! optionally into the shared [`ResultCache`] under the same key).
+//!
+//! When the shared cache is available, a shard whose partial file is
+//! missing from the plan directory (lost worker, lost disk) is served
+//! from its cached partial blob instead of failing the merge — only a
+//! shard the cache has never seen is a genuine gap.
 
 use crate::manifest::ShardManifest;
 use crate::partial::PartialReport;
 use crate::{driver, ShardError};
 use std::path::Path;
-use wcs_runtime::{finalize_report, PolicyAxis, ResultCache, RunReport, Sweep};
+use wcs_runtime::{AnyWorkload, ResultCache, RunReport, WorkloadSpec};
 
-/// Validate a shard set and reassemble the full **all-policy** report in
-/// task-index order. The partials may arrive in any order.
+/// Validate a shard set and reassemble the full report in task-index
+/// order. The partials may arrive in any order.
 pub fn merge_partials(parts: &[PartialReport]) -> Result<RunReport, ShardError> {
     let first = parts
         .first()
         .ok_or_else(|| ShardError::SpecMismatch("no partials to merge".into()))?;
     let k = first.k;
     for p in parts {
+        if p.kind != first.kind {
+            return Err(ShardError::WorkloadMismatch {
+                expected: first.kind,
+                found: p.kind,
+            });
+        }
         if p.spec != first.spec {
             return Err(ShardError::SpecMismatch(format!(
                 "shard {} was computed from a different sweep spec",
@@ -73,7 +84,7 @@ pub fn merge_partials(parts: &[PartialReport]) -> Result<RunReport, ShardError> 
     }
     let plan = crate::plan::ShardPlan::new(first.task_count, k, first.strategy)
         .expect("k >= 1 was checked at parse");
-    let rows_per_task = PolicyAxis::ALL.len();
+    let rows_per_task = first.kind.rows_per_task();
     let mut slots: Vec<Option<&Vec<f64>>> = vec![None; first.task_count * rows_per_task];
     for (shard, slot) in by_shard.iter().enumerate() {
         let p = slot.ok_or(ShardError::Gap { shard, k })?;
@@ -105,21 +116,25 @@ pub fn merge_partials(parts: &[PartialReport]) -> Result<RunReport, ShardError> 
 /// What [`merge_dir`] produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MergeOutcome {
-    /// The finalized report — byte-identical to a single-process
-    /// `run_sweep` of the same spec.
+    /// The finalized report — byte-identical to a single-process run of
+    /// the same spec.
     pub report: RunReport,
-    /// The sweep the shards were slices of (from the manifests).
-    pub sweep: Sweep,
+    /// The workload the shards were slices of (from the manifests).
+    pub workload: AnyWorkload,
     /// How many shards were merged.
     pub shards: usize,
+    /// How many of them were served from cached partial blobs because
+    /// their partial file was missing from the plan directory.
+    pub shards_from_cache: usize,
 }
 
 /// Merge a plan directory: load every `shard-*.manifest.toml` and its
-/// `shard-*.partial.csv`, validate the set, reassemble, finalize through
-/// the standard policy projection, and — unless `cache` is `None` —
-/// store the full all-policy report under the exact (scenario hash, seed)
-/// key a single-process run would use, so the *next* `repro sweep` of
-/// this spec is a cache hit.
+/// `shard-*.partial.csv` (falling back to the shared cache's partial
+/// blob when the file is missing), validate the set, reassemble,
+/// finalize through the standard workload finalization, and — unless
+/// `cache` is `None` — store the full report under the exact
+/// (scenario hash, seed) key a single-process run would use, so the
+/// *next* `repro sweep` of this spec is a cache hit.
 pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome, ShardError> {
     let manifest_paths = driver::find_manifests(dir)?;
     let first_manifest = match manifest_paths.first() {
@@ -132,9 +147,16 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
         }
     };
     let mut parts = Vec::with_capacity(manifest_paths.len());
+    let mut shards_from_cache = 0;
     for mpath in &manifest_paths {
         let manifest = ShardManifest::load(mpath)?;
-        if manifest.sweep.canonical() != first_manifest.sweep.canonical() {
+        if manifest.kind() != first_manifest.kind() {
+            return Err(ShardError::WorkloadMismatch {
+                expected: first_manifest.kind(),
+                found: manifest.kind(),
+            });
+        }
+        if manifest.workload.canonical() != first_manifest.workload.canonical() {
             return Err(ShardError::SpecMismatch(format!(
                 "{} plans a different sweep than {}",
                 mpath.display(),
@@ -142,17 +164,30 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
             )));
         }
         let ppath = driver::partial_path(dir, manifest.shard);
-        if !ppath.exists() {
-            return Err(ShardError::Gap {
-                shard: manifest.shard,
-                k: manifest.k,
-            });
+        if ppath.exists() {
+            parts.push(PartialReport::load(&ppath)?);
+        } else {
+            // Lost worker / lost file: serve the cached partial blob if
+            // this exact plan's shard was ever computed before —
+            // through the same validation gate the worker uses (kind,
+            // spec, seed, coordinates, column layout, row count).
+            match cache.and_then(|c| crate::partial::load_cached_partial(c, &manifest)) {
+                Some(p) => {
+                    shards_from_cache += 1;
+                    parts.push(p);
+                }
+                None => {
+                    return Err(ShardError::Gap {
+                        shard: manifest.shard,
+                        k: manifest.k,
+                    })
+                }
+            }
         }
-        parts.push(PartialReport::load(&ppath)?);
     }
-    let sweep = first_manifest.sweep;
+    let workload = first_manifest.workload;
     for p in &parts {
-        if p.spec != sweep.canonical() || p.seed != sweep.seed {
+        if p.spec != workload.canonical() || p.seed != workload.seed() {
             return Err(ShardError::SpecMismatch(format!(
                 "partial for shard {} does not match the plan's sweep",
                 p.shard
@@ -162,19 +197,20 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
     let full = merge_partials(&parts)?;
     if let Some(cache) = cache {
         // Same tolerance as run_sweep: a failed store warns, never fails.
-        if let Err(e) = cache.store(&sweep, &full) {
+        if let Err(e) = cache.store(&workload, &full) {
             eprintln!(
                 "warning: failed to store cache entry in {}: {e}",
                 cache.dir().display()
             );
         }
     }
-    let report = finalize_report(&sweep, &full);
+    let report = workload.finalize(&full);
     let shards = parts.len();
     Ok(MergeOutcome {
         report,
-        sweep,
+        workload,
         shards,
+        shards_from_cache,
     })
 }
 
@@ -183,7 +219,7 @@ mod tests {
     use super::*;
     use crate::partial::run_worker;
     use crate::plan::{ShardPlan, ShardStrategy};
-    use wcs_runtime::{run_sweep, Engine, Topology};
+    use wcs_runtime::{run_sweep, Engine, Sweep, Topology};
 
     fn sweep() -> Sweep {
         Sweep::new("merge-test")
@@ -209,7 +245,7 @@ mod tests {
             let mut parts = partials(&s, 3, strategy);
             parts.rotate_left(2); // arrival order must not matter
             let full = merge_partials(&parts).unwrap();
-            let merged = finalize_report(&s, &full);
+            let merged = wcs_runtime::finalize_report(&s, &full);
             assert_eq!(merged.to_csv(), single.to_csv(), "{}", strategy.label());
         }
     }
@@ -254,6 +290,22 @@ mod tests {
         let reseeded = partials(&sweep().seed(22), 2, ShardStrategy::Contiguous);
         parts[1] = reseeded[1].clone();
         assert!(merge_partials(&parts).is_err());
+    }
+
+    #[test]
+    fn cross_workload_merge_is_refused() {
+        // A sim partial smuggled into a model shard set must be refused
+        // by kind, before any row-shape reasoning.
+        let s = sweep();
+        let mut parts = partials(&s, 2, ShardStrategy::Contiguous);
+        parts[1].kind = wcs_runtime::WorkloadKind::Sim;
+        match merge_partials(&parts) {
+            Err(ShardError::WorkloadMismatch { expected, found }) => {
+                assert_eq!(expected, wcs_runtime::WorkloadKind::Model);
+                assert_eq!(found, wcs_runtime::WorkloadKind::Sim);
+            }
+            other => panic!("expected WorkloadMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,30 +1,40 @@
 //! Per-shard partial reports.
 //!
 //! A worker writes one partial file: a `#`-comment header carrying the
-//! sweep's canonical spec string, seed, shard coordinates and strategy,
-//! then the shard's **all-policy** CSV rows (the cache's row form, not
-//! the policy-projected presentation form). The header lets the merge
-//! validate a directory of partials sight unseen — same spec, same seed,
-//! same plan, no overlaps, no gaps — before it trusts a single row.
+//! workload kind, the canonical spec string, seed, shard coordinates and
+//! strategy, then the shard's full row blocks (the cache's row form, not
+//! the finalized presentation form). The header lets the merge validate
+//! a directory of partials sight unseen — same kind, same spec, same
+//! seed, same plan, no overlaps, no gaps — before it trusts a single
+//! row.
+//!
+//! Workers also **cache their partials** in the shared
+//! [`ResultCache`] (as named blobs keyed by (scenario, hash, seed, plan,
+//! shard)): if a plan directory is lost or a merge is re-run after one
+//! lost worker, every shard whose partial is already in the cache is
+//! served from it and only the missing shard recomputes.
 
 use crate::manifest::ShardManifest;
 use crate::plan::ShardStrategy;
 use crate::ShardError;
 use std::path::Path;
-use wcs_runtime::{run_task_subset, sweep_columns, Engine, ResultCache, RunReport};
+use wcs_runtime::{sanitize_name, Engine, ResultCache, RunReport, WorkloadKind, WorkloadSpec};
 
 /// Magic first line of every partial file.
 pub const PARTIAL_MAGIC: &str = "# wcs-shard partial v1";
 
-/// One shard's computed slice of a sweep, plus the header metadata the
-/// merge validates.
+/// One shard's computed slice of a workload, plus the header metadata
+/// the merge validates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartialReport {
-    /// The sweep's canonical spec string (not just its hash: equality of
-    /// the full string is what the merge checks, so a 64-bit collision
-    /// cannot splice two different sweeps).
+    /// Which workload family computed this shard (model and sim partials
+    /// can never be merged together).
+    pub kind: WorkloadKind,
+    /// The workload's canonical spec string (not just its hash: equality
+    /// of the full string is what the merge checks, so a 64-bit
+    /// collision cannot splice two different workloads).
     pub spec: String,
-    /// The sweep's root seed.
+    /// The workload's root seed.
     pub seed: u64,
     /// This shard's index in `0..k`.
     pub shard: usize,
@@ -32,50 +42,115 @@ pub struct PartialReport {
     pub k: usize,
     /// The plan's dealing strategy.
     pub strategy: ShardStrategy,
-    /// The sweep's total task count.
+    /// The workload's total task count.
     pub task_count: usize,
-    /// The shard's all-policy row blocks, in ascending task-index order.
+    /// The shard's full row blocks, in ascending task-index order.
     pub report: RunReport,
 }
 
+/// The shared-cache blob name under which this manifest's partial is
+/// stored: every component of the identity (scenario, spec hash, seed,
+/// plan shape, shard index) is in the name, so a changed plan can never
+/// alias an old partial.
+pub fn partial_cache_name(manifest: &ShardManifest) -> String {
+    format!(
+        "{}-{:016x}-{:016x}-k{}-{}-{:04}.partial.csv",
+        sanitize_name(manifest.workload.name()),
+        manifest.workload.scenario_hash(),
+        manifest.workload.seed(),
+        manifest.k,
+        manifest.strategy.label(),
+        manifest.shard
+    )
+}
+
+/// A cached partial blob matching this manifest exactly — kind, spec,
+/// seed, plan coordinates, column layout and row count — if one exists.
+/// The single validation gate for cached partials, shared by
+/// [`run_worker`] and the merge's lost-file fallback.
+pub(crate) fn load_cached_partial(
+    cache: &ResultCache,
+    manifest: &ShardManifest,
+) -> Option<PartialReport> {
+    let name = partial_cache_name(manifest);
+    let text = cache.load_blob(&name)?;
+    let partial = PartialReport::parse(&text, Path::new(&name)).ok()?;
+    let w = &manifest.workload;
+    let expected_rows = manifest.indices().len() * w.kind().rows_per_task();
+    let columns = w.columns();
+    (partial.kind == w.kind()
+        && partial.spec == w.canonical()
+        && partial.seed == w.seed()
+        && partial.shard == manifest.shard
+        && partial.k == manifest.k
+        && partial.strategy == manifest.strategy
+        && partial.task_count == manifest.task_count
+        && partial.report.columns == columns
+        && partial.report.rows.len() == expected_rows)
+        .then_some(partial)
+}
+
 /// Execute a manifest's slice and package the result. When `cache` holds
-/// the **full** sweep's entry (stored by a previous merged or
-/// single-process run), the shard's row blocks are sliced straight out of
-/// it — byte-for-byte what a recompute would produce, since cache entries
-/// round-trip bitwise.
+/// the **full** workload's entry (stored by a previous merged or
+/// single-process run), the shard's row blocks are sliced straight out
+/// of it; failing that, a cached per-shard partial (stored by a previous
+/// worker run of this exact plan) is served. Either way the bytes are
+/// what a recompute would produce, since cache entries round-trip
+/// bitwise. Freshly computed partials are stored back as cache blobs so
+/// a later re-run of this plan only recomputes shards the cache has
+/// never seen.
 pub fn run_worker(
     manifest: &ShardManifest,
     engine: &Engine,
     cache: Option<&ResultCache>,
 ) -> PartialReport {
-    let sweep = &manifest.sweep;
+    let w = &manifest.workload;
     let indices = manifest.indices();
-    let columns = sweep_columns(sweep);
-    let rows_per_task = wcs_runtime::PolicyAxis::ALL.len();
-    let report = cache
-        .and_then(|c| c.load(sweep))
-        .filter(|full| {
-            full.columns == columns && full.rows.len() == manifest.task_count * rows_per_task
-        })
-        .map(|full| {
-            let mut sliced = RunReport::new(&sweep.name, &columns);
-            for &i in &indices {
-                for row in &full.rows[i * rows_per_task..(i + 1) * rows_per_task] {
-                    sliced.push_row(row.clone());
-                }
-            }
-            sliced
-        })
-        .unwrap_or_else(|| run_task_subset(sweep, &indices, engine));
-    PartialReport {
-        spec: sweep.canonical(),
-        seed: sweep.seed,
+    let columns = w.columns();
+    let rows_per_task = w.kind().rows_per_task();
+    let package = |report: RunReport| PartialReport {
+        kind: w.kind(),
+        spec: w.canonical(),
+        seed: w.seed(),
         shard: manifest.shard,
         k: manifest.k,
         strategy: manifest.strategy,
         task_count: manifest.task_count,
         report,
+    };
+    if let Some(cache) = cache {
+        let sliced = cache
+            .load(w)
+            .filter(|full| {
+                full.columns == columns && full.rows.len() == manifest.task_count * rows_per_task
+            })
+            .map(|full| {
+                let mut sliced = RunReport::new(w.name(), &columns);
+                for &i in &indices {
+                    for row in &full.rows[i * rows_per_task..(i + 1) * rows_per_task] {
+                        sliced.push_row(row.clone());
+                    }
+                }
+                sliced
+            });
+        if let Some(report) = sliced {
+            return package(report);
+        }
+        if let Some(partial) = load_cached_partial(cache, manifest) {
+            return partial;
+        }
     }
+    let partial = package(w.run_subset(&indices, engine));
+    if let Some(cache) = cache {
+        // Same tolerance as full-report stores: warn, never fail.
+        if let Err(e) = cache.store_blob(&partial_cache_name(manifest), &partial.to_text()) {
+            eprintln!(
+                "warning: failed to store shard partial in {}: {e}",
+                cache.dir().display()
+            );
+        }
+    }
+    partial
 }
 
 impl PartialReport {
@@ -83,11 +158,13 @@ impl PartialReport {
     pub fn to_text(&self) -> String {
         format!(
             "{PARTIAL_MAGIC}\n\
+             # workload: {}\n\
              # spec: {}\n\
              # seed: {}\n\
              # shard: {}/{}\n\
              # strategy: {}\n\
              # task_count: {}\n{}",
+            self.kind.label(),
             self.spec,
             self.seed,
             self.shard,
@@ -99,17 +176,31 @@ impl PartialReport {
     }
 
     /// Parse a partial document. `path` is only used for error messages.
+    /// Partials written before the workload redesign (no `# workload:`
+    /// line) parse as model partials.
     pub fn parse(text: &str, path: &Path) -> Result<Self, ShardError> {
         let parse_err = |message: String| ShardError::Parse {
             path: path.to_path_buf(),
             message,
         };
-        let mut lines = text.lines();
+        let mut lines = text.lines().peekable();
         if lines.next().map(str::trim) != Some(PARTIAL_MAGIC) {
             return Err(parse_err(format!(
                 "not a shard partial (missing '{PARTIAL_MAGIC}' first line)"
             )));
         }
+        let kind = match lines.peek().and_then(|l| l.strip_prefix("# workload: ")) {
+            Some(label) => {
+                let kind = WorkloadKind::from_label(label).ok_or_else(|| {
+                    parse_err(format!(
+                        "unknown workload '{label}' (known workloads: model, sim)"
+                    ))
+                })?;
+                lines.next();
+                kind
+            }
+            None => WorkloadKind::Model,
+        };
         let mut take = |prefix: &str| -> Result<String, ShardError> {
             lines
                 .next()
@@ -140,6 +231,7 @@ impl PartialReport {
         let body: String = lines.collect::<Vec<_>>().join("\n");
         let report = RunReport::from_csv("partial", &body).map_err(parse_err)?;
         Ok(PartialReport {
+            kind,
             spec,
             seed,
             shard,
@@ -184,8 +276,10 @@ mod tests {
     fn worker_output_roundtrips_bitwise() {
         let m = manifest(1, 2);
         let p = run_worker(&m, &Engine::serial(), None);
+        assert_eq!(p.kind, WorkloadKind::Model);
         assert_eq!(p.report.rows.len(), m.indices().len() * 5);
         let parsed = PartialReport::parse(&p.to_text(), Path::new("x")).unwrap();
+        assert_eq!(parsed.kind, p.kind);
         assert_eq!(parsed.spec, p.spec);
         assert_eq!(parsed.strategy, p.strategy);
         assert_eq!(parsed.report.columns, p.report.columns);
@@ -202,6 +296,52 @@ mod tests {
         let serial = run_worker(&m, &Engine::serial(), None);
         let parallel = run_worker(&m, &Engine::new(4), None);
         assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
+    }
+
+    #[test]
+    fn pre_redesign_partials_parse_as_model() {
+        // A partial without the `# workload:` header (written by an older
+        // binary) is a model partial.
+        let m = manifest(0, 2);
+        let text = run_worker(&m, &Engine::serial(), None).to_text();
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("# workload"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PartialReport::parse(&legacy, Path::new("x")).unwrap();
+        assert_eq!(parsed.kind, WorkloadKind::Model);
+    }
+
+    #[test]
+    fn worker_partials_are_cached_and_served_back() {
+        let dir = std::env::temp_dir().join(format!("wcs-partial-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let m = manifest(1, 3);
+        let computed = run_worker(&m, &Engine::serial(), Some(&cache));
+        assert!(
+            cache.load_blob(&partial_cache_name(&m)).is_some(),
+            "worker must store its partial blob"
+        );
+        // Serve the cached blob (identical bytes) on a re-run.
+        let served = run_worker(&m, &Engine::serial(), Some(&cache));
+        assert_eq!(computed.to_text(), served.to_text());
+        // A different plan shape must not alias the cached partial.
+        let other = {
+            let sweep = Sweep::new("partial-test")
+                .ds(&[20.0, 60.0, 100.0])
+                .samples(400)
+                .seed(5);
+            let plan = ShardPlan::new(sweep.task_count(), 3, ShardStrategy::Strided).unwrap();
+            ShardManifest::new(&sweep, &plan, 1)
+        };
+        assert_ne!(partial_cache_name(&m), partial_cache_name(&other));
+        let strided = run_worker(&other, &Engine::serial(), Some(&cache));
+        assert_eq!(strided.strategy, ShardStrategy::Strided);
+        // Blobs never show up as cache entries.
+        assert!(cache.entries().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -143,20 +143,49 @@ enum Strategy {
     CarrierSense,
 }
 
-/// Run the full protocol for one pair of links.
+/// How the protocol picks bitrates for a run — the seam the
+/// `wcs-runtime` sim workload's rate-policy axis lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateStrategy {
+    /// The paper's §4 protocol: repeat every run at each rate in
+    /// `cfg.rates_mbps` and keep each sender's best throughput. (A
+    /// single-element rate list degenerates to one fixed-rate run.)
+    BestFixed,
+    /// One run per MAC strategy under SampleRate adaptation
+    /// \[Bicket05\] over the paper's rate subset.
+    Adaptive,
+}
+
+/// Run the full protocol for one pair of links (the paper's best-fixed
+/// rate selection).
 pub fn run_pair_experiment(
     testbed: &Testbed,
     pairs: PairExperiment,
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> ExperimentPoint {
+    run_pair_experiment_with(testbed, pairs, cfg, seed, RateStrategy::BestFixed)
+}
+
+/// Run the full protocol for one pair of links under an explicit
+/// [`RateStrategy`]. `RateStrategy::BestFixed` is bit-for-bit the
+/// classic [`run_pair_experiment`] path (same per-run seed derivation,
+/// same fixed-rate policies).
+pub fn run_pair_experiment_with(
+    testbed: &Testbed,
+    pairs: PairExperiment,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    rate_strategy: RateStrategy,
+) -> ExperimentPoint {
     let sender_rssi_db = {
         let mut w = testbed.world();
         w.rssi_db(pairs.link1.src, pairs.link2.src)
     };
 
-    // One run: returns per-sender delivered pkt/s at the given fixed rate.
-    let run = |strategy: Strategy, rate: f64, run_seed: u64| -> (f64, f64) {
+    // One run: returns per-sender delivered pkt/s under the given rate
+    // policy (each flow gets its own controller instance).
+    let run = |strategy: Strategy, policy: &RatePolicy, run_seed: u64| -> (f64, f64) {
         let mac = match strategy {
             Strategy::CarrierSense => MacConfig {
                 cca_mode: CcaMode::EnergyDetect,
@@ -178,10 +207,10 @@ pub fn run_pair_experiment(
         let mut f1 = None;
         let mut f2 = None;
         if strategy != Strategy::Lone2 {
-            f1 = Some(sim.add_flow(pairs.link1.src, pairs.link1.dst, RatePolicy::fixed(rate)));
+            f1 = Some(sim.add_flow(pairs.link1.src, pairs.link1.dst, policy.clone()));
         }
         if strategy != Strategy::Lone1 {
-            f2 = Some(sim.add_flow(pairs.link2.src, pairs.link2.dst, RatePolicy::fixed(rate)));
+            f2 = Some(sim.add_flow(pairs.link2.src, pairs.link2.dst, policy.clone()));
         }
         sim.run_for(cfg.run_duration);
         let pps = |f: Option<usize>| {
@@ -190,16 +219,26 @@ pub fn run_pair_experiment(
         (pps(f1), pps(f2))
     };
 
-    // Sweep rates per strategy; keep each sender's best.
+    // Per strategy: sweep rates and keep each sender's best, or run the
+    // adaptive controller once.
     let best_over_rates = |strategy: Strategy, base_seed: u64| -> (f64, f64) {
-        let mut best1 = 0.0f64;
-        let mut best2 = 0.0f64;
-        for (ri, &rate) in cfg.rates_mbps.iter().enumerate() {
-            let (a, b) = run(strategy, rate, base_seed.wrapping_add(ri as u64));
-            best1 = best1.max(a);
-            best2 = best2.max(b);
+        match rate_strategy {
+            RateStrategy::BestFixed => {
+                let mut best1 = 0.0f64;
+                let mut best2 = 0.0f64;
+                for (ri, &rate) in cfg.rates_mbps.iter().enumerate() {
+                    let (a, b) = run(
+                        strategy,
+                        &RatePolicy::fixed(rate),
+                        base_seed.wrapping_add(ri as u64),
+                    );
+                    best1 = best1.max(a);
+                    best2 = best2.max(b);
+                }
+                (best1, best2)
+            }
+            RateStrategy::Adaptive => run(strategy, &RatePolicy::sample_paper_subset(), base_seed),
         }
-        (best1, best2)
     };
 
     let (lone1, _) = best_over_rates(Strategy::Lone1, seed.wrapping_add(0x100));
@@ -271,21 +310,43 @@ pub fn run_planned(
     run_pair_experiment(testbed, planned.pairs, cfg, planned.seed)
 }
 
+/// Execute one planned task under an explicit [`RateStrategy`] — the
+/// kernel the `wcs-runtime` sim workload's rate-policy axis maps over.
+pub fn run_planned_with(
+    testbed: &Testbed,
+    planned: &PlannedPair,
+    cfg: &ExperimentConfig,
+    rate_strategy: RateStrategy,
+) -> ExperimentPoint {
+    run_pair_experiment_with(testbed, planned.pairs, cfg, planned.seed, rate_strategy)
+}
+
+/// Execute a set of planned tasks serially, in order. This is the one
+/// running code path behind both [`run_ensemble`] and (task by task, on
+/// the engine) the `wcs-runtime` sim workload.
+pub fn run_planned_set(
+    testbed: &Testbed,
+    planned: &[PlannedPair],
+    cfg: &ExperimentConfig,
+) -> Vec<ExperimentPoint> {
+    planned
+        .iter()
+        .map(|p| run_planned(testbed, p, cfg))
+        .collect()
+}
+
 /// Sample `n_points` node-disjoint link pairs from `links` and run the
-/// protocol on each, serially. Equivalent to planning with
-/// [`plan_ensemble`] and mapping [`run_planned`] over the tasks — the
-/// parallel harness in `wcs-bench` does exactly that on the engine and
-/// produces identical points.
+/// protocol on each, serially: a thin wrapper composing [`plan_ensemble`]
+/// with [`run_planned_set`]. The parallel harnesses (`wcs-bench`, the
+/// `wcs-runtime` sim workload) fan the same planned tasks out on the
+/// engine and produce identical points.
 pub fn run_ensemble(
     testbed: &Testbed,
     links: &[CandidateLink],
     n_points: usize,
     cfg: &ExperimentConfig,
 ) -> Vec<ExperimentPoint> {
-    plan_ensemble(links, n_points, cfg)
-        .iter()
-        .map(|p| run_planned(testbed, p, cfg))
-        .collect()
+    run_planned_set(testbed, &plan_ensemble(links, n_points, cfg), cfg)
 }
 
 /// Aggregate an ensemble into the paper's summary-table numbers.
@@ -486,6 +547,27 @@ mod tests {
         let a = run_ensemble(&t, &links, 2, &cfg);
         let b = run_ensemble(&t, &links, 2, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_rate_strategy_is_deterministic_and_plausible() {
+        let t = Testbed::generate(TestbedConfig::default());
+        let links = t.candidate_links(0.94, 1.0);
+        let cfg = quick_cfg();
+        let planned = plan_ensemble(&links, 2, &cfg);
+        for p in &planned {
+            let a = run_planned_with(&t, p, &cfg, RateStrategy::Adaptive);
+            let b = run_planned_with(&t, p, &cfg, RateStrategy::Adaptive);
+            assert_eq!(a, b, "adaptive runs must be seed-deterministic");
+            // SampleRate on a good short-range link should deliver a
+            // decent fraction of the best-fixed protocol's throughput.
+            let fixed = run_planned_with(&t, p, &cfg, RateStrategy::BestFixed);
+            assert!(a.optimal_pps() > 0.25 * fixed.optimal_pps());
+        }
+        // BestFixed through the _with seam is the classic path, bitwise.
+        let classic = run_planned(&t, &planned[0], &cfg);
+        let through_seam = run_planned_with(&t, &planned[0], &cfg, RateStrategy::BestFixed);
+        assert_eq!(classic, through_seam);
     }
 
     #[test]

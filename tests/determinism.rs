@@ -124,6 +124,88 @@ fn engine_driven_generators_match_their_serial_text() {
 }
 
 #[test]
+fn workload_redesign_preserves_builtin_scenario_identities() {
+    // The api_redesign acceptance criterion, pinned: every pre-existing
+    // built-in scenario's canonical hash (quick profile — what `repro
+    // sweep <name>` uses) and report bytes (tiny profile) must be
+    // **unchanged** under the Workload-trait-based API. The constants
+    // below were captured from the pre-redesign code; if any of them
+    // moves, a cache key or report byte changed.
+    use in_defense_of_carrier_sense::runtime::scenario::fnv1a64;
+    let quick = EffortProfile::quick();
+    let quick_hashes: [(&str, u64); 5] = [
+        ("figure4-family", 0xc936b82047ff628e),
+        ("table1-grid", 0x98c89621b3f11201),
+        ("threshold-robustness", 0x6b141a86340d60e0),
+        ("npair-scaling", 0xc44268aede8a706a),
+        ("npair-placements", 0x023ab1d93c482c23),
+    ];
+    for (name, expected) in quick_hashes {
+        let sweep = scenarios::by_name(name, &quick).unwrap();
+        assert_eq!(
+            sweep.scenario_hash(),
+            expected,
+            "{name}: canonical hash (cache key) changed across the workload redesign"
+        );
+    }
+    let tiny = EffortProfile::quick()
+        .with_mc_samples(2_000)
+        .with_curve_points(4);
+    let tiny_reports: [(&str, u64, u64, usize); 5] = [
+        (
+            "figure4-family",
+            0x8e91f0e5567d71bc,
+            0x92ba8f4fdca3e36f,
+            180,
+        ),
+        ("table1-grid", 0x53c36c39c0443b4b, 0xa6be65808ad029cf, 18),
+        (
+            "threshold-robustness",
+            0x27add0fb030feb90,
+            0xde1608884762394b,
+            486,
+        ),
+        ("npair-scaling", 0x55c51b67f11d678a, 0x6515035132150283, 60),
+        (
+            "npair-placements",
+            0xb9966599bbcdee15,
+            0xca83064614b8fa3c,
+            18,
+        ),
+    ];
+    for (name, spec_hash, csv_hash, rows) in tiny_reports {
+        let sweep = scenarios::by_name(name, &tiny).unwrap();
+        assert_eq!(sweep.scenario_hash(), spec_hash, "{name}: tiny spec hash");
+        let out = run_sweep(&sweep, &Engine::new(4), None);
+        assert_eq!(out.report.rows.len(), rows, "{name}: row count");
+        assert_eq!(
+            fnv1a64(out.report.to_csv().as_bytes()),
+            csv_hash,
+            "{name}: report bytes changed across the workload redesign"
+        );
+    }
+}
+
+#[test]
+fn sim_workload_is_bitwise_identical_across_thread_counts() {
+    // The second Workload implementor honours the same contract as the
+    // first: any engine width, same bits — report, CSV and JSON.
+    use in_defense_of_carrier_sense::runtime::{run_workload, SimSweep};
+    let sweep = SimSweep::new("determinism-sim")
+        .cca_thresholds_db(&[7.0, 13.0])
+        .points(2)
+        .run_secs(1)
+        .sweep_rates_mbps(&[6.0, 24.0])
+        .seed(23);
+    let serial = run_workload(&sweep, &Engine::new(1), None);
+    let four = run_workload(&sweep, &Engine::new(4), None);
+    let many = run_workload(&sweep, &Engine::new(11), None);
+    assert_eq!(serial.report.to_csv(), four.report.to_csv());
+    assert_eq!(serial.report.to_csv(), many.report.to_csv());
+    assert_eq!(serial.report.to_json(), four.report.to_json());
+}
+
+#[test]
 fn parallel_mc_path_is_thread_count_invariant() {
     use in_defense_of_carrier_sense::model::average::mc_averages_par;
     let p = ModelParams::paper_default();

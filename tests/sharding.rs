@@ -5,8 +5,9 @@
 //! set that is inconsistent (overlaps, gaps, edited specs).
 
 use in_defense_of_carrier_sense::runtime::{
-    finalize_report, parse_spec_toml, run_sweep, scenarios, to_spec_toml, EffortProfile, Engine,
-    PolicyAxis, ResultCache, Sweep, Topology,
+    parse_any_spec_toml, parse_spec_toml, run_sweep, run_workload, scenarios, to_spec_toml,
+    AnyWorkload, EffortProfile, Engine, PolicyAxis, ResultCache, SimSweep, Sweep, Topology,
+    WorkloadSpec,
 };
 use in_defense_of_carrier_sense::shard::{
     manifest::ShardManifest,
@@ -30,8 +31,8 @@ fn tiny_scenarios() -> Vec<Sweep> {
         .collect()
 }
 
-fn shard_and_merge(sweep: &Sweep, k: usize, strategy: ShardStrategy) -> String {
-    let plan = ShardPlan::new(sweep.task_count(), k, strategy).unwrap();
+fn shard_and_merge(workload: &AnyWorkload, k: usize, strategy: ShardStrategy) -> String {
+    let plan = ShardPlan::new(workload.task_count(), k, strategy).unwrap();
     let parts: Vec<PartialReport> = (0..k)
         .map(|i| {
             // Alternate worker thread counts: shard determinism must not
@@ -41,11 +42,15 @@ fn shard_and_merge(sweep: &Sweep, k: usize, strategy: ShardStrategy) -> String {
             } else {
                 Engine::new(3)
             };
-            run_worker(&ShardManifest::new(sweep, &plan, i), &engine, None)
+            run_worker(
+                &ShardManifest::new(workload.clone(), &plan, i),
+                &engine,
+                None,
+            )
         })
         .collect();
     let full = merge_partials(&parts).expect("merge");
-    finalize_report(sweep, &full).to_csv()
+    workload.finalize(&full).to_csv()
 }
 
 #[test]
@@ -55,9 +60,10 @@ fn every_builtin_scenario_merges_bitwise_at_multiple_shard_counts() {
     // sharded pipeline's CSV equals the single-process CSV byte for byte.
     for sweep in tiny_scenarios() {
         let single = run_sweep(&sweep, &Engine::new(2), None).report.to_csv();
+        let workload = AnyWorkload::from(&sweep);
         for k in [2, 3] {
             for strategy in [ShardStrategy::Contiguous, ShardStrategy::Strided] {
-                let merged = shard_and_merge(&sweep, k, strategy);
+                let merged = shard_and_merge(&workload, k, strategy);
                 assert_eq!(
                     merged,
                     single,
@@ -70,6 +76,31 @@ fn every_builtin_scenario_merges_bitwise_at_multiple_shard_counts() {
     }
 }
 
+/// The sim workload acceptance criterion: a sim sweep sharded at
+/// K ∈ {1, 2, 3} merges bitwise-identical to its single-process run, at
+/// mixed worker thread counts, under both dealing strategies.
+#[test]
+fn sim_workload_shards_merge_bitwise_at_k_1_2_3() {
+    let sim = SimSweep::new("sharded-sim")
+        .cca_thresholds_db(&[7.0, 13.0])
+        .points(2)
+        .run_secs(1)
+        .sweep_rates_mbps(&[6.0, 24.0])
+        .seed(31);
+    let single = run_workload(&sim, &Engine::new(4), None).report.to_csv();
+    let workload = AnyWorkload::from(&sim);
+    for k in [1, 2, 3] {
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::Strided] {
+            assert_eq!(
+                shard_and_merge(&workload, k, strategy),
+                single,
+                "sim sweep diverged at k = {k} ({})",
+                strategy.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn extreme_shard_counts_also_merge_bitwise() {
     // k = 1 (degenerate single shard) and k = 7 (more shards than some
@@ -78,10 +109,11 @@ fn extreme_shard_counts_also_merge_bitwise() {
     let profile = EffortProfile::quick().with_mc_samples(1_000);
     let sweep = scenarios::npair_scaling(&profile);
     let single = run_sweep(&sweep, &Engine::serial(), None).report.to_csv();
+    let workload = AnyWorkload::from(&sweep);
     for k in [1, 7] {
         for strategy in [ShardStrategy::Contiguous, ShardStrategy::Strided] {
             assert_eq!(
-                shard_and_merge(&sweep, k, strategy),
+                shard_and_merge(&workload, k, strategy),
                 single,
                 "k = {k} ({})",
                 strategy.label()
@@ -212,6 +244,43 @@ fn merge_dir_rejects_gaps_and_edited_manifests() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn lost_worker_remerge_serves_cached_partials_and_only_reruns_the_gap() {
+    // The shard-level partial-caching satellite: workers store their
+    // partials in the shared cache, so a merge whose plan directory lost
+    // one partial file serves it from the cache — and a re-run of the
+    // whole plan only recomputes shards the cache has never seen.
+    use in_defense_of_carrier_sense::shard::partial_path;
+    let dir = tmpdir("partial-cache");
+    let cache_dir = tmpdir("partial-cache-cache");
+    let cache = ResultCache::new(&cache_dir);
+    let sweep = tiny_sweep();
+    let single = run_sweep(&sweep, &Engine::new(2), None).report.to_csv();
+
+    let paths = write_plan(&dir, &sweep, 3, ShardStrategy::Contiguous).unwrap();
+    for p in &paths {
+        let manifest = ShardManifest::load(p).unwrap();
+        let shard = manifest.shard;
+        let partial = run_worker(&manifest, &Engine::serial(), Some(&cache));
+        partial.save(&partial_path(&dir, shard)).unwrap();
+    }
+    // Lose one worker's delivered partial; the merge must fall back to
+    // the cached blob instead of reporting a gap.
+    std::fs::remove_file(partial_path(&dir, 1)).unwrap();
+    let outcome = merge_dir(&dir, Some(&cache)).expect("merge with cached partial");
+    assert_eq!(outcome.shards, 3);
+    assert_eq!(outcome.shards_from_cache, 1, "exactly the lost shard");
+    assert_eq!(outcome.report.to_csv(), single);
+    // Without the cache the same directory is a genuine gap.
+    std::fs::remove_file(partial_path(&dir, 0)).unwrap();
+    assert!(matches!(
+        merge_dir(&dir, None),
+        Err(ShardError::Gap { shard: 0, k: 3 })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
 // ---- spec-file round-trip properties ------------------------------------
 
 proptest! {
@@ -285,12 +354,20 @@ proptest! {
 fn spec_file_for_a_builtin_scenario_keeps_its_cache_key() {
     // The "scenario files on disk" contract: a spec file written from a
     // built-in scenario is the *same* scenario — same canonical string,
-    // same hash, so the same cache entries keep serving it.
+    // same hash, so the same cache entries keep serving it. Since the
+    // workload redesign this holds for both families.
     let profile = EffortProfile::quick();
     for name in scenarios::NAMES {
         let builtin = scenarios::by_name(name, &profile).unwrap();
         let reloaded = parse_spec_toml(&to_spec_toml(&builtin)).expect(name);
         assert_eq!(reloaded.canonical(), builtin.canonical(), "{name}");
         assert_eq!(reloaded.scenario_hash(), builtin.scenario_hash(), "{name}");
+    }
+    for name in scenarios::all_names() {
+        let builtin = scenarios::any_by_name(name, &profile).unwrap();
+        let reloaded = parse_any_spec_toml(&builtin.to_spec_toml()).expect(name);
+        assert_eq!(reloaded.canonical(), builtin.canonical(), "{name}");
+        assert_eq!(reloaded.scenario_hash(), builtin.scenario_hash(), "{name}");
+        assert_eq!(reloaded.kind(), builtin.kind(), "{name}");
     }
 }
