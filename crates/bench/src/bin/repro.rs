@@ -544,6 +544,75 @@ fn run_cache_cmd(mut args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// `repro bench`: run the fixed perf suite ([`wcs_bench::perf`]), write
+/// the schema-versioned JSON document, and optionally gate against a
+/// committed baseline.
+fn run_bench_cmd(mut args: Vec<String>) -> ! {
+    const BENCH_USAGE: &str = "usage: repro bench [--quick] [--out FILE] [--compare BASELINE.json]";
+    let mut mode = wcs_bench::perf::BenchMode::Full;
+    let mut out_path = PathBuf::from(wcs_bench::perf::DEFAULT_OUT);
+    let mut compare_path: Option<PathBuf> = None;
+    while !args.is_empty() {
+        let arg = args.remove(0);
+        match arg.as_str() {
+            "--quick" => mode = wcs_bench::perf::BenchMode::Quick,
+            "--out" => out_path = PathBuf::from(take_flag_value(&mut args, "--out")),
+            "--compare" => {
+                compare_path = Some(PathBuf::from(take_flag_value(&mut args, "--compare")));
+            }
+            other => {
+                eprintln!("unknown argument '{other}' for repro bench");
+                usage_exit(BENCH_USAGE);
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    eprintln!("[bench: running the {} suite...]", mode.label());
+    let report = wcs_bench::perf::run_suite(mode);
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| fail(e));
+    for b in &report.benches {
+        println!(
+            "{:<26} median {:>12.3} µs  (mad {:.3} µs, n={}, iters={})",
+            b.name,
+            b.median_ns / 1_000.0,
+            b.mad_ns / 1_000.0,
+            b.samples,
+            b.iters_per_sample
+        );
+    }
+    for s in &report.speedups {
+        println!(
+            "speedup {:<18} {:.2}x  ({} vs {})",
+            s.name, s.speedup, s.optimized, s.baseline
+        );
+    }
+    eprintln!(
+        "[bench {}: {} benches -> {} in {:.1}s]",
+        mode.label(),
+        report.benches.len(),
+        out_path.display(),
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(base_path) = compare_path {
+        let base_text = std::fs::read_to_string(&base_path)
+            .unwrap_or_else(|e| fail(format!("reading baseline {}: {e}", base_path.display())));
+        let baseline = wcs_bench::perf::BenchReport::parse(&base_text).unwrap_or_else(|e| fail(e));
+        let cmp = wcs_bench::perf::compare(&report, &baseline);
+        println!("\n== baseline comparison vs {} ==", base_path.display());
+        print!("{}", cmp.table);
+        if cmp.ok() {
+            eprintln!("[bench compare: no regressions]");
+        } else {
+            for r in &cmp.regressions {
+                eprintln!("regression: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let effort = if let Some(pos) = args.iter().position(|a| a == "--full") {
@@ -556,6 +625,7 @@ fn main() {
         Some("sweep") => run_sweep_cmd(args.split_off(1), effort),
         Some("shard") => run_shard_cmd(args.split_off(1), effort),
         Some("cache") => run_cache_cmd(args.split_off(1)),
+        Some("bench") => run_bench_cmd(args.split_off(1)),
         _ => {}
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
@@ -565,6 +635,7 @@ fn main() {
         );
         eprintln!("       repro shard plan|worker|merge|run ... (see repro shard)");
         eprintln!("       repro cache ls|clear [--kind model|sim]");
+        eprintln!("       repro bench [--quick] [--out FILE] [--compare BASELINE.json]");
         eprintln!("experiments: {}", ALL.join(" "));
         eprintln!(
             "scenarios: {}",

@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod perf;
 pub mod tables;
 
 pub use experiments::{exposed_vs_rate_report, pathology_report, testbed_report, TestbedCategory};

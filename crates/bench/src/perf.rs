@@ -1,0 +1,1019 @@
+//! `wcs-bench-harness`: the machine-readable performance suite behind
+//! `repro bench`.
+//!
+//! The roadmap's hot-path item needed *recorded* numbers, not criterion
+//! printouts that scroll away: every optimization claim in this
+//! repository should be checkable against a file. This module runs a
+//! **fixed, seeded suite** of kernel and end-to-end benchmarks — the
+//! two-pair sample kernel (naive per-method path vs the hoisted
+//! [`TwoPairKernel`]), the N-pair sample kernel at N ∈ {2, 4, 8}, an
+//! `mc_averages` batch, one small model sweep and one small sim sweep,
+//! plus a SplitMix64 calibration loop — with warmup, fixed repetition
+//! counts and median/MAD wall-clock statistics, and serialises the
+//! result as a schema-versioned JSON document (`BENCH_5.json` at the
+//! repo root).
+//!
+//! Two properties the CI gate leans on:
+//!
+//! * **Shape determinism** — bench names, sample counts and iteration
+//!   counts are fixed per mode (never time-adaptive), so two runs of
+//!   `repro bench --quick` report the same bench set with the same
+//!   counts (only the measured times differ). Pinned by tests.
+//! * **Machine-portable comparison** — [`compare`] normalises
+//!   current/baseline median ratios by their own median (the "machine
+//!   factor"), so a uniformly slower CI runner does not trip the gate,
+//!   while a single kernel regressing relative to the others does. The
+//!   same-run kernel-vs-naive speedup pairs are gated too: those are
+//!   pure ratios and carry no hardware term at all.
+
+use std::time::Instant;
+
+use wcs_capacity::npair::{sender_positions, NPairKernel, NPairScenario, Placement};
+use wcs_capacity::twopair::{CsDecision, PairSample, ShadowDraws, TwoPairKernel};
+use wcs_core::average::{mc_averages, sample_scenario};
+use wcs_core::params::ModelParams;
+use wcs_runtime::{run_workload, Engine, SimSweep, Sweep};
+use wcs_stats::rng::{split_rng, splitmix64};
+
+/// Schema identifier written into every bench document.
+pub const SCHEMA: &str = "wcs-bench-v1";
+/// Schema version written into every bench document.
+pub const SCHEMA_VERSION: u64 = 1;
+/// Default output file name (at the repo root).
+pub const DEFAULT_OUT: &str = "BENCH_5.json";
+
+/// The fixed bench-name set the suite emits, in emission order. Pinned
+/// by tests; extend deliberately (the CI baseline must be refreshed in
+/// the same change).
+pub const BENCH_NAMES: [&str; 10] = [
+    "calib_splitmix_loop",
+    "twopair_sample_naive",
+    "twopair_sample_kernel",
+    "npair_sample_naive_n4",
+    "npair_sample_kernel_n2",
+    "npair_sample_kernel_n4",
+    "npair_sample_kernel_n8",
+    "mc_averages_batch_5k",
+    "model_sweep_small",
+    "sim_sweep_small",
+];
+
+/// How much wall clock to spend: `Quick` for the CI smoke job, `Full`
+/// for the committed `BENCH_5.json` numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// CI budget: fewer repetitions, same bench set.
+    Quick,
+    /// Recorded-numbers budget.
+    Full,
+}
+
+impl BenchMode {
+    /// Stable label written into the document.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchMode::Quick => "quick",
+            BenchMode::Full => "full",
+        }
+    }
+
+    /// Timed repetitions per bench (fixed per mode — shape determinism).
+    fn samples(self) -> usize {
+        match self {
+            BenchMode::Quick => 9,
+            BenchMode::Full => 21,
+        }
+    }
+
+    /// Scale factor for per-sample iteration counts.
+    fn iter_scale(self, iters: u64) -> u64 {
+        match self {
+            BenchMode::Quick => iters,
+            BenchMode::Full => iters * 4,
+        }
+    }
+}
+
+/// One bench's measured statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Bench name (member of [`BENCH_NAMES`]).
+    pub name: String,
+    /// Median wall time per evaluation, nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-evaluation times, ns.
+    pub mad_ns: f64,
+    /// Timed repetitions taken.
+    pub samples: usize,
+    /// Evaluations per timed repetition.
+    pub iters_per_sample: u64,
+}
+
+/// A same-run optimized-vs-naive speedup pair (hardware-free ratio).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Speedup {
+    /// Pair name, e.g. `twopair_kernel`.
+    pub name: String,
+    /// The pre-optimization bench it is measured against.
+    pub baseline: String,
+    /// The optimized bench.
+    pub optimized: String,
+    /// baseline median / optimized median (> 1 means faster).
+    pub speedup: f64,
+}
+
+/// The full schema-versioned bench document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Mode label (`quick` or `full`).
+    pub mode: String,
+    /// Per-bench statistics, in [`BENCH_NAMES`] order.
+    pub benches: Vec<BenchResult>,
+    /// Same-run speedup pairs.
+    pub speedups: Vec<Speedup>,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    sorted[sorted.len() / 2]
+}
+
+/// Median + MAD of an unsorted per-evaluation time series.
+fn median_mad(mut xs: Vec<f64>) -> (f64, f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let med = median(&xs);
+    let mut dev: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (med, median(&dev))
+}
+
+/// Time one bench: `batch(iters, salt)` runs `iters` evaluations and
+/// returns an accumulator the harness black-boxes so the work cannot be
+/// dead-code-eliminated. The `salt` (black-boxed sample index) makes
+/// every call observably distinct — without it the optimizer is
+/// entitled to treat a deterministic batch as a pure function of
+/// `iters`, hoist it out of the timed loop, and leave the harness
+/// measuring a cached result. One un-timed warmup batch, then a fixed
+/// number of timed batches.
+fn run_bench<F: FnMut(u64, u64) -> f64>(
+    name: &str,
+    mode: BenchMode,
+    base_iters: u64,
+    mut batch: F,
+) -> BenchResult {
+    let iters = mode.iter_scale(base_iters);
+    let samples = mode.samples();
+    std::hint::black_box(batch(iters, std::hint::black_box(u64::MAX))); // warmup
+    let mut per_eval_ns = Vec::with_capacity(samples);
+    for sample in 0..samples {
+        let salt = std::hint::black_box(sample as u64);
+        let t0 = Instant::now();
+        std::hint::black_box(batch(iters, salt));
+        per_eval_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let (median_ns, mad_ns) = median_mad(per_eval_ns);
+    BenchResult {
+        name: name.to_string(),
+        median_ns,
+        mad_ns,
+        samples,
+        iters_per_sample: iters,
+    }
+}
+
+/// The naive two-pair per-sample scoring: every policy via the
+/// per-method [`wcs_capacity::TwoPairScenario`] path, exactly the
+/// arithmetic `mc_averages` ran before the kernel existed.
+fn twopair_naive_batch(iters: u64, salt: u64) -> f64 {
+    let params = ModelParams::paper_default();
+    let mut rng = split_rng(42 ^ salt, 0xbe9c);
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        let s = sample_scenario(&params, 40.0, 55.0, &mut rng);
+        acc += 0.5 * (s.c_multiplexing_1() + s.c_multiplexing_2());
+        acc += 0.5 * (s.c_concurrent_1() + s.c_concurrent_2());
+        if s.cs_decision(55.0) == CsDecision::Multiplex {
+            acc += 1.0;
+        }
+        acc += 0.5 * (s.c_cs_1(55.0) + s.c_cs_2(55.0));
+        acc += s.c_max();
+        acc += 0.5 * (s.c_ub_max_1() + s.c_ub_max_2());
+    }
+    acc
+}
+
+/// The optimized two-pair scoring: same draws, same accumulator
+/// combination, through [`TwoPairKernel`].
+fn twopair_kernel_batch(iters: u64, salt: u64) -> f64 {
+    let params = ModelParams::paper_default();
+    let kernel = TwoPairKernel::new(params.prop, params.cap, 55.0, 55.0);
+    let mut rng = split_rng(42 ^ salt, 0xbe9c);
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        let pair1 = PairSample::sample_uniform(40.0, &mut rng);
+        let pair2 = PairSample::sample_uniform(40.0, &mut rng);
+        let shadows = ShadowDraws::sample(&params.prop, &mut rng);
+        let k = kernel.evaluate(pair1, pair2, &shadows);
+        acc += 0.5 * (k.mux[0] + k.mux[1]);
+        acc += 0.5 * (k.conc[0] + k.conc[1]);
+        if k.decision == CsDecision::Multiplex {
+            acc += 1.0;
+        }
+        acc += 0.5 * (k.cs[0] + k.cs[1]);
+        acc += k.c_max;
+        acc += 0.5 * (k.ub[0] + k.ub[1]);
+    }
+    acc
+}
+
+/// The naive N-pair per-sample scoring at N = 4 (allocating
+/// [`NPairScenario::sample`] plus per-method policy evaluation —
+/// exactly what `mc_averages_npair` ran before the kernel existed).
+fn npair_naive_batch(iters: u64, salt: u64) -> f64 {
+    let n = 4;
+    let params = ModelParams::paper_default();
+    let senders = sender_positions(n, 55.0, Placement::Line);
+    let mut rng = split_rng(43 ^ salt, 0x6e70);
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        let s = NPairScenario::sample(&senders, 40.0, &params.prop, params.cap, &mut rng);
+        for i in 0..n {
+            acc += s.c_multiplexing(i) + s.c_concurrent(i) + s.c_cs(i, 55.0);
+        }
+        acc += s.deferring_senders(55.0) as f64;
+    }
+    acc
+}
+
+/// The optimized N-pair scoring at pair count `n` via [`NPairKernel`].
+fn npair_kernel_batch(n: usize, iters: u64, salt: u64) -> f64 {
+    let params = ModelParams::paper_default();
+    let senders = sender_positions(n, 55.0, Placement::Line);
+    let mut kernel = NPairKernel::new(&senders, 40.0, &params.prop, params.cap, 55.0);
+    let mut rng = split_rng(43 ^ salt, 0x6e70);
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        kernel.sample_and_score(&mut rng);
+        for i in 0..n {
+            acc += kernel.mux()[i] + kernel.conc()[i] + kernel.cs()[i];
+        }
+        acc += kernel.deferring_senders() as f64;
+    }
+    acc
+}
+
+/// Run the whole fixed suite.
+pub fn run_suite(mode: BenchMode) -> BenchReport {
+    let mut benches = Vec::with_capacity(BENCH_NAMES.len());
+
+    // Calibration anchor: pure integer mixing, no memory traffic — a
+    // rough "how fast is this machine" unit for eyeballing baselines.
+    benches.push(run_bench(
+        "calib_splitmix_loop",
+        mode,
+        2_000_000,
+        |iters, salt| {
+            let mut s = 0x5eed_u64 ^ salt;
+            let mut acc = 0u64;
+            for _ in 0..iters {
+                acc = acc.wrapping_add(splitmix64(&mut s));
+            }
+            acc as f64
+        },
+    ));
+
+    benches.push(run_bench(
+        "twopair_sample_naive",
+        mode,
+        20_000,
+        twopair_naive_batch,
+    ));
+    benches.push(run_bench(
+        "twopair_sample_kernel",
+        mode,
+        20_000,
+        twopair_kernel_batch,
+    ));
+    benches.push(run_bench(
+        "npair_sample_naive_n4",
+        mode,
+        4_000,
+        npair_naive_batch,
+    ));
+    for (name, n, iters) in [
+        ("npair_sample_kernel_n2", 2usize, 10_000u64),
+        ("npair_sample_kernel_n4", 4, 4_000),
+        ("npair_sample_kernel_n8", 8, 1_500),
+    ] {
+        benches.push(run_bench(name, mode, iters, |it, salt| {
+            npair_kernel_batch(n, it, salt)
+        }));
+    }
+
+    benches.push(run_bench("mc_averages_batch_5k", mode, 1, |iters, salt| {
+        let params = ModelParams::paper_default();
+        let mut acc = 0.0;
+        for rep in 0..iters {
+            let a = mc_averages(&params, 40.0, 55.0, 55.0, 5_000, (17 ^ salt) + rep);
+            acc += a.carrier_sense.mean + a.optimal.mean;
+        }
+        acc
+    }));
+
+    benches.push(run_bench("model_sweep_small", mode, 1, |iters, salt| {
+        let mut acc = 0.0;
+        for rep in 0..iters {
+            let sweep = Sweep::new("bench-model-small")
+                .rmaxes(&[40.0])
+                .ds(&[20.0, 80.0])
+                .sigmas(&[0.0, 8.0])
+                .samples(1_500)
+                .seed((31 ^ salt) + rep);
+            let out = run_workload(&sweep, &Engine::serial(), None);
+            acc += out.report.rows.len() as f64;
+        }
+        acc
+    }));
+
+    benches.push(run_bench("sim_sweep_small", mode, 1, |iters, salt| {
+        let mut acc = 0.0;
+        for rep in 0..iters {
+            let sweep = SimSweep::new("bench-sim-small")
+                .cca_thresholds_db(&[13.0])
+                .points(1)
+                .run_secs(1)
+                .sweep_rates_mbps(&[6.0])
+                .seed((37 ^ salt) + rep);
+            let out = run_workload(&sweep, &Engine::serial(), None);
+            acc += out.report.rows.len() as f64;
+        }
+        acc
+    }));
+
+    let speedup = |benches: &[BenchResult], name: &str, base: &str, opt: &str| {
+        let get = |n: &str| {
+            benches
+                .iter()
+                .find(|b| b.name == n)
+                .unwrap_or_else(|| panic!("bench {n} missing"))
+                .median_ns
+        };
+        Speedup {
+            name: name.to_string(),
+            baseline: base.to_string(),
+            optimized: opt.to_string(),
+            speedup: get(base) / get(opt),
+        }
+    };
+    let speedups = vec![
+        speedup(
+            &benches,
+            "twopair_kernel",
+            "twopair_sample_naive",
+            "twopair_sample_kernel",
+        ),
+        speedup(
+            &benches,
+            "npair_kernel_n4",
+            "npair_sample_naive_n4",
+            "npair_sample_kernel_n4",
+        ),
+    ];
+
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        schema_version: SCHEMA_VERSION,
+        mode: mode.label().to_string(),
+        benches,
+        speedups,
+    }
+}
+
+// ---- serialisation ------------------------------------------------------
+
+impl BenchReport {
+    /// Serialise as the schema-versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", self.schema));
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str("  \"benches\": [\n");
+        for (i, b) in self.benches.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:?}, \"mad_ns\": {:?}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                b.name,
+                b.median_ns,
+                b.mad_ns,
+                b.samples,
+                b.iters_per_sample,
+                if i + 1 < self.benches.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"speedups\": [\n");
+        for (i, s) in self.speedups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \"speedup\": {:?}}}{}\n",
+                s.name,
+                s.baseline,
+                s.optimized,
+                s.speedup,
+                if i + 1 < self.speedups.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a document produced by [`BenchReport::to_json`] (or any
+    /// JSON with the same shape). Unknown keys are ignored; missing
+    /// required keys are errors.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_object().ok_or("bench document must be an object")?;
+        let schema = json::get_str(obj, "schema")?;
+        let schema_version = json::get_num(obj, "schema_version")? as u64;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want {SCHEMA})"));
+        }
+        let mode = json::get_str(obj, "mode")?;
+        let benches = json::get_arr(obj, "benches")?
+            .iter()
+            .map(|b| {
+                let o = b.as_object().ok_or("bench entry must be an object")?;
+                Ok(BenchResult {
+                    name: json::get_str(o, "name")?,
+                    median_ns: json::get_num(o, "median_ns")?,
+                    mad_ns: json::get_num(o, "mad_ns")?,
+                    samples: json::get_num(o, "samples")? as usize,
+                    iters_per_sample: json::get_num(o, "iters_per_sample")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let speedups = json::get_arr(obj, "speedups")?
+            .iter()
+            .map(|s| {
+                let o = s.as_object().ok_or("speedup entry must be an object")?;
+                Ok(Speedup {
+                    name: json::get_str(o, "name")?,
+                    baseline: json::get_str(o, "baseline")?,
+                    optimized: json::get_str(o, "optimized")?,
+                    speedup: json::get_num(o, "speedup")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport {
+            schema,
+            schema_version,
+            mode,
+            benches,
+            speedups,
+        })
+    }
+}
+
+// ---- baseline comparison ------------------------------------------------
+
+/// Median-regression threshold of the CI gate: a bench fails when its
+/// machine-normalised median exceeds the baseline's by more than this
+/// fraction.
+pub const REGRESSION_THRESHOLD: f64 = 0.25;
+
+/// Minimum same-run kernel-vs-naive speedup the gate tolerates. A
+/// de-optimized kernel measures ~1.0× (it *is* the naive path again),
+/// while the gated twopair pair sits at ~1.6×, so 1.1 separates the two
+/// with headroom for runner noise — and, being a same-run ratio, it
+/// carries no hardware term at all.
+pub const MIN_SPEEDUP: f64 = 1.1;
+
+/// Speedup pairs the gate enforces. The N-pair per-sample ratio is
+/// recorded but *not* gated: its cost is dominated by the (bitwise-
+/// pinned, unoptimizable) shadowing draws, so the ratio is small
+/// (~1.2×) and noisy; an N-pair kernel de-optimization is still caught
+/// by the normalised-median gate on its own bench.
+pub const GATED_SPEEDUP_PAIRS: [&str; 1] = ["twopair_kernel"];
+
+/// What [`compare`] concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Human-readable per-bench delta table (always printed).
+    pub table: String,
+    /// One line per gate failure; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the regression gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare a current run against a committed baseline.
+///
+/// Raw medians are not comparable across machines, so the gate works on
+/// **normalised ratios**: each bench's current/baseline median ratio is
+/// divided by the median of all ratios (the machine factor `m`). A
+/// uniformly faster or slower runner moves every ratio — and `m` — by
+/// the same amount and trips nothing; one kernel regressing moves only
+/// its own ratio. The current run's same-run speedup pairs are gated
+/// separately (pure ratios, no hardware term).
+pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
+    let mut regressions = Vec::new();
+    let base_by_name = |name: &str| baseline.benches.iter().find(|b| b.name == name);
+
+    let mut ratios: Vec<(usize, f64)> = Vec::new();
+    for (i, cur) in current.benches.iter().enumerate() {
+        if let Some(base) = base_by_name(&cur.name) {
+            if base.median_ns > 0.0 {
+                ratios.push((i, cur.median_ns / base.median_ns));
+            }
+        }
+    }
+    let machine_factor = if ratios.is_empty() {
+        1.0
+    } else {
+        let mut rs: Vec<f64> = ratios.iter().map(|&(_, r)| r).collect();
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        median(&rs)
+    };
+
+    let mut table = String::new();
+    table.push_str(&format!(
+        "{:<26} {:>12} {:>12} {:>8} {:>10}  verdict   (machine factor {machine_factor:.3})\n",
+        "bench", "base µs", "cur µs", "ratio", "norm Δ%"
+    ));
+    for cur in &current.benches {
+        match base_by_name(&cur.name) {
+            Some(base) if base.median_ns > 0.0 => {
+                let ratio = cur.median_ns / base.median_ns;
+                let norm = ratio / machine_factor;
+                let delta_pct = (norm - 1.0) * 100.0;
+                let fail = norm > 1.0 + REGRESSION_THRESHOLD;
+                table.push_str(&format!(
+                    "{:<26} {:>12.3} {:>12.3} {:>8.3} {:>+9.1}%  {}\n",
+                    cur.name,
+                    base.median_ns / 1_000.0,
+                    cur.median_ns / 1_000.0,
+                    ratio,
+                    delta_pct,
+                    if fail { "REGRESSED" } else { "ok" }
+                ));
+                if fail {
+                    regressions.push(format!(
+                        "{}: normalised median regressed {:.1}% (> {:.0}% threshold)",
+                        cur.name,
+                        delta_pct,
+                        REGRESSION_THRESHOLD * 100.0
+                    ));
+                }
+            }
+            _ => {
+                table.push_str(&format!(
+                    "{:<26} {:>12} {:>12.3} {:>8} {:>10}  new (no baseline)\n",
+                    cur.name,
+                    "-",
+                    cur.median_ns / 1_000.0,
+                    "-",
+                    "-"
+                ));
+            }
+        }
+    }
+    for base in &baseline.benches {
+        if !current.benches.iter().any(|c| c.name == base.name) {
+            regressions.push(format!(
+                "{}: present in baseline but not measured",
+                base.name
+            ));
+        }
+    }
+    for s in &current.speedups {
+        let gated = GATED_SPEEDUP_PAIRS.contains(&s.name.as_str());
+        let fail = gated && s.speedup < MIN_SPEEDUP;
+        table.push_str(&format!(
+            "speedup {:<18} {:>46.2}x  {}\n",
+            s.name,
+            s.speedup,
+            if fail {
+                "BELOW FLOOR"
+            } else if gated {
+                "ok"
+            } else {
+                "ok (informational)"
+            }
+        ));
+        if fail {
+            regressions.push(format!(
+                "{}: same-run speedup {:.2}x fell below the {MIN_SPEEDUP}x floor",
+                s.name, s.speedup
+            ));
+        }
+    }
+    // A gated pair that is not measured at all must fail too — otherwise
+    // deleting/renaming the pair silently disables its floor.
+    for pair in GATED_SPEEDUP_PAIRS {
+        if !current.speedups.iter().any(|s| s.name == pair) {
+            regressions.push(format!(
+                "{pair}: gated speedup pair missing from the current run"
+            ));
+        }
+    }
+    Comparison { table, regressions }
+}
+
+// ---- minimal JSON reader ------------------------------------------------
+
+/// A tiny recursive-descent JSON reader, just enough for bench
+/// documents (the offline `serde` shim has no parser). Numbers are f64;
+/// no surrogate-pair escapes.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number, as f64.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object (insertion-ordered).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(kv) => Some(kv),
+                _ => None,
+            }
+        }
+    }
+
+    /// Look up a required string field.
+    pub fn get_str(obj: &[(String, Value)], key: &str) -> Result<String, String> {
+        match get(obj, key)? {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("'{key}': expected string, got {other:?}")),
+        }
+    }
+
+    /// Look up a required numeric field.
+    pub fn get_num(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
+        match get(obj, key)? {
+            Value::Num(n) => Ok(*n),
+            other => Err(format!("'{key}': expected number, got {other:?}")),
+        }
+    }
+
+    /// Look up a required array field.
+    pub fn get_arr<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a [Value], String> {
+        match get(obj, key)? {
+            Value::Arr(a) => Ok(a),
+            other => Err(format!("'{key}': expected array, got {other:?}")),
+        }
+    }
+
+    fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key '{key}'"))
+    }
+
+    /// Parse a JSON document (must consume all non-whitespace input).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut kv = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(kv));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    let val = parse_value(b, pos)?;
+                    kv.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(kv));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let start = *pos;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b.get(start..start + len).ok_or("truncated utf8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *pos += len;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number '{s}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(medians: &[(&str, f64)], speedups: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            schema_version: SCHEMA_VERSION,
+            mode: "quick".to_string(),
+            benches: medians
+                .iter()
+                .map(|&(name, m)| BenchResult {
+                    name: name.to_string(),
+                    median_ns: m,
+                    mad_ns: m / 100.0,
+                    samples: 9,
+                    iters_per_sample: 100,
+                })
+                .collect(),
+            speedups: speedups
+                .iter()
+                .map(|&(name, s)| Speedup {
+                    name: name.to_string(),
+                    baseline: format!("{name}_naive"),
+                    optimized: format!("{name}_kernel"),
+                    speedup: s,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_document() {
+        let r = fake_report(&[("a", 123.456), ("b", 9.5)], &[("k", 2.5)]);
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let mut r = fake_report(&[("a", 1.0)], &[]);
+        r.schema = "other-v9".to_string();
+        let err = BenchReport::parse(&r.to_json()).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn median_mad_basics() {
+        let (med, mad) = median_mad(vec![1.0, 100.0, 3.0, 2.0, 4.0]);
+        assert_eq!(med, 3.0);
+        assert_eq!(mad, 1.0);
+    }
+
+    #[test]
+    fn compare_passes_on_uniform_slowdown() {
+        // A 3x slower machine regresses nothing: the machine factor
+        // absorbs it.
+        let base = fake_report(
+            &[("a", 100.0), ("b", 200.0), ("c", 50.0)],
+            &[("twopair_kernel", 3.0)],
+        );
+        let cur = fake_report(
+            &[("a", 300.0), ("b", 600.0), ("c", 150.0)],
+            &[("twopair_kernel", 3.0)],
+        );
+        let cmp = compare(&cur, &base);
+        assert!(cmp.ok(), "{:?}", cmp.regressions);
+        assert!(cmp.table.contains("machine factor 3.000"));
+    }
+
+    #[test]
+    fn compare_flags_single_bench_regression() {
+        let healthy = [("twopair_kernel", 1.6)];
+        let base = fake_report(&[("a", 100.0), ("b", 200.0), ("c", 50.0)], &healthy);
+        let cur = fake_report(&[("a", 100.0), ("b", 200.0), ("c", 100.0)], &healthy);
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(
+            cmp.regressions[0].starts_with("c:"),
+            "{:?}",
+            cmp.regressions
+        );
+        assert!(cmp.table.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn compare_flags_lost_speedup() {
+        let base = fake_report(&[("a", 100.0)], &[("twopair_kernel", 3.0)]);
+        let cur = fake_report(&[("a", 100.0)], &[("twopair_kernel", 1.05)]);
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.ok());
+        assert!(
+            cmp.regressions[0].contains("below the"),
+            "{:?}",
+            cmp.regressions
+        );
+    }
+
+    #[test]
+    fn compare_does_not_gate_informational_speedups() {
+        // Pairs outside GATED_SPEEDUP_PAIRS are recorded but never fail
+        // the gate (the N-pair per-sample ratio is draw-dominated).
+        let base = fake_report(
+            &[("a", 100.0)],
+            &[("npair_kernel_n4", 1.3), ("twopair_kernel", 1.6)],
+        );
+        let cur = fake_report(
+            &[("a", 100.0)],
+            &[("npair_kernel_n4", 1.0), ("twopair_kernel", 1.6)],
+        );
+        let cmp = compare(&cur, &base);
+        assert!(cmp.ok(), "{:?}", cmp.regressions);
+        assert!(cmp.table.contains("informational"));
+    }
+
+    #[test]
+    fn compare_flags_missing_gated_speedup_pair() {
+        // Dropping the gated pair from the suite must not silently
+        // disable its floor.
+        let base = fake_report(&[("a", 100.0)], &[("twopair_kernel", 1.6)]);
+        let cur = fake_report(&[("a", 100.0)], &[]);
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.ok());
+        assert!(
+            cmp.regressions[0].contains("missing from the current run"),
+            "{:?}",
+            cmp.regressions
+        );
+    }
+
+    #[test]
+    fn compare_flags_missing_bench() {
+        let healthy = [("twopair_kernel", 1.6)];
+        let base = fake_report(&[("a", 100.0), ("gone", 5.0)], &healthy);
+        let cur = fake_report(&[("a", 100.0)], &healthy);
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("not measured"));
+    }
+
+    #[test]
+    fn json_reader_handles_escapes_and_nesting() {
+        let v =
+            json::parse(r#"{"a": [1, 2.5, -3e2], "s": "x\"\nA", "t": true, "n": null}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert!(json::get_num(obj, "a")
+            .unwrap_err()
+            .contains("expected number"));
+        assert_eq!(json::get_str(obj, "s").unwrap(), "x\"\nA");
+        let arr = json::get_arr(obj, "a").unwrap();
+        assert_eq!(arr[2], json::Value::Num(-300.0));
+    }
+
+    #[test]
+    fn bench_names_are_the_emission_order() {
+        // Cheap shape check without running the suite: the speedup
+        // pairs must reference names from the pinned set.
+        for pair in [
+            ("twopair_sample_naive", "twopair_sample_kernel"),
+            ("npair_sample_naive_n4", "npair_sample_kernel_n4"),
+        ] {
+            assert!(BENCH_NAMES.contains(&pair.0));
+            assert!(BENCH_NAMES.contains(&pair.1));
+        }
+    }
+}

@@ -29,8 +29,10 @@ pub mod rates;
 pub mod shannon;
 pub mod twopair;
 
-pub use npair::{sender_positions, NPairScenario, NPairTopology, Placement};
+pub use npair::{sender_positions, NPairKernel, NPairScenario, NPairTopology, Placement};
 pub use policy::MacPolicy;
 pub use rates::{Bitrate, RateTable};
 pub use shannon::{shannon_capacity, CapacityModel};
-pub use twopair::{CsDecision, PairSample, ShadowDraws, TwoPairScenario};
+pub use twopair::{
+    CsDecision, PairSample, ShadowDraws, TwoPairKernel, TwoPairSampleScores, TwoPairScenario,
+};

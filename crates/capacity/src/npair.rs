@@ -358,6 +358,209 @@ impl NPairScenario {
     }
 }
 
+/// Per-task evaluation context for the N-pair Monte Carlo hot path.
+///
+/// [`NPairScenario::sample`] is written for clarity: every sample
+/// allocates fresh offset/receiver/shadow vectors plus two N×N nested
+/// `Vec<Vec<f64>>` matrices, and scoring carrier sense re-derives the
+/// threshold power `median_gain(d_thresh)` for every (i, j) probe —
+/// O(N²) redundant `powf` calls per sample. An `NPairKernel` hoists the
+/// per-task invariants once:
+///
+/// * the **sender geometry table** — the N×N median path gains between
+///   senders (the deterministic factor of every sense link; receivers
+///   move per sample, senders don't),
+/// * the **threshold power** `median_gain(d_thresh)`, and
+/// * flat reusable buffers for the per-sample draws and matrices, so the
+///   steady-state sample loop performs **zero** heap allocation.
+///
+/// **Bitwise contract:** [`NPairKernel::sample_and_score`] consumes the
+/// generator in exactly the order [`NPairScenario::sample`] does and
+/// computes every per-pair policy capacity with the identical
+/// floating-point expressions (reused, never reassociated), so swapping
+/// it into `mc_averages_npair` changes no output bit — asserted by
+/// `kernel_matches_scenario_path_bitwise` below across random draws.
+#[derive(Debug, Clone)]
+pub struct NPairKernel {
+    n: usize,
+    senders: Vec<Point2>,
+    rmax: f64,
+    prop: PropagationModel,
+    cap: CapacityModel,
+    /// Hoisted `median_gain(d_thresh)`.
+    p_thresh: f64,
+    /// Flat N×N sender→sender median path gains (diagonal unused = 0).
+    sense_path: Vec<f64>,
+    // ---- per-sample scratch (reused across samples) ----
+    offsets: Vec<PairSample>,
+    receivers: Vec<Point2>,
+    signal_shadow: Vec<f64>,
+    interf_shadow: Vec<f64>,
+    sense_shadow: Vec<f64>,
+    gains: Vec<f64>,
+    sense: Vec<f64>,
+    // ---- per-sample outputs ----
+    mux: Vec<f64>,
+    conc: Vec<f64>,
+    cs: Vec<f64>,
+    deferring: usize,
+}
+
+impl NPairKernel {
+    /// Build the kernel for one task point: fixed sender positions,
+    /// receiver disc radius, models and carrier-sense threshold.
+    pub fn new(
+        senders: &[Point2],
+        rmax: f64,
+        prop: &PropagationModel,
+        cap: CapacityModel,
+        d_thresh: f64,
+    ) -> Self {
+        let n = senders.len();
+        let mut sense_path = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = senders[i].distance(&senders[j]);
+                let g = prop.median_gain(dist);
+                sense_path[i * n + j] = g;
+                sense_path[j * n + i] = g;
+            }
+        }
+        NPairKernel {
+            n,
+            senders: senders.to_vec(),
+            rmax,
+            prop: *prop,
+            cap,
+            p_thresh: prop.median_gain(d_thresh),
+            sense_path,
+            offsets: vec![PairSample { r: 0.0, theta: 0.0 }; n],
+            receivers: vec![Point2::default(); n],
+            signal_shadow: vec![0.0; n],
+            interf_shadow: vec![0.0; n * n.saturating_sub(1)],
+            sense_shadow: vec![0.0; n * n.saturating_sub(1) / 2],
+            gains: vec![0.0; n * n],
+            sense: vec![0.0; n * n],
+            mux: vec![0.0; n],
+            conc: vec![0.0; n],
+            cs: vec![0.0; n],
+            deferring: 0,
+        }
+    }
+
+    /// Number of pairs N.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Draw one configuration (identical generator stream layout to
+    /// [`NPairScenario::sample`]) and score every policy's per-pair
+    /// capacities into the kernel's output buffers.
+    pub fn sample_and_score<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.n;
+        // Draw order is the stream contract: receiver offsets
+        // pair-by-pair, signal shadows, interference shadows row-major,
+        // sense shadows for i<j. Batching the shadow fills does not move
+        // any draw (distances consume no randomness).
+        for o in self.offsets.iter_mut() {
+            *o = PairSample::sample_uniform(self.rmax, rng);
+        }
+        self.prop
+            .shadowing
+            .fill_linear(rng, &mut self.signal_shadow);
+        self.prop
+            .shadowing
+            .fill_linear(rng, &mut self.interf_shadow);
+        self.prop.shadowing.fill_linear(rng, &mut self.sense_shadow);
+
+        for i in 0..n {
+            let o = self.offsets[i];
+            let p = Point2::from_polar(o.r, o.theta);
+            let s = self.senders[i];
+            self.receivers[i] = Point2::new(s.x + p.x, s.y + p.y);
+        }
+        for i in 0..n {
+            // The signal link uses the polar radius directly (not the
+            // cartesian round trip), exactly like the two-pair model.
+            self.gains[i * n + i] =
+                self.prop.median_gain(self.offsets[i].r) * self.signal_shadow[i];
+        }
+        let mut draw = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let dist = self.receivers[i].distance(&self.senders[j]);
+                    self.gains[i * n + j] = self.prop.median_gain(dist) * self.interf_shadow[draw];
+                    draw += 1;
+                }
+            }
+        }
+        let mut draw = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let s = self.sense_path[i * n + j] * self.sense_shadow[draw];
+                draw += 1;
+                self.sense[i * n + j] = s;
+                self.sense[j * n + i] = s;
+            }
+        }
+
+        // Score: each per-pair capacity via the exact NPairScenario
+        // expressions, every gain read from the flat matrices.
+        let noise = self.prop.noise;
+        self.deferring = 0;
+        for i in 0..n {
+            let g_ii = self.gains[i * n + i];
+            self.mux[i] = self.cap.capacity(g_ii / noise) / n as f64;
+            let mut interf = 0.0;
+            for j in 0..n {
+                if j != i {
+                    interf += self.gains[i * n + j];
+                }
+            }
+            self.conc[i] = self.cap.capacity(g_ii / (noise + interf));
+            let mut deg = 0usize;
+            let mut hidden_interf = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                if self.sense[i * n + j] > self.p_thresh {
+                    deg += 1;
+                } else {
+                    hidden_interf += self.gains[i * n + j];
+                }
+            }
+            let share = 1.0 / (deg as f64 + 1.0);
+            self.cs[i] = share * self.cap.capacity(g_ii / (noise + hidden_interf));
+            if deg > 0 {
+                self.deferring += 1;
+            }
+        }
+    }
+
+    /// Per-pair C_multiplexing of the last sampled configuration.
+    pub fn mux(&self) -> &[f64] {
+        &self.mux
+    }
+
+    /// Per-pair C_concurrent of the last sampled configuration.
+    pub fn conc(&self) -> &[f64] {
+        &self.conc
+    }
+
+    /// Per-pair C_cs of the last sampled configuration.
+    pub fn cs(&self) -> &[f64] {
+        &self.cs
+    }
+
+    /// How many senders deferred to at least one sensed contender in the
+    /// last sampled configuration.
+    pub fn deferring_senders(&self) -> usize {
+        self.deferring
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,6 +717,35 @@ mod tests {
                     tp.cs_decision(dt) == crate::twopair::CsDecision::Multiplex;
                 prop_assert_eq!(deferred == 2, multiplexed);
                 prop_assert!(deferred == 0 || deferred == 2);
+            }
+        }
+
+        #[test]
+        fn kernel_matches_scenario_path_bitwise(
+            n in 2usize..9, rmax in 1.0..120.0f64, d in 1.0..300.0f64,
+            d_thresh in 5.0..200.0f64, seed in 0u64..500,
+        ) {
+            // Same seed, two generators: one drives the allocating
+            // NPairScenario path, the other the buffered kernel. Every
+            // per-pair policy capacity — and the deferral count — must
+            // be bit-identical.
+            let senders = sender_positions(n, d, Placement::Line);
+            let prop = PropagationModel::paper_default();
+            let mut rng_naive = seeded_rng(seed);
+            let mut rng_kernel = seeded_rng(seed);
+            let mut kernel =
+                NPairKernel::new(&senders, rmax, &prop, CapacityModel::SHANNON, d_thresh);
+            for _ in 0..3 {
+                let s = NPairScenario::sample(
+                    &senders, rmax, &prop, CapacityModel::SHANNON, &mut rng_naive,
+                );
+                kernel.sample_and_score(&mut rng_kernel);
+                for i in 0..n {
+                    prop_assert_eq!(kernel.mux()[i].to_bits(), s.c_multiplexing(i).to_bits());
+                    prop_assert_eq!(kernel.conc()[i].to_bits(), s.c_concurrent(i).to_bits());
+                    prop_assert_eq!(kernel.cs()[i].to_bits(), s.c_cs(i, d_thresh).to_bits());
+                }
+                prop_assert_eq!(kernel.deferring_senders(), s.deferring_senders(d_thresh));
             }
         }
 

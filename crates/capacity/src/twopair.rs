@@ -205,6 +205,127 @@ impl TwoPairScenario {
     }
 }
 
+/// Per-task evaluation context for the two-pair Monte Carlo hot path.
+///
+/// The per-policy methods on [`TwoPairScenario`] are written for clarity:
+/// each one re-derives every gain it needs, so scoring all five MAC
+/// policies on one configuration recomputes the same `d^(−α)` powers and
+/// Shannon logs many times over (≈ 25 `powf` calls per sample where 4
+/// suffice). A `TwoPairKernel` hoists everything that is constant across
+/// the samples of one task — the sense-link path gain `median_gain(D)`
+/// and the threshold power `median_gain(D_thresh)` — and
+/// [`TwoPairKernel::evaluate`] computes each per-sample link gain and
+/// capacity exactly once, deriving all policies from those.
+///
+/// **Bitwise contract:** every field of [`TwoPairSampleScores`] is
+/// computed by the *identical* floating-point expression the
+/// corresponding [`TwoPairScenario`] method uses (common subexpressions
+/// are reused, never reassociated), so the kernel is observably a pure
+/// refactor — `kernel_matches_scenario_methods_bitwise` below asserts
+/// bit equality across random configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPairKernel {
+    prop: PropagationModel,
+    cap: CapacityModel,
+    d: f64,
+    /// Hoisted `median_gain(d)` — the sense link's path-gain factor.
+    sense_path_gain: f64,
+    /// Hoisted `median_gain(d_thresh)` — the carrier-sense power
+    /// threshold.
+    p_thresh: f64,
+}
+
+/// Every per-sample quantity the Monte Carlo accumulators consume, from
+/// one kernel evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPairSampleScores {
+    /// C_multiplexing for pair 1 / pair 2.
+    pub mux: [f64; 2],
+    /// C_concurrent for pair 1 / pair 2.
+    pub conc: [f64; 2],
+    /// C_cs for pair 1 / pair 2 at the kernel's threshold.
+    pub cs: [f64; 2],
+    /// The joint-optimal per-pair average ½·max(ΣC_conc, ΣC_mux).
+    pub c_max: f64,
+    /// C_UBmax for pair 1 / pair 2.
+    pub ub: [f64; 2],
+    /// The carrier-sense decision for this configuration.
+    pub decision: CsDecision,
+}
+
+impl TwoPairKernel {
+    /// Build the kernel for one (prop, cap, D, D_thresh) task point.
+    pub fn new(prop: PropagationModel, cap: CapacityModel, d: f64, d_thresh: f64) -> Self {
+        TwoPairKernel {
+            prop,
+            cap,
+            d,
+            sense_path_gain: prop.median_gain(d),
+            p_thresh: prop.median_gain(d_thresh),
+        }
+    }
+
+    /// Score every MAC policy on one drawn configuration.
+    #[inline]
+    pub fn evaluate(
+        &self,
+        pair1: PairSample,
+        pair2: PairSample,
+        shadows: &ShadowDraws,
+    ) -> TwoPairSampleScores {
+        let noise = self.prop.noise;
+        // Signal and interference link gains, one powf each (the
+        // expressions mirror c_single_* / c_concurrent_*).
+        let signal1 = self.prop.median_gain(pair1.r) * shadows.signal1;
+        let signal2 = self.prop.median_gain(pair2.r) * shadows.signal2;
+        let interf1 = self
+            .prop
+            .median_gain(interferer_distance(pair1.r, pair1.theta, self.d))
+            * shadows.interference1;
+        let interf2 = self
+            .prop
+            .median_gain(interferer_distance(pair2.r, pair2.theta, self.d))
+            * shadows.interference2;
+
+        let mux1 = self.cap.capacity(signal1 / noise) / 2.0;
+        let mux2 = self.cap.capacity(signal2 / noise) / 2.0;
+        let conc1 = self.cap.capacity(signal1 / (noise + interf1));
+        let conc2 = self.cap.capacity(signal2 / (noise + interf2));
+
+        let sensed = self.sense_path_gain * shadows.sense;
+        let decision = if sensed > self.p_thresh {
+            CsDecision::Multiplex
+        } else {
+            CsDecision::Concurrent
+        };
+        let (cs1, cs2) = match decision {
+            CsDecision::Multiplex => (mux1, mux2),
+            CsDecision::Concurrent => (conc1, conc2),
+        };
+
+        let c_max = 0.5 * (conc1 + conc2).max(mux1 + mux2);
+
+        TwoPairSampleScores {
+            mux: [mux1, mux2],
+            conc: [conc1, conc2],
+            cs: [cs1, cs2],
+            c_max,
+            ub: [conc1.max(mux1), conc2.max(mux2)],
+            decision,
+        }
+    }
+
+    /// Score one fully-specified scenario (convenience for callers that
+    /// already built a [`TwoPairScenario`]). The scenario's own prop/cap
+    /// are ignored in favour of the kernel's — they must agree.
+    #[inline]
+    pub fn evaluate_scenario(&self, s: &TwoPairScenario) -> TwoPairSampleScores {
+        debug_assert_eq!(s.prop, self.prop);
+        debug_assert_eq!(s.d, self.d);
+        self.evaluate(s.pair1, s.pair2, &s.shadows)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +437,36 @@ mod tests {
             let near = scenario(r, t, r, t, d);
             let far = scenario(r, t, r, t, d * scale);
             prop_assert!(far.c_concurrent_1() >= near.c_concurrent_1() - 1e-12);
+        }
+
+        #[test]
+        fn kernel_matches_scenario_methods_bitwise(
+            r1 in 1.0..120.0f64, t1 in 0.0..std::f64::consts::TAU,
+            r2 in 1.0..120.0f64, t2 in 0.0..std::f64::consts::TAU,
+            d in 1.0..300.0f64, d_thresh in 5.0..200.0f64, seed in 0u64..1000,
+        ) {
+            let mut rng = seeded_rng(seed);
+            let prop = PropagationModel::paper_default();
+            let s = TwoPairScenario {
+                pair1: PairSample { r: r1, theta: t1 },
+                pair2: PairSample { r: r2, theta: t2 },
+                d,
+                shadows: ShadowDraws::sample(&prop, &mut rng),
+                prop,
+                cap: CapacityModel::SHANNON,
+            };
+            let kernel = TwoPairKernel::new(s.prop, s.cap, d, d_thresh);
+            let k = kernel.evaluate_scenario(&s);
+            prop_assert_eq!(k.mux[0].to_bits(), s.c_multiplexing_1().to_bits());
+            prop_assert_eq!(k.mux[1].to_bits(), s.c_multiplexing_2().to_bits());
+            prop_assert_eq!(k.conc[0].to_bits(), s.c_concurrent_1().to_bits());
+            prop_assert_eq!(k.conc[1].to_bits(), s.c_concurrent_2().to_bits());
+            prop_assert_eq!(k.cs[0].to_bits(), s.c_cs_1(d_thresh).to_bits());
+            prop_assert_eq!(k.cs[1].to_bits(), s.c_cs_2(d_thresh).to_bits());
+            prop_assert_eq!(k.c_max.to_bits(), s.c_max().to_bits());
+            prop_assert_eq!(k.ub[0].to_bits(), s.c_ub_max_1().to_bits());
+            prop_assert_eq!(k.ub[1].to_bits(), s.c_ub_max_2().to_bits());
+            prop_assert_eq!(k.decision, s.cs_decision(d_thresh));
         }
 
         #[test]

@@ -15,7 +15,7 @@
 use crate::params::ModelParams;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use wcs_capacity::twopair::{PairSample, ShadowDraws, TwoPairScenario};
+use wcs_capacity::twopair::{PairSample, ShadowDraws, TwoPairKernel, TwoPairScenario};
 use wcs_stats::montecarlo::{MonteCarlo, MonteCarloEstimate};
 use wcs_stats::quadrature::integrate_polar_disc;
 use wcs_stats::rng::split_rng;
@@ -103,18 +103,25 @@ pub fn mc_averages(
     let mut opt = MonteCarlo::new();
     let mut ub = MonteCarlo::new();
     let mut n_multiplex = 0u64;
+    // Per-task invariants (sense path gain, threshold power) hoisted
+    // once; each sample evaluates every link gain exactly once. Bitwise
+    // identical to the per-method TwoPairScenario path (see the kernel's
+    // contract and its property test).
+    let kernel = TwoPairKernel::new(params.prop, params.cap, d, d_thresh);
 
     for _ in 0..n {
-        let s = sample_scenario(params, rmax, d, &mut rng);
-        mux.add(0.5 * (s.c_multiplexing_1() + s.c_multiplexing_2()));
-        conc.add(0.5 * (s.c_concurrent_1() + s.c_concurrent_2()));
-        let decision = s.cs_decision(d_thresh);
-        if decision == wcs_capacity::twopair::CsDecision::Multiplex {
+        let pair1 = PairSample::sample_uniform(rmax, &mut rng);
+        let pair2 = PairSample::sample_uniform(rmax, &mut rng);
+        let shadows = ShadowDraws::sample(&params.prop, &mut rng);
+        let k = kernel.evaluate(pair1, pair2, &shadows);
+        mux.add(0.5 * (k.mux[0] + k.mux[1]));
+        conc.add(0.5 * (k.conc[0] + k.conc[1]));
+        if k.decision == wcs_capacity::twopair::CsDecision::Multiplex {
             n_multiplex += 1;
         }
-        cs.add(0.5 * (s.c_cs_1(d_thresh) + s.c_cs_2(d_thresh)));
-        opt.add(s.c_max());
-        ub.add(0.5 * (s.c_ub_max_1() + s.c_ub_max_2()));
+        cs.add(0.5 * (k.cs[0] + k.cs[1]));
+        opt.add(k.c_max);
+        ub.add(0.5 * (k.ub[0] + k.ub[1]));
     }
 
     PolicyAverages {
@@ -152,18 +159,20 @@ pub fn mc_chunk(
     let n = base + u64::from(chunk < n_total % PAR_CHUNKS);
     let mut rng = split_rng(seed, 0xC4_0000 | chunk);
     let mut acc = ChunkAccumulators::default();
+    let kernel = TwoPairKernel::new(params.prop, params.cap, d, d_thresh);
     for _ in 0..n {
-        let s = sample_scenario(params, rmax, d, &mut rng);
-        acc.mux
-            .add(0.5 * (s.c_multiplexing_1() + s.c_multiplexing_2()));
-        acc.conc
-            .add(0.5 * (s.c_concurrent_1() + s.c_concurrent_2()));
-        if s.cs_decision(d_thresh) == wcs_capacity::twopair::CsDecision::Multiplex {
+        let pair1 = PairSample::sample_uniform(rmax, &mut rng);
+        let pair2 = PairSample::sample_uniform(rmax, &mut rng);
+        let shadows = ShadowDraws::sample(&params.prop, &mut rng);
+        let k = kernel.evaluate(pair1, pair2, &shadows);
+        acc.mux.add(0.5 * (k.mux[0] + k.mux[1]));
+        acc.conc.add(0.5 * (k.conc[0] + k.conc[1]));
+        if k.decision == wcs_capacity::twopair::CsDecision::Multiplex {
             acc.n_multiplex += 1;
         }
-        acc.cs.add(0.5 * (s.c_cs_1(d_thresh) + s.c_cs_2(d_thresh)));
-        acc.opt.add(s.c_max());
-        acc.ub.add(0.5 * (s.c_ub_max_1() + s.c_ub_max_2()));
+        acc.cs.add(0.5 * (k.cs[0] + k.cs[1]));
+        acc.opt.add(k.c_max);
+        acc.ub.add(0.5 * (k.ub[0] + k.ub[1]));
     }
     acc
 }

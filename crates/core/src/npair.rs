@@ -12,7 +12,7 @@
 use crate::fairness::jain_index;
 use crate::params::ModelParams;
 use serde::{Deserialize, Serialize};
-use wcs_capacity::npair::{NPairScenario, NPairTopology};
+use wcs_capacity::npair::{NPairKernel, NPairScenario, NPairTopology};
 use wcs_propagation::geometry::Point2;
 use wcs_stats::montecarlo::{MonteCarlo, MonteCarloEstimate};
 use wcs_stats::rng::split_rng;
@@ -135,27 +135,31 @@ pub fn mc_averages_npair(
     let mut ub = StatsAcc::default();
     let mut deferring = 0u64;
     let mut senders_total = 0u64;
-    let mut mux_v = vec![0.0f64; n_pairs];
-    let mut conc_v = vec![0.0f64; n_pairs];
     let mut buf = vec![0.0f64; n_pairs];
+    // Per-task invariants (sender-distance gain table, threshold power)
+    // and all sample buffers live in the kernel: the steady-state loop
+    // allocates nothing and evaluates each per-pair capacity once.
+    // Bitwise identical to the NPairScenario::sample path (see the
+    // kernel's contract and its property test).
+    let mut kernel = NPairKernel::new(&senders, rmax, &params.prop, params.cap, d_thresh);
 
     for _ in 0..samples {
-        let s = sample_npair_scenario(params, &senders, rmax, &mut rng);
-        // Each per-pair capacity is evaluated once; optimal and the
-        // upper bound are derived from the two fixed-choice vectors
-        // (the per-pair formulas are O(N), so re-deriving them per
-        // policy would make the sample O(N³)).
-        fill(&mut mux_v, |i| s.c_multiplexing(i));
-        mux.add(&mux_v);
-        fill(&mut conc_v, |i| s.c_concurrent(i));
-        conc.add(&conc_v);
-        fill(&mut buf, |i| s.c_cs(i, d_thresh));
-        cs.add(&buf);
-        let prefers_conc = conc_v.iter().sum::<f64>() > mux_v.iter().sum::<f64>();
-        opt.add(if prefers_conc { &conc_v } else { &mux_v });
-        fill(&mut buf, |i| conc_v[i].max(mux_v[i]));
+        kernel.sample_and_score(&mut rng);
+        // Optimal and the upper bound are derived from the two
+        // fixed-choice vectors (the per-pair formulas are O(N), so
+        // re-deriving them per policy would make the sample O(N³)).
+        mux.add(kernel.mux());
+        conc.add(kernel.conc());
+        cs.add(kernel.cs());
+        let prefers_conc = kernel.conc().iter().sum::<f64>() > kernel.mux().iter().sum::<f64>();
+        opt.add(if prefers_conc {
+            kernel.conc()
+        } else {
+            kernel.mux()
+        });
+        fill(&mut buf, |i| kernel.conc()[i].max(kernel.mux()[i]));
         ub.add(&buf);
-        deferring += s.deferring_senders(d_thresh) as u64;
+        deferring += kernel.deferring_senders() as u64;
         senders_total += n_pairs as u64;
     }
 

@@ -74,36 +74,9 @@ impl Engine {
         T: Send,
         K: Fn(usize) -> T + Sync,
     {
-        if self.threads <= 1 || n <= 1 {
-            return (0..n).map(kernel).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let kernel = &kernel;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if tx.send((i, kernel(i))).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-            for (i, result) in rx {
-                slots[i] = Some(result);
-            }
-            slots
-                .into_iter()
-                .map(|s| s.expect("engine worker died before completing its task"))
-                .collect()
-        })
+        // Index-at-a-time scheduling is exactly block scheduling with
+        // block = 1; one implementation carries both.
+        self.run_blocked(n, 1, |range| range.map(&kernel).collect())
     }
 
     /// Execute `kernel` over a slice of task descriptions, preserving
@@ -115,6 +88,96 @@ impl Engine {
         K: Fn(&I) -> T + Sync,
     {
         self.run_indexed(items.len(), |i| kernel(&items[i]))
+    }
+
+    /// Execute `kernel` over **contiguous index blocks** and return the
+    /// per-index results in index order — the block-dispatch form of
+    /// [`Engine::run_indexed`].
+    ///
+    /// Workers claim `block` indices per atomic bump and send one
+    /// message per block instead of one per index, so a grid of many
+    /// small tasks pays scheduling overhead once per block. The kernel
+    /// receives the claimed index range and must return exactly one
+    /// result per index, in range order. Results are committed into
+    /// their index slots, so the output — like `run_indexed`'s — is
+    /// identical for any thread count *and any block size*.
+    pub fn run_blocked<T, K>(&self, n: usize, block: usize, kernel: K) -> Vec<T>
+    where
+        T: Send,
+        K: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+    {
+        let block = block.max(1);
+        let check_arity = |got: usize, range: &std::ops::Range<usize>| {
+            assert_eq!(
+                got,
+                range.len(),
+                "block kernel returned {got} results for {} indices",
+                range.len()
+            );
+        };
+        if self.threads <= 1 || n <= 1 {
+            let mut out = Vec::with_capacity(n);
+            let mut start = 0;
+            while start < n {
+                let range = start..(start + block).min(n);
+                start = range.end;
+                let results = kernel(range.clone());
+                check_arity(results.len(), &range);
+                out.extend(results);
+            }
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
+        thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let kernel = &kernel;
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let range = start..(start + block).min(n);
+                    let results = kernel(range.clone());
+                    check_arity(results.len(), &range);
+                    if tx.send((start, results)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for (start, results) in rx {
+                for (offset, result) in results.into_iter().enumerate() {
+                    slots[start + offset] = Some(result);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("engine worker died before completing its block"))
+                .collect()
+        })
+    }
+
+    /// Execute `kernel` over contiguous sub-slices of `items` (the
+    /// row-block seam workloads dispatch through), preserving per-item
+    /// order. The kernel must return one result per item of its slab.
+    pub fn map_blocks<I, T, K>(&self, items: &[I], block: usize, kernel: K) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        K: Fn(&[I]) -> Vec<T> + Sync,
+    {
+        self.run_blocked(items.len(), block, |range| kernel(&items[range]))
+    }
+
+    /// The block size [`crate::workload`] hands to [`Engine::map_blocks`]
+    /// for an `n`-task grid: enough blocks to keep every worker busy
+    /// (~8 claims each) while amortising dispatch for very wide grids.
+    pub fn task_block_size(&self, n: usize) -> usize {
+        (n / (self.threads * 8).max(1)).clamp(1, 64)
     }
 }
 
@@ -151,6 +214,43 @@ mod tests {
         let items: Vec<f64> = (0..32).map(|i| i as f64).collect();
         let out = Engine::new(3).map(&items, |x| x * 2.0);
         assert_eq!(out, items.iter().map(|x| x * 2.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_matches_indexed_for_any_block_and_thread_count() {
+        let work = |i: usize| (i * 31 + 7) as u64;
+        let expected = Engine::serial().run_indexed(97, work);
+        for threads in [1, 3, 8] {
+            for block in [1, 2, 5, 16, 97, 200] {
+                let out = Engine::new(threads)
+                    .run_blocked(97, block, |range| range.map(work).collect::<Vec<_>>());
+                assert_eq!(out, expected, "threads={threads} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_blocks_preserves_order() {
+        let items: Vec<f64> = (0..53).map(|i| i as f64).collect();
+        let expected: Vec<f64> = items.iter().map(|x| x * 3.0).collect();
+        let out =
+            Engine::new(4).map_blocks(&items, 7, |slab| slab.iter().map(|x| x * 3.0).collect());
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "block kernel returned")]
+    fn blocked_checks_kernel_arity() {
+        let _ = Engine::serial().run_blocked(4, 2, |_range| vec![0u8]);
+    }
+
+    #[test]
+    fn task_block_size_is_sane() {
+        let e = Engine::new(4);
+        assert_eq!(e.task_block_size(0), 1);
+        assert_eq!(e.task_block_size(10), 1);
+        assert_eq!(e.task_block_size(320), 10);
+        assert_eq!(e.task_block_size(1_000_000), 64);
     }
 
     #[test]

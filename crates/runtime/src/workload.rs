@@ -149,6 +149,18 @@ pub trait Workload: WorkloadSpec + Sync {
     /// [`WorkloadSpec::columns`] width). Must be a pure function of
     /// (self, task).
     fn run_task(&self, task: &Self::Task) -> Vec<Vec<f64>>;
+
+    /// Run a contiguous slab of tasks to their row blocks, in slab
+    /// order — the kernel seam the engine dispatches through
+    /// ([`Engine::map_blocks`]), so a grid of many small tasks pays
+    /// per-task scheduling overhead once per slab instead of once per
+    /// row block. The default evaluates [`Workload::run_task`] per
+    /// task; implementors may override to amortise per-slab setup, but
+    /// the output must stay exactly the per-task blocks in order (the
+    /// bitwise contract every determinism and shard test pins).
+    fn run_block(&self, tasks: &[&Self::Task]) -> Vec<Vec<Vec<f64>>> {
+        tasks.iter().map(|t| self.run_task(t)).collect()
+    }
 }
 
 /// What [`run_workload`] produced and how.
@@ -202,7 +214,9 @@ pub fn run_workload<W: Workload + ?Sized>(
     }
 
     let tasks = w.lower();
-    let blocks: Vec<Vec<Vec<f64>>> = engine.map(&tasks, |t| w.run_task(t));
+    let refs: Vec<&W::Task> = tasks.iter().collect();
+    let block = engine.task_block_size(refs.len());
+    let blocks: Vec<Vec<Vec<f64>>> = engine.map_blocks(&refs, block, |slab| w.run_block(slab));
     let full = assemble(w, &blocks);
     if let Some(cache) = cache {
         // Cache write failures (read-only FS, full disk, ...) must not
@@ -247,7 +261,8 @@ pub fn run_workload_subset<W: Workload + ?Sized>(
             &tasks[i]
         })
         .collect();
-    let blocks: Vec<Vec<Vec<f64>>> = engine.map(&selected, |t| w.run_task(t));
+    let block = engine.task_block_size(selected.len());
+    let blocks: Vec<Vec<Vec<f64>>> = engine.map_blocks(&selected, block, |slab| w.run_block(slab));
     assemble(w, &blocks)
 }
 

@@ -13,6 +13,12 @@
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
+///
+/// This **must** stay the `std::hint` intrinsic-backed function, not a
+/// hand-rolled `fn black_box<T>(x: T) -> T { x }`: the optimizer sees
+/// straight through an identity function, const-folds the benchmarked
+/// expression, and the harness ends up timing dead code. The
+/// `black_box_is_the_std_hint_function` test pins the re-export.
 pub use std::hint::black_box;
 
 /// Benchmark harness configuration and runner.
@@ -217,6 +223,24 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn black_box_is_semantically_identity() {
+        assert_eq!(black_box(42u64), 42);
+        let v = vec![1, 2, 3];
+        assert_eq!(black_box(v.clone()), v);
+    }
+
+    #[test]
+    fn black_box_is_the_std_hint_function() {
+        // The re-export means both paths name the *same* monomorphised
+        // item, so the function pointers must coincide. A hand-rolled
+        // identity `black_box` would compile to a distinct function
+        // (no optimization barrier) and this would diverge.
+        let ours = black_box::<u64> as fn(u64) -> u64;
+        let std_one = std::hint::black_box::<u64> as fn(u64) -> u64;
+        assert!(std::ptr::fn_addr_eq(ours, std_one));
+    }
 
     #[test]
     fn bench_function_runs_closure() {
