@@ -11,7 +11,16 @@
 //! repro shard run   <scenario|--spec FILE> -k K [--strategy S] [--dir DIR]
 //!                   [--threads N] [--csv|--json] [--no-cache]
 //! repro cache ls|clear [--kind model|sim]
+//! repro trace summarize [RUNLOG.jsonl]
 //! ```
+//!
+//! Every subcommand also accepts the global flags `--telemetry[=PATH]`
+//! (write a structured `wcs-runlog-v1` JSONL run log, default
+//! `RUNLOG.jsonl`; `trace summarize` renders it) and `--strict-cache`
+//! (exit non-zero if any cache store failed — for CI, where a silently
+//! degraded cache hides real regressions). Telemetry is out-of-band:
+//! reports, hashes and cache entries are byte-identical with it on or
+//! off.
 //!
 //! Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10-11 fig12-13
 //! fig14 table1 table2 table-short table-long sweep-alpha-sigma
@@ -42,9 +51,35 @@
 //! budget, so `--full` does not rescale them.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use wcs_bench::{figures, tables, Effort, TestbedCategory};
 use wcs_runtime::{scenarios, AnyWorkload, Engine, ResultCache, WorkloadKind, WorkloadSpec};
 use wcs_shard::{ShardManifest, ShardStrategy};
+
+/// Set by the global `--strict-cache` flag: a run whose cache stores
+/// failed exits non-zero (checked in [`finish`]) instead of silently
+/// degrading to cache-less behaviour.
+static STRICT_CACHE: AtomicBool = AtomicBool::new(false);
+
+/// The one exit door for successful subcommands: enforces
+/// `--strict-cache` (any `cache.store_failed` /
+/// `shard.partial_store_failed` counted this process — including counts
+/// surfaced via worker exit codes — turns success into exit 1) and
+/// flushes the telemetry run log before `process::exit`, which runs no
+/// destructors.
+fn finish(code: i32) -> ! {
+    let mut code = code;
+    if code == 0 && STRICT_CACHE.load(Ordering::Relaxed) {
+        let failed = wcs_telemetry::counter_total("cache.store_failed")
+            + wcs_telemetry::counter_total("shard.partial_store_failed");
+        if failed > 0 {
+            eprintln!("error: --strict-cache: {failed} cache store(s) failed this run");
+            code = 1;
+        }
+    }
+    wcs_telemetry::flush();
+    std::process::exit(code);
+}
 
 fn run_one(name: &str, effort: Effort) -> Option<String> {
     let out = match name {
@@ -98,6 +133,7 @@ const ALL: &[&str] = &[
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
+    wcs_telemetry::flush();
     std::process::exit(2);
 }
 
@@ -204,17 +240,49 @@ fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
         let t0 = std::time::Instant::now();
         let outcome = workload.run(&engine, cache_ref);
         print_report(&outcome.report, format);
-        eprintln!(
-            "[sweep {} ({}): {} tasks, {} threads, cache {}, {:.1}s]",
-            source.describe(),
-            workload.kind(),
-            outcome.tasks_run,
-            engine.threads(),
-            if outcome.cache_hit { "hit" } else { "miss" },
-            t0.elapsed().as_secs_f64()
+        // The structured form of the classic `[sweep ...]` status line:
+        // mirrored to stderr verbatim, logged as a run.sweep event when
+        // a collector is installed.
+        wcs_telemetry::info(
+            "run.sweep",
+            &format!(
+                "[sweep {} ({}): {} tasks, {} threads, cache {}, {:.1}s]",
+                source.describe(),
+                workload.kind(),
+                outcome.tasks_run,
+                engine.threads(),
+                if outcome.cache_hit { "hit" } else { "miss" },
+                t0.elapsed().as_secs_f64()
+            ),
+            vec![
+                (
+                    "name".to_string(),
+                    wcs_telemetry::Value::from(workload.name()),
+                ),
+                (
+                    "kind".to_string(),
+                    wcs_telemetry::Value::from(workload.kind().label()),
+                ),
+                (
+                    "tasks_run".to_string(),
+                    wcs_telemetry::Value::from(outcome.tasks_run),
+                ),
+                (
+                    "threads".to_string(),
+                    wcs_telemetry::Value::from(engine.threads()),
+                ),
+                (
+                    "cache_hit".to_string(),
+                    wcs_telemetry::Value::from(outcome.cache_hit),
+                ),
+                (
+                    "dur_ns".to_string(),
+                    wcs_telemetry::Value::U64(t0.elapsed().as_nanos() as u64),
+                ),
+            ],
         );
     }
-    std::process::exit(0);
+    finish(0);
 }
 
 const SHARD_USAGE: &str = "usage: repro shard plan   <scenario|--spec FILE> -k K [--strategy contiguous|strided] [--dir DIR]
@@ -311,6 +379,7 @@ fn require_k(parsed: &ShardArgs) -> usize {
 
 fn fail(e: impl std::fmt::Display) -> ! {
     eprintln!("error: {e}");
+    wcs_telemetry::flush();
     std::process::exit(1);
 }
 
@@ -420,7 +489,7 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             let exe = std::env::current_exe().unwrap_or_else(|e| fail(e));
             let cache = ResultCache::default_location();
             let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
-            let outcome = wcs_shard::run_local(
+            let outcome = wcs_shard::run_local_with(
                 &dir,
                 workload.clone(),
                 k,
@@ -428,6 +497,13 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                 &exe,
                 parsed.threads,
                 cache_ref,
+                wcs_shard::RunLocalOptions {
+                    strict_cache: STRICT_CACHE.load(Ordering::Relaxed),
+                    // When this process logs telemetry, have each worker
+                    // write its own run log into the plan directory and
+                    // fold the fleet's events into ours.
+                    worker_telemetry: true,
+                },
             )
             .unwrap_or_else(|e| fail(e));
             print_report(&outcome.report, &parsed.format);
@@ -448,7 +524,7 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             usage_exit(SHARD_USAGE);
         }
     }
-    std::process::exit(0);
+    finish(0);
 }
 
 fn human_size(bytes: u64) -> String {
@@ -541,7 +617,33 @@ fn run_cache_cmd(mut args: Vec<String>) -> ! {
         }
         _ => usage_exit(CACHE_USAGE),
     }
-    std::process::exit(0);
+    finish(0);
+}
+
+/// `repro trace summarize [RUNLOG.jsonl]`: parse a telemetry run log and
+/// print the human timing/cache/shard breakdown.
+fn run_trace_cmd(mut args: Vec<String>) -> ! {
+    const TRACE_USAGE: &str = "usage: repro trace summarize [RUNLOG.jsonl]";
+    if args.is_empty() {
+        usage_exit(TRACE_USAGE);
+    }
+    let verb = args.remove(0);
+    match verb.as_str() {
+        "summarize" => {
+            let path = match args.as_slice() {
+                [] => PathBuf::from("RUNLOG.jsonl"),
+                [one] => PathBuf::from(one),
+                _ => usage_exit(TRACE_USAGE),
+            };
+            let log = wcs_telemetry::jsonl::read_runlog(&path).unwrap_or_else(|e| fail(e));
+            print!("{}", wcs_telemetry::summary::summarize(&log));
+        }
+        other => {
+            eprintln!("unknown trace subcommand '{other}'");
+            usage_exit(TRACE_USAGE);
+        }
+    }
+    finish(0);
 }
 
 /// `repro bench`: run the fixed perf suite ([`wcs_bench::perf`]), write
@@ -607,10 +709,10 @@ fn run_bench_cmd(mut args: Vec<String>) -> ! {
             for r in &cmp.regressions {
                 eprintln!("regression: {r}");
             }
-            std::process::exit(1);
+            finish(1);
         }
     }
-    std::process::exit(0);
+    finish(0);
 }
 
 fn main() {
@@ -621,11 +723,39 @@ fn main() {
     } else {
         Effort::Quick
     };
+    // Global observability flags, valid in any position for any
+    // subcommand: `--telemetry[=PATH]` logs a structured run log
+    // (default RUNLOG.jsonl), `--strict-cache` makes failed cache
+    // stores fatal at exit.
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--telemetry" {
+            telemetry_path = Some(PathBuf::from("RUNLOG.jsonl"));
+            args.remove(i);
+        } else if let Some(p) = args[i].strip_prefix("--telemetry=") {
+            telemetry_path = Some(PathBuf::from(p.to_string()));
+            args.remove(i);
+        } else if args[i] == "--strict-cache" {
+            STRICT_CACHE.store(true, Ordering::Relaxed);
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if let Some(path) = &telemetry_path {
+        let note = format!("repro {}", args.join(" "));
+        match wcs_telemetry::jsonl::JsonlCollector::create(path, &note) {
+            Ok(c) => wcs_telemetry::install(std::sync::Arc::new(c)),
+            Err(e) => fail(format!("cannot create run log {}: {e}", path.display())),
+        }
+    }
     match args.first().map(String::as_str) {
         Some("sweep") => run_sweep_cmd(args.split_off(1), effort),
         Some("shard") => run_shard_cmd(args.split_off(1), effort),
         Some("cache") => run_cache_cmd(args.split_off(1)),
         Some("bench") => run_bench_cmd(args.split_off(1)),
+        Some("trace") => run_trace_cmd(args.split_off(1)),
         _ => {}
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
@@ -636,6 +766,8 @@ fn main() {
         eprintln!("       repro shard plan|worker|merge|run ... (see repro shard)");
         eprintln!("       repro cache ls|clear [--kind model|sim]");
         eprintln!("       repro bench [--quick] [--out FILE] [--compare BASELINE.json]");
+        eprintln!("       repro trace summarize [RUNLOG.jsonl]");
+        eprintln!("global flags: --telemetry[=PATH] --strict-cache");
         eprintln!("experiments: {}", ALL.join(" "));
         eprintln!(
             "scenarios: {}",
@@ -654,12 +786,27 @@ fn main() {
             Some(out) => {
                 println!("==================== {name} ====================");
                 println!("{out}");
-                eprintln!("[{name}: {:.1}s]", t0.elapsed().as_secs_f64());
+                wcs_telemetry::info(
+                    "run.experiment",
+                    &format!("[{name}: {:.1}s]", t0.elapsed().as_secs_f64()),
+                    vec![
+                        (
+                            "name".to_string(),
+                            wcs_telemetry::Value::from(name.as_str()),
+                        ),
+                        (
+                            "dur_ns".to_string(),
+                            wcs_telemetry::Value::U64(t0.elapsed().as_nanos() as u64),
+                        ),
+                    ],
+                );
             }
             None => {
                 eprintln!("unknown experiment '{name}'; known: {}", ALL.join(" "));
+                wcs_telemetry::flush();
                 std::process::exit(2);
             }
         }
     }
+    finish(0);
 }

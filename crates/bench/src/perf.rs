@@ -175,6 +175,19 @@ fn run_bench<F: FnMut(u64, u64) -> f64>(
         per_eval_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
     }
     let (median_ns, mad_ns) = median_mad(per_eval_ns);
+    wcs_telemetry::value(
+        "bench.result",
+        vec![
+            ("name".to_string(), wcs_telemetry::Value::from(name)),
+            (
+                "median_ns".to_string(),
+                wcs_telemetry::Value::F64(median_ns),
+            ),
+            ("mad_ns".to_string(), wcs_telemetry::Value::F64(mad_ns)),
+            ("samples".to_string(), wcs_telemetry::Value::from(samples)),
+            ("iters".to_string(), wcs_telemetry::Value::U64(iters)),
+        ],
+    );
     BenchResult {
         name: name.to_string(),
         median_ns,

@@ -1,0 +1,278 @@
+//! End-to-end CLI tests of the telemetry surface: `--telemetry[=PATH]`,
+//! `--strict-cache`, and `repro trace summarize`, all against real
+//! subprocesses with byte-compared stdout.
+//!
+//! Env is passed per-command (never `std::env::set_var`): cargo runs
+//! tests on threads, and each test gets its own temp cache directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use wcs_telemetry::jsonl::read_runlog;
+use wcs_telemetry::EventKind;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wcs-trace-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro failed: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+const TINY_SPEC: &str = r#"
+name = "trace-tiny"
+rmaxes = [40.0]
+ds = [25.0, 80.0]
+sigmas = [0.0, 8.0]
+topologies = ["two-pair", "npair(n=3,placement=line)"]
+samples = 800
+seed = 9090
+"#;
+
+fn write_tiny_spec(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("tiny.toml");
+    std::fs::write(&path, TINY_SPEC).unwrap();
+    path
+}
+
+#[test]
+fn telemetry_flag_keeps_stdout_bytes_and_writes_a_parsable_runlog() {
+    let dir = tmpdir("sweep");
+    let cache = dir.join("cache");
+    let spec = write_tiny_spec(&dir);
+    let runlog = dir.join("sweep.runlog.jsonl");
+
+    let plain = run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .args(["--threads", "2", "--no-cache", "--csv"])
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    let traced = run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .args(["--threads", "2", "--no-cache", "--csv"])
+            .arg(format!("--telemetry={}", runlog.display()))
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&traced.stdout),
+        "--telemetry must not change report bytes"
+    );
+
+    let log = read_runlog(&runlog).expect("runlog must parse");
+    assert_eq!(wcs_telemetry::jsonl::SCHEMA, "wcs-runlog-v1");
+    for expected in [
+        "spec.parse",
+        "run.sweep",
+        "workload.run",
+        "engine.run",
+        "engine.block",
+    ] {
+        assert!(
+            log.events.iter().any(|e| e.name == expected),
+            "runlog should contain '{expected}'"
+        );
+    }
+    // Every event name in the file is from the pinned vocabulary.
+    for e in &log.events {
+        assert!(
+            wcs_telemetry::EVENT_NAMES.contains(&e.name.as_str()),
+            "unpinned event '{}' in runlog",
+            e.name
+        );
+    }
+    // Spans carry durations on exit.
+    assert!(log
+        .events
+        .iter()
+        .any(|e| e.kind == EventKind::SpanExit && e.u64_field("dur_ns").is_some()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_run_folds_worker_events_into_one_runlog() {
+    let dir = tmpdir("shard");
+    let cache = dir.join("cache");
+    let spec = write_tiny_spec(&dir);
+    let runlog = dir.join("shard.runlog.jsonl");
+
+    let merged = run_ok(
+        repro()
+            .args(["shard", "run", "--spec"])
+            .arg(&spec)
+            .args(["-k", "3", "--csv"])
+            .arg(format!("--telemetry={}", runlog.display()))
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    assert!(!merged.stdout.is_empty());
+
+    let log = read_runlog(&runlog).expect("runlog must parse");
+    for expected in [
+        "shard.plan",
+        "shard.planned",
+        "shard.spawned",
+        "shard.worker_exit",
+        "shard.worker",
+        "shard.merge",
+        "shard.merged",
+    ] {
+        assert!(
+            log.events.iter().any(|e| e.name == expected),
+            "sharded runlog should contain '{expected}'"
+        );
+    }
+    // Worker-process events were folded in, tagged with their shard.
+    let folded_blocks: Vec<u64> = log
+        .events
+        .iter()
+        .filter(|e| e.name == "engine.block")
+        .filter_map(|e| e.u64_field("shard"))
+        .collect();
+    assert!(
+        !folded_blocks.is_empty(),
+        "worker engine.block events should be folded into the driver runlog"
+    );
+    assert!(folded_blocks.iter().any(|&s| s < 3));
+    // One worker_exit per shard, all clean.
+    let exits: Vec<_> = log
+        .events
+        .iter()
+        .filter(|e| e.name == "shard.worker_exit")
+        .collect();
+    assert_eq!(exits.len(), 3);
+
+    // `trace summarize` renders the sections the ISSUE promises from
+    // this single runlog: per-shard timings, cache counts, block stats.
+    let summary = run_ok(repro().args(["trace", "summarize"]).arg(&runlog));
+    let text = String::from_utf8_lossy(&summary.stdout).into_owned();
+    for section in [
+        "== timing (span totals) ==",
+        "== engine (per-block stats) ==",
+        "== cache ==",
+        "== shards ==",
+    ] {
+        assert!(
+            text.contains(section),
+            "summary missing '{section}':\n{text}"
+        );
+    }
+    assert!(text.contains("shard.worker"), "per-shard span totals");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_cache_turns_store_failures_into_exit_1() {
+    let dir = tmpdir("strict");
+    // Point the cache at a plain *file*: create_dir_all fails even as
+    // root, so every store attempt fails while the sweep itself runs.
+    let notadir = dir.join("notadir");
+    std::fs::write(&notadir, b"occupied").unwrap();
+    let spec = write_tiny_spec(&dir);
+
+    // Lenient mode: warning on stderr, exit 0.
+    let lenient = repro()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .arg("--csv")
+        .env("WCS_CACHE_DIR", &notadir)
+        .output()
+        .unwrap();
+    assert!(
+        lenient.status.success(),
+        "store failures are non-fatal by default"
+    );
+    assert!(
+        String::from_utf8_lossy(&lenient.stderr).contains("failed to store cache entry"),
+        "warning must still reach stderr: {}",
+        String::from_utf8_lossy(&lenient.stderr)
+    );
+
+    // Strict mode: same run exits 1 and says why.
+    let strict = repro()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .args(["--csv", "--strict-cache"])
+        .env("WCS_CACHE_DIR", &notadir)
+        .output()
+        .unwrap();
+    assert_eq!(strict.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&strict.stderr).contains("--strict-cache"),
+        "stderr should name the flag: {}",
+        String::from_utf8_lossy(&strict.stderr)
+    );
+
+    // A healthy cache dir under --strict-cache stays exit 0.
+    let healthy = dir.join("cache");
+    run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .args(["--csv", "--strict-cache"])
+            .env("WCS_CACHE_DIR", &healthy),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_cmd_rejects_missing_files_and_bad_verbs() {
+    let out = repro()
+        .args(["trace", "summarize", "/nonexistent/RUNLOG.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "missing runlog is a hard error");
+
+    let out = repro().args(["trace", "frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown verb is a usage error");
+
+    // A runlog with the wrong schema header is rejected, not mis-read.
+    let dir = tmpdir("badlog");
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(
+        &bad,
+        "{\"t_ns\":0,\"kind\":\"meta\",\"name\":\"runlog.start\",\"fields\":{\"schema\":\"wcs-runlog-v999\"}}\n",
+    )
+    .unwrap();
+    let out = repro()
+        .args(["trace", "summarize"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bare_telemetry_flag_defaults_to_runlog_in_cwd() {
+    let dir = tmpdir("default-path");
+    let cache = dir.join("cache");
+    let spec = write_tiny_spec(&dir);
+    run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .args(["--csv", "--telemetry"])
+            .env("WCS_CACHE_DIR", &cache)
+            .current_dir(&dir),
+    );
+    let log = read_runlog(&dir.join("RUNLOG.jsonl")).expect("default RUNLOG.jsonl");
+    assert!(!log.events.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -58,8 +58,27 @@ impl ResultCache {
     }
 
     /// Look up a stored report for this (workload, seed). Returns `None`
-    /// on absence, spec mismatch, or any parse failure.
+    /// on absence, spec mismatch, or any parse failure. Every lookup
+    /// bumps the `cache.hit` (with entry bytes) or `cache.miss`
+    /// telemetry counter.
     pub fn load<W: WorkloadSpec + ?Sized>(&self, w: &W) -> Option<RunReport> {
+        match self.load_uncounted(w) {
+            Some((report, bytes)) => {
+                wcs_telemetry::counter_with(
+                    "cache.hit",
+                    1,
+                    vec![("bytes".to_string(), wcs_telemetry::Value::U64(bytes))],
+                );
+                Some(report)
+            }
+            None => {
+                wcs_telemetry::counter("cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    fn load_uncounted<W: WorkloadSpec + ?Sized>(&self, w: &W) -> Option<(RunReport, u64)> {
         let path = self.entry_path(w);
         let text = fs::read_to_string(&path).ok()?;
         let mut lines = text.lines();
@@ -76,7 +95,8 @@ impl ResultCache {
             return None;
         }
         let body: String = lines.collect::<Vec<_>>().join("\n");
-        RunReport::from_csv(w.name(), &body).ok()
+        let report = RunReport::from_csv(w.name(), &body).ok()?;
+        Some((report, text.len() as u64))
     }
 
     /// List the cache's entries (empty when the directory does not exist
@@ -159,7 +179,10 @@ impl ResultCache {
         Ok(removed)
     }
 
-    /// Store a report under this (workload, seed).
+    /// Store a report under this (workload, seed). A successful write
+    /// bumps the `cache.store` telemetry counter with the entry bytes
+    /// (failures are counted as `cache.store_failed` by the callers,
+    /// which decide whether a degraded run is fatal).
     pub fn store<W: WorkloadSpec + ?Sized>(
         &self,
         w: &W,
@@ -169,7 +192,16 @@ impl ResultCache {
         text.push_str(&format!("# spec: {}\n", w.canonical()));
         text.push_str(&format!("# seed: {}\n", w.seed()));
         text.push_str(&report.to_csv());
-        self.write_file(&self.entry_path(w), &text)
+        self.write_file(&self.entry_path(w), &text)?;
+        wcs_telemetry::counter_with(
+            "cache.store",
+            1,
+            vec![(
+                "bytes".to_string(),
+                wcs_telemetry::Value::U64(text.len() as u64),
+            )],
+        );
+        Ok(())
     }
 
     /// Store a free-form named blob (e.g. a `wcs-shard` partial report)

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+use std::time::Instant;
 
 /// A fixed-size pool executing independent tasks by index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,35 +116,114 @@ impl Engine {
                 range.len()
             );
         };
+        // Telemetry is strictly out-of-band: when disabled (`telemetry`
+        // false) no clock is read and no event is built; when enabled it
+        // only observes — the cursor, the kernel, and the result commit
+        // order are untouched either way.
+        let telemetry = wcs_telemetry::enabled();
+        let mut run_span = wcs_telemetry::span("engine.run")
+            .with("n", n)
+            .with("block", block)
+            .with("threads", self.threads)
+            .start();
+        // Records one `engine.block` event (per-block task timing plus
+        // the queue depth left behind) and accumulates the worker's
+        // busy-time tally.
+        let record_block = |worker: usize, range: &std::ops::Range<usize>, dur_ns: u64| {
+            wcs_telemetry::value(
+                "engine.block",
+                vec![
+                    (
+                        "worker".to_string(),
+                        wcs_telemetry::Value::U64(worker as u64),
+                    ),
+                    (
+                        "start".to_string(),
+                        wcs_telemetry::Value::U64(range.start as u64),
+                    ),
+                    (
+                        "len".to_string(),
+                        wcs_telemetry::Value::U64(range.len() as u64),
+                    ),
+                    ("dur_ns".to_string(), wcs_telemetry::Value::U64(dur_ns)),
+                    (
+                        "remaining".to_string(),
+                        wcs_telemetry::Value::U64(n.saturating_sub(range.end) as u64),
+                    ),
+                ],
+            );
+        };
+        // One `engine.worker` event per worker: its share of the blocks
+        // and its busy nanoseconds, i.e. per-thread utilization.
+        let record_worker = |worker: usize, blocks: u64, busy_ns: u64| {
+            wcs_telemetry::value(
+                "engine.worker",
+                vec![
+                    (
+                        "worker".to_string(),
+                        wcs_telemetry::Value::U64(worker as u64),
+                    ),
+                    ("blocks".to_string(), wcs_telemetry::Value::U64(blocks)),
+                    ("busy_ns".to_string(), wcs_telemetry::Value::U64(busy_ns)),
+                ],
+            );
+        };
         if self.threads <= 1 || n <= 1 {
             let mut out = Vec::with_capacity(n);
             let mut start = 0;
+            let (mut busy_ns, mut blocks) = (0u64, 0u64);
             while start < n {
                 let range = start..(start + block).min(n);
                 start = range.end;
+                let t0 = telemetry.then(Instant::now);
                 let results = kernel(range.clone());
+                if let Some(t0) = t0 {
+                    let dur = t0.elapsed().as_nanos() as u64;
+                    busy_ns += dur;
+                    blocks += 1;
+                    record_block(0, &range, dur);
+                }
                 check_arity(results.len(), &range);
                 out.extend(results);
             }
+            if telemetry && blocks > 0 {
+                record_worker(0, blocks, busy_ns);
+            }
+            run_span.add("tasks_run", n);
             return out;
         }
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
         thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
+            for worker in 0..self.threads.min(n) {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let kernel = &kernel;
-                scope.spawn(move || loop {
-                    let start = cursor.fetch_add(block, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+                let record_block = &record_block;
+                let record_worker = &record_worker;
+                scope.spawn(move || {
+                    let (mut busy_ns, mut blocks) = (0u64, 0u64);
+                    loop {
+                        let start = cursor.fetch_add(block, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let range = start..(start + block).min(n);
+                        let t0 = telemetry.then(Instant::now);
+                        let results = kernel(range.clone());
+                        if let Some(t0) = t0 {
+                            let dur = t0.elapsed().as_nanos() as u64;
+                            busy_ns += dur;
+                            blocks += 1;
+                            record_block(worker, &range, dur);
+                        }
+                        check_arity(results.len(), &range);
+                        if tx.send((start, results)).is_err() {
+                            break;
+                        }
                     }
-                    let range = start..(start + block).min(n);
-                    let results = kernel(range.clone());
-                    check_arity(results.len(), &range);
-                    if tx.send((start, results)).is_err() {
-                        break;
+                    if telemetry && blocks > 0 {
+                        record_worker(worker, blocks, busy_ns);
                     }
                 });
             }
@@ -154,6 +234,7 @@ impl Engine {
                     slots[start + offset] = Some(result);
                 }
             }
+            run_span.add("tasks_run", n);
             slots
                 .into_iter()
                 .map(|s| s.expect("engine worker died before completing its block"))

@@ -465,9 +465,16 @@ pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
 
 /// Read and parse a spec file from `path`.
 pub fn load_spec_file(path: &std::path::Path) -> Result<Sweep, SpecError> {
+    let mut span = wcs_telemetry::span("spec.parse")
+        .with("path", path.display().to_string())
+        .start();
     let text = std::fs::read_to_string(path)
         .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
-    parse_spec_toml(&text)
+    let sweep = parse_spec_toml(&text)?;
+    span.add("name", sweep.name.as_str());
+    span.add("kind", WorkloadKind::Model.label());
+    span.add("hash", sweep.scenario_hash());
+    Ok(sweep)
 }
 
 /// Serialize a sim sweep to the spec-file format (self-describing via
@@ -676,9 +683,16 @@ pub fn parse_any_spec_toml(text: &str) -> Result<AnyWorkload, SpecError> {
 
 /// Read and parse a spec file of either workload family from `path`.
 pub fn load_any_spec_file(path: &std::path::Path) -> Result<AnyWorkload, SpecError> {
+    let mut span = wcs_telemetry::span("spec.parse")
+        .with("path", path.display().to_string())
+        .start();
     let text = std::fs::read_to_string(path)
         .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
-    parse_any_spec_toml(&text)
+    let workload = parse_any_spec_toml(&text)?;
+    span.add("name", workload.name().to_string());
+    span.add("kind", workload.kind().label());
+    span.add("hash", workload.scenario_hash());
+    Ok(workload)
 }
 
 #[cfg(test)]

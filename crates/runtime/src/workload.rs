@@ -200,18 +200,30 @@ pub fn run_workload<W: Workload + ?Sized>(
     engine: &Engine,
     cache: Option<&ResultCache>,
 ) -> WorkloadOutcome {
+    let mut span = wcs_telemetry::span("workload.run")
+        .with("name", w.name())
+        .with("kind", w.kind().label())
+        .with("tasks", w.task_count())
+        .with("hash", w.scenario_hash())
+        .with("seed", w.seed())
+        .start();
     let columns = w.columns();
     if let Some(cache) = cache {
         if let Some(full) = cache.load(w) {
             if full.columns == columns {
+                span.add("cache_hit", true);
                 return WorkloadOutcome {
                     report: w.finalize(&full),
                     cache_hit: true,
                     tasks_run: 0,
                 };
             }
+            // A hit with the wrong column layout (written by an older
+            // binary) degrades to a miss and recomputes.
+            wcs_telemetry::counter("cache.stale_layout", 1);
         }
     }
+    span.add("cache_hit", false);
 
     let tasks = w.lower();
     let refs: Vec<&W::Task> = tasks.iter().collect();
@@ -220,11 +232,21 @@ pub fn run_workload<W: Workload + ?Sized>(
     let full = assemble(w, &blocks);
     if let Some(cache) = cache {
         // Cache write failures (read-only FS, full disk, ...) must not
-        // fail the run, but they must not be invisible either.
+        // fail the run, but they must not be invisible either: the warn
+        // is mirrored to stderr, counted in the telemetry registry (what
+        // `repro --strict-cache` gates on), and logged when a collector
+        // is installed.
         if let Err(e) = cache.store(w, &full) {
-            eprintln!(
-                "warning: failed to store cache entry in {}: {e}",
-                cache.dir().display()
+            wcs_telemetry::warn_with(
+                "cache.store_failed",
+                &format!(
+                    "warning: failed to store cache entry in {}: {e}",
+                    cache.dir().display()
+                ),
+                vec![(
+                    "dir".to_string(),
+                    wcs_telemetry::Value::Str(cache.dir().display().to_string()),
+                )],
             );
         }
     }

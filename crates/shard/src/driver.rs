@@ -22,6 +22,7 @@ use crate::plan::{ShardPlan, ShardStrategy};
 use crate::ShardError;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::time::Instant;
 use wcs_runtime::{AnyWorkload, WorkloadSpec};
 
 /// Manifest file path for shard `shard` under `dir`.
@@ -32,6 +33,12 @@ pub fn manifest_path(dir: &Path, shard: usize) -> PathBuf {
 /// Partial-report file path for shard `shard` under `dir`.
 pub fn partial_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:04}.partial.csv"))
+}
+
+/// Run-log file path the driver hands shard `shard`'s worker when
+/// [`RunLocalOptions::worker_telemetry`] is on.
+pub fn worker_runlog_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.runlog.jsonl"))
 }
 
 /// The sorted manifest paths present in a plan directory.
@@ -62,6 +69,12 @@ pub fn write_plan(
 ) -> Result<Vec<PathBuf>, ShardError> {
     let workload = workload.into();
     let plan = ShardPlan::new(workload.task_count(), k, strategy)?;
+    let _span = wcs_telemetry::span("shard.plan")
+        .with("name", workload.name())
+        .with("k", k)
+        .with("strategy", strategy.label())
+        .with("tasks", workload.task_count())
+        .start();
     std::fs::create_dir_all(dir)?;
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
@@ -76,9 +89,38 @@ pub fn write_plan(
     for shard in 0..k {
         let path = manifest_path(dir, shard);
         ShardManifest::new(workload.clone(), &plan, shard).save(&path)?;
+        let indices = plan.indices(shard);
+        wcs_telemetry::value(
+            "shard.planned",
+            vec![
+                ("shard".to_string(), wcs_telemetry::Value::U64(shard as u64)),
+                (
+                    "tasks".to_string(),
+                    wcs_telemetry::Value::U64(indices.len() as u64),
+                ),
+                (
+                    "start".to_string(),
+                    wcs_telemetry::Value::U64(indices.first().copied().unwrap_or(0) as u64),
+                ),
+            ],
+        );
         paths.push(path);
     }
     Ok(paths)
+}
+
+/// Knobs of [`run_local_with`] beyond the plan itself.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunLocalOptions {
+    /// Forward `--strict-cache` to every worker, so a worker whose cache
+    /// stores fail exits non-zero instead of silently degrading.
+    pub strict_cache: bool,
+    /// Hand each worker its own run log (`shard-NNNN.runlog.jsonl` in
+    /// the plan directory) and, after it exits, fold its events into
+    /// this process's collector with a `shard` field added — so one
+    /// `RUNLOG.jsonl` carries the whole fleet's engine/cache events.
+    /// No-op when no collector is installed here.
+    pub worker_telemetry: bool,
 }
 
 /// Run the whole plan → worker → merge pipeline locally: write the plan
@@ -100,7 +142,34 @@ pub fn run_local(
     threads_per_worker: usize,
     cache: Option<&wcs_runtime::ResultCache>,
 ) -> Result<MergeOutcome, ShardError> {
+    run_local_with(
+        dir,
+        workload,
+        k,
+        strategy,
+        repro_exe,
+        threads_per_worker,
+        cache,
+        RunLocalOptions::default(),
+    )
+}
+
+/// [`run_local`] with explicit [`RunLocalOptions`].
+#[allow(clippy::too_many_arguments)] // mirrors run_local's established signature
+pub fn run_local_with(
+    dir: &Path,
+    workload: impl Into<AnyWorkload>,
+    k: usize,
+    strategy: ShardStrategy,
+    repro_exe: &Path,
+    threads_per_worker: usize,
+    cache: Option<&wcs_runtime::ResultCache>,
+    opts: RunLocalOptions,
+) -> Result<MergeOutcome, ShardError> {
     let manifests = write_plan(dir, workload, k, strategy)?;
+    // Worker run logs only make sense if this process has somewhere to
+    // fold them; without a collector, don't ask workers to write any.
+    let worker_telemetry = opts.worker_telemetry && wcs_telemetry::enabled();
     // threads 0 (auto) would hand *each* of the K workers a full-core
     // pool — K-fold oversubscription. Split the cores across workers
     // instead; an explicit --threads value is forwarded untouched.
@@ -129,12 +198,31 @@ pub fn run_local(
                 cmd.arg("--no-cache");
             }
         }
+        if opts.strict_cache {
+            cmd.arg("--strict-cache");
+        }
+        if worker_telemetry {
+            let runlog = worker_runlog_path(dir, shard);
+            cmd.arg(format!("--telemetry={}", runlog.display()));
+        }
         match cmd.spawn() {
-            Ok(child) => children.push((shard, child)),
+            Ok(child) => {
+                wcs_telemetry::value(
+                    "shard.spawned",
+                    vec![
+                        ("shard".to_string(), wcs_telemetry::Value::U64(shard as u64)),
+                        (
+                            "pid".to_string(),
+                            wcs_telemetry::Value::U64(child.id() as u64),
+                        ),
+                    ],
+                );
+                children.push((shard, child, Instant::now()));
+            }
             Err(e) => {
                 // Don't orphan the workers already launched: reap them
                 // before surfacing the spawn failure.
-                for (_, mut child) in children {
+                for (_, mut child, _) in children {
                     let _ = child.kill();
                     let _ = child.wait();
                 }
@@ -145,8 +233,25 @@ pub fn run_local(
     // Wait for every worker before judging any: a partial failure should
     // report *which* shard failed, not leave zombies behind.
     let mut failures = Vec::new();
-    for (shard, mut child) in children {
+    for (shard, mut child, spawned_at) in children {
         let status = child.wait()?;
+        wcs_telemetry::value(
+            "shard.worker_exit",
+            vec![
+                ("shard".to_string(), wcs_telemetry::Value::U64(shard as u64)),
+                (
+                    "code".to_string(),
+                    wcs_telemetry::Value::from(status.code().unwrap_or(-1) as i64),
+                ),
+                (
+                    "dur_ns".to_string(),
+                    wcs_telemetry::Value::U64(spawned_at.elapsed().as_nanos() as u64),
+                ),
+            ],
+        );
+        if worker_telemetry {
+            fold_worker_runlog(dir, shard);
+        }
         if !status.success() {
             failures.push((shard, status));
         }
@@ -158,6 +263,25 @@ pub fn run_local(
         });
     }
     merge_dir(dir, cache)
+}
+
+/// Re-emit one worker's run-log events through this process's collector,
+/// each tagged with a `shard` field. The worker's `runlog.start` header
+/// is skipped (this process's log already has one); its timestamps use
+/// the worker's own epoch, so durations remain valid but absolute stamps
+/// are only ordered within one shard. An unreadable or absent worker
+/// log is silently skipped — telemetry never fails a run.
+fn fold_worker_runlog(dir: &Path, shard: usize) {
+    let path = worker_runlog_path(dir, shard);
+    let Ok(log) = wcs_telemetry::jsonl::read_runlog(&path) else {
+        return;
+    };
+    for mut event in log.events {
+        event
+            .fields
+            .push(("shard".to_string(), wcs_telemetry::Value::U64(shard as u64)));
+        wcs_telemetry::emit_event(&event);
+    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,10 @@ pub mod merge;
 pub mod partial;
 pub mod plan;
 
-pub use driver::{manifest_path, partial_path, run_local, write_plan};
+pub use driver::{
+    manifest_path, partial_path, run_local, run_local_with, worker_runlog_path, write_plan,
+    RunLocalOptions,
+};
 pub use manifest::ShardManifest;
 pub use merge::{merge_dir, merge_partials, MergeOutcome};
 pub use partial::{partial_cache_name, PartialReport};

@@ -136,6 +136,7 @@ pub struct MergeOutcome {
 /// (scenario hash, seed) key a single-process run would use, so the
 /// *next* `repro sweep` of this spec is a cache hit.
 pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome, ShardError> {
+    let mut span = wcs_telemetry::span("shard.merge").start();
     let manifest_paths = driver::find_manifests(dir)?;
     let first_manifest = match manifest_paths.first() {
         Some(p) => ShardManifest::load(p)?,
@@ -164,8 +165,9 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
             )));
         }
         let ppath = driver::partial_path(dir, manifest.shard);
-        if ppath.exists() {
+        let source = if ppath.exists() {
             parts.push(PartialReport::load(&ppath)?);
+            "file"
         } else {
             // Lost worker / lost file: serve the cached partial blob if
             // this exact plan's shard was ever computed before —
@@ -175,6 +177,7 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
                 Some(p) => {
                     shards_from_cache += 1;
                     parts.push(p);
+                    "cache"
                 }
                 None => {
                     return Err(ShardError::Gap {
@@ -183,7 +186,17 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
                     })
                 }
             }
-        }
+        };
+        wcs_telemetry::value(
+            "shard.merged",
+            vec![
+                (
+                    "shard".to_string(),
+                    wcs_telemetry::Value::U64(manifest.shard as u64),
+                ),
+                ("source".to_string(), wcs_telemetry::Value::from(source)),
+            ],
+        );
     }
     let workload = first_manifest.workload;
     for p in &parts {
@@ -196,16 +209,26 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
     }
     let full = merge_partials(&parts)?;
     if let Some(cache) = cache {
-        // Same tolerance as run_sweep: a failed store warns, never fails.
+        // Same tolerance as run_sweep: a failed store warns (mirrored to
+        // stderr, counted for --strict-cache), never fails.
         if let Err(e) = cache.store(&workload, &full) {
-            eprintln!(
-                "warning: failed to store cache entry in {}: {e}",
-                cache.dir().display()
+            wcs_telemetry::warn_with(
+                "cache.store_failed",
+                &format!(
+                    "warning: failed to store cache entry in {}: {e}",
+                    cache.dir().display()
+                ),
+                vec![(
+                    "dir".to_string(),
+                    wcs_telemetry::Value::Str(cache.dir().display().to_string()),
+                )],
             );
         }
     }
     let report = workload.finalize(&full);
     let shards = parts.len();
+    span.add("shards", shards);
+    span.add("shards_from_cache", shards_from_cache);
     Ok(MergeOutcome {
         report,
         workload,

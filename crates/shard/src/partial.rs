@@ -105,6 +105,11 @@ pub fn run_worker(
     cache: Option<&ResultCache>,
 ) -> PartialReport {
     let w = &manifest.workload;
+    let mut span = wcs_telemetry::span("shard.worker")
+        .with("shard", manifest.shard)
+        .with("k", manifest.k)
+        .with("name", w.name())
+        .start();
     let indices = manifest.indices();
     let columns = w.columns();
     let rows_per_task = w.kind().rows_per_task();
@@ -134,19 +139,30 @@ pub fn run_worker(
                 sliced
             });
         if let Some(report) = sliced {
+            span.add("source", "cache-full-slice");
             return package(report);
         }
         if let Some(partial) = load_cached_partial(cache, manifest) {
+            span.add("source", "cache-partial");
             return partial;
         }
     }
+    span.add("source", "computed");
     let partial = package(w.run_subset(&indices, engine));
     if let Some(cache) = cache {
-        // Same tolerance as full-report stores: warn, never fail.
+        // Same tolerance as full-report stores: warn (mirrored to
+        // stderr, counted for --strict-cache), never fail.
         if let Err(e) = cache.store_blob(&partial_cache_name(manifest), &partial.to_text()) {
-            eprintln!(
-                "warning: failed to store shard partial in {}: {e}",
-                cache.dir().display()
+            wcs_telemetry::warn_with(
+                "shard.partial_store_failed",
+                &format!(
+                    "warning: failed to store shard partial in {}: {e}",
+                    cache.dir().display()
+                ),
+                vec![(
+                    "shard".to_string(),
+                    wcs_telemetry::Value::U64(manifest.shard as u64),
+                )],
             );
         }
     }

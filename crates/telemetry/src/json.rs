@@ -1,0 +1,383 @@
+//! Minimal JSON encoding for run-log lines.
+//!
+//! The offline serde shim has no parser, so — like `wcs-bench`'s bench
+//! documents — the run log hand-rolls its JSON. The subset here is
+//! exactly what one event line needs: flat objects, one nested `fields`
+//! object, strings, bools, null, and **integer-exact numbers** —
+//! unsigned/negative integers are written as decimal literals and parsed
+//! back as integers, never routed through `f64`, so 64-bit hashes and
+//! seeds survive a round trip bit for bit. Floats use Rust's shortest
+//! round-tripping `{:?}` form, the same convention as the CSV reports.
+
+use crate::{Event, EventKind, Value};
+
+/// Escape a string into a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn value_to_json(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::F64(x) => {
+            if x.is_finite() {
+                format!("{x:?}")
+            } else {
+                "null".to_string() // JSON has no NaN/∞; same rule as RunReport
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => json_string(s),
+    }
+}
+
+/// Serialize one event as a single JSON object (one run-log line,
+/// without the trailing newline).
+pub fn event_to_json(e: &Event) -> String {
+    let mut out = String::with_capacity(64 + 24 * e.fields.len());
+    out.push_str(&format!(
+        "{{\"t_ns\":{},\"kind\":{},\"name\":{},\"fields\":{{",
+        e.t_ns,
+        json_string(e.kind.label()),
+        json_string(&e.name)
+    ));
+    for (i, (k, v)) in e.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        out.push_str(&value_to_json(v));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Parse one run-log line back into an [`Event`].
+pub fn event_from_json(line: &str) -> Result<Event, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let top = p.parse_object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let mut t_ns = None;
+    let mut kind = None;
+    let mut name = None;
+    let mut fields = Vec::new();
+    for (key, val) in top {
+        match (key.as_str(), val) {
+            ("t_ns", Json::U64(v)) => t_ns = Some(v),
+            ("t_ns", _) => return Err("t_ns must be an unsigned integer".into()),
+            ("kind", Json::Str(s)) => {
+                kind = Some(EventKind::from_label(&s).ok_or_else(|| format!("unknown kind '{s}'"))?)
+            }
+            ("kind", _) => return Err("kind must be a string".into()),
+            ("name", Json::Str(s)) => name = Some(s),
+            ("name", _) => return Err("name must be a string".into()),
+            ("fields", Json::Obj(pairs)) => {
+                for (k, v) in pairs {
+                    fields.push((k, json_to_value(v)?));
+                }
+            }
+            ("fields", _) => return Err("fields must be an object".into()),
+            (other, _) => return Err(format!("unknown event key '{other}'")),
+        }
+    }
+    Ok(Event {
+        t_ns: t_ns.ok_or("missing t_ns")?,
+        kind: kind.ok_or("missing kind")?,
+        name: name.ok_or("missing name")?,
+        fields,
+    })
+}
+
+fn json_to_value(j: Json) -> Result<Value, String> {
+    Ok(match j {
+        Json::U64(v) => Value::U64(v),
+        Json::I64(v) => Value::I64(v),
+        Json::F64(v) => Value::F64(v),
+        Json::Bool(b) => Value::Bool(b),
+        Json::Str(s) => Value::Str(s),
+        Json::Null => Value::F64(f64::NAN), // the writer's non-finite spill
+        Json::Obj(_) => return Err("nested objects are not valid field values".into()),
+    })
+}
+
+/// Parsed JSON value (the subset the run log uses — no arrays).
+enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Vec<(String, Json)>, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(pairs);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.parse_value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(pairs);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => Ok(Json::Obj(self.parse_object()?)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err("unterminated string".into());
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).ok_or("truncated escape")?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through untouched).
+                    let s = std::str::from_utf8(rest).map_err(|_| "non-utf8 string".to_string())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_roundtrips_every_value_variant() {
+        let e = Event {
+            t_ns: 123_456_789,
+            kind: EventKind::Counter,
+            name: "cache.hit".to_string(),
+            fields: vec![
+                ("bytes".to_string(), Value::U64(0x0123_4567_89ab_cdef)),
+                ("code".to_string(), Value::I64(-11)),
+                ("ratio".to_string(), Value::F64(1.0 / 3.0)),
+                ("hit".to_string(), Value::Bool(true)),
+                (
+                    "path".to_string(),
+                    Value::Str("a \"quoted\"\\\n\ttab µ".to_string()),
+                ),
+            ],
+        };
+        let line = event_to_json(&e);
+        let back = event_from_json(&line).unwrap();
+        assert_eq!(back, e);
+        // Large u64s survive exactly (would be mangled through f64).
+        assert_eq!(back.u64_field("bytes"), Some(0x0123_4567_89ab_cdef));
+    }
+
+    #[test]
+    fn floats_keep_shortest_roundtrip_form() {
+        let e = Event {
+            t_ns: 0,
+            kind: EventKind::Value,
+            name: "x".to_string(),
+            fields: vec![("v".to_string(), Value::F64(2.0))],
+        };
+        let line = event_to_json(&e);
+        assert!(line.contains("\"v\":2.0"), "{line}");
+        let back = event_from_json(&line).unwrap();
+        assert_eq!(back.field("v"), Some(&Value::F64(2.0)));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(event_from_json("").is_err());
+        assert!(event_from_json("{}").is_err(), "missing required keys");
+        assert!(event_from_json("not json").is_err());
+        assert!(
+            event_from_json("{\"t_ns\":1,\"kind\":\"counter\",\"name\":\"x\",\"fields\":{}}x")
+                .is_err()
+        );
+        assert!(
+            event_from_json("{\"t_ns\":1,\"kind\":\"quantum\",\"name\":\"x\",\"fields\":{}}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_spill_to_null() {
+        let e = Event {
+            t_ns: 0,
+            kind: EventKind::Value,
+            name: "x".to_string(),
+            fields: vec![("v".to_string(), Value::F64(f64::INFINITY))],
+        };
+        let line = event_to_json(&e);
+        assert!(line.contains("\"v\":null"), "{line}");
+        let back = event_from_json(&line).unwrap();
+        assert!(matches!(back.field("v"), Some(Value::F64(v)) if v.is_nan()));
+    }
+}

@@ -10,3 +10,4 @@ pub use wcs_runtime as runtime;
 pub use wcs_shard as shard;
 pub use wcs_sim as sim;
 pub use wcs_stats as stats;
+pub use wcs_telemetry as telemetry;

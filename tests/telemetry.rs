@@ -1,0 +1,180 @@
+//! Telemetry is out-of-band: the observability invariant, pinned.
+//!
+//! The whole `wcs-telemetry` design rests on one promise — installing a
+//! collector never changes a computed number. These tests run the
+//! ISSUE-named built-ins (`figure4-family`, `npair-scaling`) at 1 and 4
+//! threads with telemetry off and with a live in-memory collector, and
+//! byte-compare the reports, hashes and cache entries. They also pin the
+//! event-name vocabulary (like the PR 5 bench-name pin): every event the
+//! stack emits must come from [`telemetry::EVENT_NAMES`], so a renamed
+//! or new event is a deliberate, reviewed change.
+//!
+//! The collector facade is process-global, so every test that installs
+//! one serializes on [`GLOBAL`]; cargo runs tests on threads within one
+//! process.
+
+use in_defense_of_carrier_sense::runtime::{
+    scenarios, AnyWorkload, EffortProfile, Engine, ResultCache, WorkloadSpec,
+};
+use in_defense_of_carrier_sense::shard::{
+    merge_partials, partial::run_worker, write_plan, ShardManifest, ShardStrategy,
+};
+use in_defense_of_carrier_sense::telemetry;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wcs-telem-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn builtin(name: &str) -> AnyWorkload {
+    // Quick-profile grids, further trimmed so four runs per scenario
+    // stay test-suite fast while still spanning multiple engine blocks.
+    let profile = EffortProfile::quick().with_mc_samples(2_000);
+    scenarios::any_by_name(name, &profile).expect("built-in scenario")
+}
+
+/// Run `workload` and return (finalized CSV, cache entry bytes).
+fn run_with_cache(
+    workload: &AnyWorkload,
+    threads: usize,
+    cache_dir: &PathBuf,
+) -> (String, Vec<u8>) {
+    let cache = ResultCache::new(cache_dir);
+    let outcome = workload.run(&Engine::new(threads), Some(&cache));
+    let entry = cache
+        .entries()
+        .unwrap()
+        .into_iter()
+        .next()
+        .expect("one cache entry");
+    let bytes = std::fs::read(&entry.path).unwrap();
+    (outcome.report.to_csv(), bytes)
+}
+
+#[test]
+fn telemetry_on_and_off_produce_identical_bytes() {
+    let _g = GLOBAL.lock().unwrap();
+    telemetry::uninstall();
+    for name in ["figure4-family", "npair-scaling"] {
+        let workload = builtin(name);
+        for threads in [1usize, 4] {
+            let dir_off = tmpdir(&format!("off-{name}-{threads}"));
+            let dir_on = tmpdir(&format!("on-{name}-{threads}"));
+
+            assert!(!telemetry::enabled());
+            let (csv_off, entry_off) = run_with_cache(&workload, threads, &dir_off);
+
+            let mem = Arc::new(telemetry::jsonl::MemoryCollector::default());
+            telemetry::install(mem.clone());
+            let (csv_on, entry_on) = run_with_cache(&workload, threads, &dir_on);
+            telemetry::uninstall();
+
+            assert_eq!(
+                csv_off, csv_on,
+                "{name} at {threads} threads: telemetry changed the report"
+            );
+            assert_eq!(
+                entry_off, entry_on,
+                "{name} at {threads} threads: telemetry changed the cache entry"
+            );
+            assert!(
+                !mem.snapshot().is_empty(),
+                "the collector must actually have observed the run"
+            );
+            let _ = std::fs::remove_dir_all(&dir_off);
+            let _ = std::fs::remove_dir_all(&dir_on);
+        }
+        // The identity the cache keys on is untouched either way.
+        assert_eq!(workload.scenario_hash(), builtin(name).scenario_hash());
+    }
+}
+
+#[test]
+fn every_emitted_event_name_is_pinned() {
+    let _g = GLOBAL.lock().unwrap();
+    let mem = Arc::new(telemetry::jsonl::MemoryCollector::default());
+    telemetry::install(mem.clone());
+
+    // Exercise every instrumented seam in-process: cached workload runs
+    // (miss + store, then hit), a shard worker, and a merge.
+    let dir = tmpdir("pin");
+    let cache = ResultCache::new(&dir);
+    let workload = builtin("npair-scaling");
+    let first = workload.run(&Engine::new(2), Some(&cache));
+    assert!(!first.cache_hit);
+    let second = workload.run(&Engine::new(2), Some(&cache));
+    assert!(second.cache_hit);
+
+    let plan_dir = tmpdir("pin-plan");
+    let paths = write_plan(&plan_dir, workload.clone(), 2, ShardStrategy::Contiguous).unwrap();
+    let parts: Vec<_> = paths
+        .iter()
+        .map(|p| {
+            run_worker(
+                &ShardManifest::load(p).unwrap(),
+                &Engine::serial(),
+                Some(&cache),
+            )
+        })
+        .collect();
+    merge_partials(&parts).unwrap();
+
+    telemetry::uninstall();
+    let events = mem.snapshot();
+    assert!(events.len() > 10, "expected a rich event stream");
+    for e in &events {
+        assert!(
+            telemetry::EVENT_NAMES.contains(&e.name.as_str()),
+            "event '{}' is not in the pinned EVENT_NAMES vocabulary",
+            e.name
+        );
+        // Kind labels must round-trip (the JSONL sink depends on it).
+        assert_eq!(
+            telemetry::EventKind::from_label(e.kind.label()),
+            Some(e.kind)
+        );
+    }
+    // The stream must include the load-bearing seams.
+    for expected in [
+        "workload.run",
+        "engine.run",
+        "engine.block",
+        "engine.worker",
+        "cache.miss",
+        "cache.store",
+        "cache.hit",
+        "shard.plan",
+        "shard.planned",
+        "shard.worker",
+    ] {
+        assert!(
+            events.iter().any(|e| e.name == expected),
+            "expected at least one '{expected}' event"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&plan_dir);
+}
+
+#[test]
+fn cache_counters_register_without_a_collector() {
+    let _g = GLOBAL.lock().unwrap();
+    telemetry::uninstall();
+    let dir = tmpdir("counters");
+    let cache = ResultCache::new(&dir);
+    let workload = builtin("npair-scaling");
+    let miss_before = telemetry::counter_total("cache.miss");
+    let hit_before = telemetry::counter_total("cache.hit");
+    let store_before = telemetry::counter_total("cache.store");
+    workload.run(&Engine::serial(), Some(&cache));
+    workload.run(&Engine::serial(), Some(&cache));
+    assert!(telemetry::counter_total("cache.miss") > miss_before);
+    assert!(telemetry::counter_total("cache.hit") > hit_before);
+    assert!(telemetry::counter_total("cache.store") > store_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
