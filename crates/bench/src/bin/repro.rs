@@ -12,6 +12,8 @@
 //!                   [--threads N] [--csv|--json] [--no-cache]
 //! repro cache ls|clear [--kind model|sim]
 //! repro trace summarize [RUNLOG.jsonl]
+//! repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N] [--job-logs DIR]
+//! repro spec <scenario>
 //! ```
 //!
 //! Every subcommand also accepts the global flags `--telemetry[=PATH]`
@@ -45,6 +47,13 @@
 //! plan → worker → merge pipeline with local subprocesses. Workers cache
 //! their per-shard partials in the shared result cache, so re-running a
 //! plan after a lost worker only recomputes the lost shard.
+//!
+//! `serve` runs the `wcs-serve` daemon: workload specs POSTed to
+//! `/v1/jobs` are queued onto the same engine and results index the
+//! `sweep` subcommand uses, identical specs dedupe onto one job, row
+//! streams are resumable SSE, and `/v1/results` pages over everything
+//! ever computed. `spec <scenario>` prints a built-in scenario in the
+//! spec-file format (what a client POSTs).
 //!
 //! `--full` uses paper-fidelity sample counts (minutes); the default is a
 //! quick pass (seconds per experiment). Spec files carry their own sample
@@ -235,7 +244,8 @@ fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
         .collect();
     let engine = Engine::new(threads);
     let cache = ResultCache::default_location();
-    let cache_ref = if use_cache { Some(&cache) } else { None };
+    let cache_ref: Option<&dyn wcs_runtime::ResultIndex> =
+        if use_cache { Some(&cache) } else { None };
     for (source, workload) in sources.iter().zip(&workloads) {
         let t0 = std::time::Instant::now();
         let outcome = workload.run(&engine, cache_ref);
@@ -435,7 +445,8 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                 .unwrap_or_else(|| PathBuf::from("."));
             let engine = Engine::new(parsed.threads);
             let cache = ResultCache::default_location();
-            let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
+            let cache_ref: Option<&dyn wcs_runtime::ResultIndex> =
+                if parsed.use_cache { Some(&cache) } else { None };
             let partial = wcs_shard::partial::run_worker(&manifest, &engine, cache_ref);
             let path = wcs_shard::partial_path(&out_dir, manifest.shard);
             std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(e));
@@ -458,7 +469,8 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                 SweepSource::SpecFile(_) => usage_exit("shard merge takes a plan directory"),
             };
             let cache = ResultCache::default_location();
-            let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
+            let cache_ref: Option<&dyn wcs_runtime::ResultIndex> =
+                if parsed.use_cache { Some(&cache) } else { None };
             let outcome = wcs_shard::merge_dir(&dir, cache_ref).unwrap_or_else(|e| fail(e));
             print_report(&outcome.report, &parsed.format);
             eprintln!(
@@ -548,12 +560,14 @@ fn human_age(age_secs: Option<u64>) -> String {
 }
 
 /// `repro cache ls|clear [--kind model|sim]`: inspect or prune the
-/// shared result cache — the directory shard workers (and plain sweeps)
-/// key their results into. `ls` prints each entry's workload kind and
+/// shared result cache — a thin client of the [`wcs_runtime::ResultIndex`]
+/// query/remove surface (the same one the serve daemon's `/v1/results`
+/// endpoint exposes). `ls` prints each entry's workload kind and
 /// row-layout version; `clear --kind` removes only one workload family.
 fn run_cache_cmd(mut args: Vec<String>) -> ! {
     const CACHE_USAGE: &str = "usage: repro cache ls|clear [--kind model|sim]";
     let cache = ResultCache::default_location();
+    let index: &dyn wcs_runtime::ResultIndex = &cache;
     let verb = if args.is_empty() {
         usage_exit(CACHE_USAGE);
     } else {
@@ -577,10 +591,9 @@ fn run_cache_cmd(mut args: Vec<String>) -> ! {
     }
     match verb.as_str() {
         "ls" => {
-            let mut entries = cache.entries().unwrap_or_else(|e| fail(e));
-            if let Some(filter) = kind {
-                entries.retain(|e| e.kind == Some(filter));
-            }
+            let entries = index
+                .query(&wcs_runtime::IndexQuery::by_kind(kind))
+                .unwrap_or_else(|e| fail(e));
             if entries.is_empty() {
                 eprintln!("[cache {}: empty]", cache.dir().display());
             }
@@ -608,7 +621,9 @@ fn run_cache_cmd(mut args: Vec<String>) -> ! {
             }
         }
         "clear" => {
-            let removed = cache.clear_kind(kind).unwrap_or_else(|e| fail(e));
+            let removed = index
+                .remove(&wcs_runtime::IndexQuery::by_kind(kind))
+                .unwrap_or_else(|e| fail(e));
             eprintln!(
                 "[cache {}: removed {removed} {}entries]",
                 cache.dir().display(),
@@ -616,6 +631,78 @@ fn run_cache_cmd(mut args: Vec<String>) -> ! {
             );
         }
         _ => usage_exit(CACHE_USAGE),
+    }
+    finish(0);
+}
+
+/// `repro serve`: run the sweep-as-a-service HTTP daemon over the
+/// default result cache. Global flags compose: `--telemetry` logs the
+/// daemon's own run log, `--strict-cache` makes jobs whose cache store
+/// failed report `failed` instead of `degraded`.
+fn run_serve_cmd(mut args: Vec<String>) -> ! {
+    const SERVE_USAGE: &str =
+        "usage: repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N] [--job-logs DIR]";
+    let mut cfg = wcs_serve::ServeConfig::default();
+    while !args.is_empty() {
+        let arg = args.remove(0);
+        match arg.as_str() {
+            "--addr" => cfg.addr = take_flag_value(&mut args, "--addr"),
+            "--workers" => {
+                cfg.workers = take_flag_value(&mut args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--workers needs an integer"));
+                if cfg.workers == 0 {
+                    usage_exit("--workers must be at least 1");
+                }
+            }
+            "--queue" => {
+                cfg.queue_cap = take_flag_value(&mut args, "--queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--queue needs an integer"));
+            }
+            "--threads" => {
+                cfg.engine_threads = take_flag_value(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--threads needs an integer"));
+            }
+            "--job-logs" => {
+                cfg.job_logs = Some(PathBuf::from(take_flag_value(&mut args, "--job-logs")));
+            }
+            other => {
+                eprintln!("unknown argument '{other}' for repro serve");
+                usage_exit(SERVE_USAGE);
+            }
+        }
+    }
+    cfg.strict_cache = STRICT_CACHE.load(Ordering::Relaxed);
+    let cache = ResultCache::default_location();
+    let cache_dir = cache.dir().display().to_string();
+    let index: std::sync::Arc<dyn wcs_runtime::ResultIndex> = std::sync::Arc::new(cache);
+    let server = wcs_serve::Server::start(cfg.clone(), index).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "[serve http://{}: {} workers, queue {}, index {}]",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_cap,
+        cache_dir
+    );
+    eprintln!(
+        "endpoints: POST /v1/jobs  GET /v1/jobs[/{{id}}[/rows]]  GET /v1/results[/rows]  GET /v1/metrics /v1/healthz"
+    );
+    server.wait();
+    finish(0);
+}
+
+/// `repro spec <scenario>`: print a built-in scenario in the spec-file
+/// format — what a `serve` client POSTs, and the easiest way to get a
+/// starting point for a custom spec.
+fn run_spec_cmd(args: Vec<String>, effort: Effort) -> ! {
+    match args.as_slice() {
+        [name] => {
+            let workload = resolve_workload(&SweepSource::Named(name.clone()), effort);
+            print!("{}", workload.to_spec_toml());
+        }
+        _ => usage_exit("usage: repro spec <scenario>"),
     }
     finish(0);
 }
@@ -756,6 +843,8 @@ fn main() {
         Some("cache") => run_cache_cmd(args.split_off(1)),
         Some("bench") => run_bench_cmd(args.split_off(1)),
         Some("trace") => run_trace_cmd(args.split_off(1)),
+        Some("serve") => run_serve_cmd(args.split_off(1)),
+        Some("spec") => run_spec_cmd(args.split_off(1), effort),
         _ => {}
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
@@ -767,6 +856,10 @@ fn main() {
         eprintln!("       repro cache ls|clear [--kind model|sim]");
         eprintln!("       repro bench [--quick] [--out FILE] [--compare BASELINE.json]");
         eprintln!("       repro trace summarize [RUNLOG.jsonl]");
+        eprintln!(
+            "       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N] [--job-logs DIR]"
+        );
+        eprintln!("       repro spec <scenario>");
         eprintln!("global flags: --telemetry[=PATH] --strict-cache");
         eprintln!("experiments: {}", ALL.join(" "));
         eprintln!(

@@ -266,6 +266,16 @@ pub struct CacheEntry {
 }
 
 impl CacheEntry {
+    /// Stable pagination cursor for this entry: its file name, which
+    /// embeds (scenario, hash, seed) and never changes once written.
+    /// `ResultIndex::query` sorts and pages by this value.
+    pub fn cursor(&self) -> &str {
+        self.path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+    }
+
     /// Human-readable row-layout version for `repro cache ls`: `v1` is
     /// each workload's original layout (11 columns for classic model
     /// sweeps, 9 for sim sweeps), `v2` the extended 15-column N-pair

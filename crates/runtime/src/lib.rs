@@ -60,6 +60,7 @@
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod index;
 pub mod model;
 pub mod report;
 pub mod scenario;
@@ -71,13 +72,14 @@ pub mod workload;
 pub use cache::{sanitize_name, CacheEntry, ResultCache};
 pub use config::EffortProfile;
 pub use engine::Engine;
+pub use index::{IndexQuery, ResultIndex, RowPage};
 pub use model::{finalize_report, run_sweep, run_task_subset, sweep_columns, SweepOutcome};
 pub use report::RunReport;
 pub use scenario::{PolicyAxis, Sweep, Task, Topology};
 pub use simsweep::{RateAxis, SimSweep, SimTask};
 pub use spec::{
     load_any_spec_file, load_spec_file, parse_any_spec_toml, parse_sim_spec_toml, parse_spec_toml,
-    to_sim_spec_toml, to_spec_toml, SpecError,
+    to_sim_spec_toml, to_spec_toml, SpecError, SpecErrorKind,
 };
 pub use workload::{
     run_workload, run_workload_subset, AnyWorkload, Workload, WorkloadKind, WorkloadOutcome,

@@ -18,8 +18,8 @@
 //! canonical strings and cache keys bit-for-bit identical to the
 //! pre-trait code (pinned by `tests/determinism.rs`).
 
-use crate::cache::ResultCache;
 use crate::engine::Engine;
+use crate::index::ResultIndex;
 use crate::report::RunReport;
 use crate::scenario::{PolicyAxis, Sweep, Task, Topology};
 use crate::workload::{run_workload, run_workload_subset, Workload, WorkloadKind, WorkloadSpec};
@@ -273,22 +273,24 @@ fn select_policies(full: &RunReport, sweep: &Sweep) -> RunReport {
     report
 }
 
-/// Execute `sweep` on `engine`, consulting (and filling) `cache` if one
-/// is given. Thin wrapper over the generic [`run_workload`].
+/// Execute `sweep` on `engine`, consulting (and filling) the results
+/// `index` if one is given. Thin wrapper over the generic
+/// [`run_workload`].
 ///
-/// The cache stores the **all-policy** rows under a key that ignores the
+/// The index stores the **all-policy** rows under a key that ignores the
 /// sweep's policy selection (every policy is scored on the same samples
 /// anyway), so re-running a grid with a different reported-policy subset
-/// is a cache hit, not a recompute. A cached entry whose column layout
+/// is a cache hit, not a recompute. A stored entry whose column layout
 /// does not match the sweep's expected layout (e.g. written by an older
 /// binary) degrades to a miss and recomputes.
-pub fn run_sweep(sweep: &Sweep, engine: &Engine, cache: Option<&ResultCache>) -> SweepOutcome {
-    run_workload(sweep, engine, cache)
+pub fn run_sweep(sweep: &Sweep, engine: &Engine, index: Option<&dyn ResultIndex>) -> SweepOutcome {
+    run_workload(sweep, engine, index)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::ResultCache;
     use wcs_capacity::npair::Placement;
 
     fn tiny_sweep() -> Sweep {

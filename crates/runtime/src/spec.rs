@@ -66,32 +66,175 @@ use crate::workload::{AnyWorkload, WorkloadKind, WorkloadSpec};
 use wcs_capacity::npair::Placement;
 use wcs_capacity::shannon::CapacityModel;
 
-/// A spec-file failure: what went wrong and on which line (1-based,
-/// 0 when no single line is at fault).
+/// A spec-file failure: what went wrong ([`SpecErrorKind`]) and on which
+/// line (1-based, 0 when no single line is at fault).
+///
+/// The structured kind exists for machine consumers — `wcs-serve`
+/// returns `POST /v1/jobs` failures as a JSON body built from
+/// [`SpecError::code`], [`SpecError::field`], [`SpecError::line`] and
+/// [`SpecError::message`] — while [`Display`](std::fmt::Display) renders
+/// the exact human text the CLI has always printed (pinned by the
+/// `spec_cli.rs` tests).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecError {
     /// 1-based line number, 0 when the error is not tied to a line.
     pub line: usize,
-    /// Human-readable description.
-    pub message: String,
+    /// What went wrong, structurally.
+    pub kind: SpecErrorKind,
+}
+
+/// The distinct ways a spec document can fail to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecErrorKind {
+    /// The file could not be read at all.
+    Io {
+        /// Path and OS error text.
+        detail: String,
+    },
+    /// The line is not well-formed spec syntax (`key = value`, quoting,
+    /// array brackets) — before any key vocabulary is consulted.
+    Syntax {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A key the workload family's vocabulary does not contain.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A key given more than once.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// A required key that never appeared.
+    MissingKey {
+        /// The absent key.
+        key: String,
+    },
+    /// A known key whose right-hand side is malformed or out of range.
+    BadValue {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A `workload = "..."` label naming no known workload family.
+    UnknownWorkload {
+        /// The unrecognized label.
+        label: String,
+    },
+    /// An `expect_hash` pin that does not match the parsed spec.
+    HashMismatch {
+        /// The hash the file pins.
+        expected: u64,
+        /// The hash the spec actually parses to.
+        computed: u64,
+    },
+}
+
+impl SpecError {
+    /// The human-readable description (exactly what `Display` prints
+    /// after the `spec line N: ` prefix).
+    pub fn message(&self) -> String {
+        match &self.kind {
+            SpecErrorKind::Io { detail }
+            | SpecErrorKind::Syntax { detail }
+            | SpecErrorKind::BadValue { detail } => detail.clone(),
+            SpecErrorKind::UnknownKey { key } => format!("unknown key '{key}'"),
+            SpecErrorKind::DuplicateKey { key } => format!("duplicate key '{key}'"),
+            SpecErrorKind::MissingKey { key } => format!("missing required key '{key}'"),
+            SpecErrorKind::UnknownWorkload { label } => {
+                format!("unknown workload '{label}' (known workloads: model, sim)")
+            }
+            SpecErrorKind::HashMismatch { expected, computed } => format!(
+                "scenario hash mismatch: expect_hash pins {expected:016x} but the spec hashes to {computed:016x} — the file was edited after its hash was recorded (update or drop expect_hash)"
+            ),
+        }
+    }
+
+    /// A stable machine-readable code for the kind — what `wcs-serve`
+    /// puts in the `code` field of a 400 body.
+    pub fn code(&self) -> &'static str {
+        match self.kind {
+            SpecErrorKind::Io { .. } => "io",
+            SpecErrorKind::Syntax { .. } => "syntax",
+            SpecErrorKind::UnknownKey { .. } => "unknown_key",
+            SpecErrorKind::DuplicateKey { .. } => "duplicate_key",
+            SpecErrorKind::MissingKey { .. } => "missing_key",
+            SpecErrorKind::BadValue { .. } => "bad_value",
+            SpecErrorKind::UnknownWorkload { .. } => "unknown_workload",
+            SpecErrorKind::HashMismatch { .. } => "hash_mismatch",
+        }
+    }
+
+    /// The spec key at fault, when the kind names one.
+    pub fn field(&self) -> Option<&str> {
+        match &self.kind {
+            SpecErrorKind::UnknownKey { key }
+            | SpecErrorKind::DuplicateKey { key }
+            | SpecErrorKind::MissingKey { key } => Some(key),
+            SpecErrorKind::UnknownWorkload { .. } => Some("workload"),
+            SpecErrorKind::HashMismatch { .. } => Some("expect_hash"),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.line == 0 {
-            write!(f, "spec: {}", self.message)
+            write!(f, "spec: {}", self.message())
         } else {
-            write!(f, "spec line {}: {}", self.line, self.message)
+            write!(f, "spec line {}: {}", self.line, self.message())
         }
     }
 }
 
 impl std::error::Error for SpecError {}
 
-fn err(line: usize, message: impl Into<String>) -> SpecError {
+/// The workhorse constructor: a malformed right-hand side of a known
+/// key. (Structure-level failures use the dedicated constructors below.)
+fn err(line: usize, detail: impl Into<String>) -> SpecError {
     SpecError {
         line,
-        message: message.into(),
+        kind: SpecErrorKind::BadValue {
+            detail: detail.into(),
+        },
+    }
+}
+
+fn syntax_err(line: usize, detail: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        kind: SpecErrorKind::Syntax {
+            detail: detail.into(),
+        },
+    }
+}
+
+fn unknown_key_err(line: usize, key: &str) -> SpecError {
+    SpecError {
+        line,
+        kind: SpecErrorKind::UnknownKey {
+            key: key.to_string(),
+        },
+    }
+}
+
+fn duplicate_key_err(line: usize, key: &str) -> SpecError {
+    SpecError {
+        line,
+        kind: SpecErrorKind::DuplicateKey {
+            key: key.to_string(),
+        },
+    }
+}
+
+fn missing_key_err(key: &str) -> SpecError {
+    SpecError {
+        line: 0,
+        kind: SpecErrorKind::MissingKey {
+            key: key.to_string(),
+        },
     }
 }
 
@@ -244,7 +387,7 @@ fn parse_string(raw: &str, line: usize) -> Result<String, SpecError> {
     let inner = raw
         .strip_prefix('"')
         .and_then(|r| r.strip_suffix('"'))
-        .ok_or_else(|| err(line, format!("expected a quoted string, got '{raw}'")))?;
+        .ok_or_else(|| syntax_err(line, format!("expected a quoted string, got '{raw}'")))?;
     let mut out = String::with_capacity(inner.len());
     let mut chars = inner.chars();
     while let Some(c) = chars.next() {
@@ -253,14 +396,14 @@ fn parse_string(raw: &str, line: usize) -> Result<String, SpecError> {
                 Some('\\') => out.push('\\'),
                 Some('"') => out.push('"'),
                 other => {
-                    return Err(err(
+                    return Err(syntax_err(
                         line,
                         format!("bad escape '\\{}'", other.unwrap_or(' ')),
                     ))
                 }
             }
         } else if c == '"' {
-            return Err(err(line, "unescaped '\"' inside string"));
+            return Err(syntax_err(line, "unescaped '\"' inside string"));
         } else {
             out.push(c);
         }
@@ -296,13 +439,13 @@ fn split_array(body: &str, line: usize) -> Result<Vec<String>, SpecError> {
         }
     }
     if in_string {
-        return Err(err(line, "unterminated string in array"));
+        return Err(syntax_err(line, "unterminated string in array"));
     }
     let last = current.trim();
     if !last.is_empty() {
         items.push(last.to_string());
     } else if !items.is_empty() {
-        return Err(err(line, "trailing comma in array"));
+        return Err(syntax_err(line, "trailing comma in array"));
     }
     Ok(items)
 }
@@ -311,7 +454,7 @@ fn parse_value(raw: &str, line: usize) -> Result<Value, SpecError> {
     if let Some(body) = raw.strip_prefix('[') {
         let body = body
             .strip_suffix(']')
-            .ok_or_else(|| err(line, "array must open and close on one line"))?;
+            .ok_or_else(|| syntax_err(line, "array must open and close on one line"))?;
         let items = split_array(body, line)?;
         if items.iter().all(|i| i.starts_with('"')) && !items.is_empty() {
             let strs: Result<Vec<String>, SpecError> =
@@ -359,11 +502,11 @@ fn for_each_spec_key(
         }
         let (key, value) = line
             .split_once('=')
-            .ok_or_else(|| err(lineno, format!("expected 'key = value', got '{line}'")))?;
+            .ok_or_else(|| syntax_err(lineno, format!("expected 'key = value', got '{line}'")))?;
         let key = key.trim();
         let value = parse_value(value.trim(), lineno)?;
         if seen.iter().any(|k| k == key) {
-            return Err(err(lineno, format!("duplicate key '{key}'")));
+            return Err(duplicate_key_err(lineno, key));
         }
         seen.push(key.to_string());
         apply(key, value, lineno)?;
@@ -455,11 +598,11 @@ pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
                 }
                 _ => return Err(err(lineno, "'workload' must be a quoted string")),
             },
-            other => return Err(err(lineno, format!("unknown key '{other}'"))),
+            other => return Err(unknown_key_err(lineno, other)),
         }
         Ok(())
     })?;
-    sweep.name = name.ok_or_else(|| err(0, "missing required key 'name'"))?;
+    sweep.name = name.ok_or_else(|| missing_key_err("name"))?;
     Ok(sweep)
 }
 
@@ -468,8 +611,12 @@ pub fn load_spec_file(path: &std::path::Path) -> Result<Sweep, SpecError> {
     let mut span = wcs_telemetry::span("spec.parse")
         .with("path", path.display().to_string())
         .start();
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+    let text = std::fs::read_to_string(path).map_err(|e| SpecError {
+        line: 0,
+        kind: SpecErrorKind::Io {
+            detail: format!("cannot read {}: {e}", path.display()),
+        },
+    })?;
     let sweep = parse_spec_toml(&text)?;
     span.add("name", sweep.name.as_str());
     span.add("kind", WorkloadKind::Model.label());
@@ -595,11 +742,11 @@ pub fn parse_sim_spec_toml(text: &str) -> Result<SimSweep, SpecError> {
                 Value::Int(n) => sweep.seed = n,
                 _ => return Err(err(lineno, "'seed' must be an unsigned integer")),
             },
-            other => return Err(err(lineno, format!("unknown key '{other}'"))),
+            other => return Err(unknown_key_err(lineno, other)),
         }
         Ok(())
     })?;
-    sweep.name = name.ok_or_else(|| err(0, "missing required key 'name'"))?;
+    sweep.name = name.ok_or_else(|| missing_key_err("name"))?;
     Ok(sweep)
 }
 
@@ -624,15 +771,13 @@ pub fn parse_any_spec_toml(text: &str) -> Result<AnyWorkload, SpecError> {
             match key.trim() {
                 "workload" => {
                     if kind_line != 0 {
-                        return Err(err(lineno, "duplicate key 'workload'"));
+                        return Err(duplicate_key_err(lineno, "workload"));
                     }
                     kind_line = lineno;
                     let label = parse_string(value.trim(), lineno)?;
-                    kind = WorkloadKind::from_label(&label).ok_or_else(|| {
-                        err(
-                            lineno,
-                            format!("unknown workload '{label}' (known workloads: model, sim)"),
-                        )
+                    kind = WorkloadKind::from_label(&label).ok_or(SpecError {
+                        line: lineno,
+                        kind: SpecErrorKind::UnknownWorkload { label },
                     })?;
                     body.push('#');
                     body.push('\n');
@@ -640,7 +785,7 @@ pub fn parse_any_spec_toml(text: &str) -> Result<AnyWorkload, SpecError> {
                 }
                 "expect_hash" => {
                     if expect_hash.is_some() {
-                        return Err(err(lineno, "duplicate key 'expect_hash'"));
+                        return Err(duplicate_key_err(lineno, "expect_hash"));
                     }
                     let hex = parse_string(value.trim(), lineno)?;
                     let hash = (hex.len() == 16)
@@ -670,12 +815,10 @@ pub fn parse_any_spec_toml(text: &str) -> Result<AnyWorkload, SpecError> {
     if let Some((expected, lineno)) = expect_hash {
         let computed = workload.scenario_hash();
         if computed != expected {
-            return Err(err(
-                lineno,
-                format!(
-                    "scenario hash mismatch: expect_hash pins {expected:016x} but the spec hashes to {computed:016x} — the file was edited after its hash was recorded (update or drop expect_hash)"
-                ),
-            ));
+            return Err(SpecError {
+                line: lineno,
+                kind: SpecErrorKind::HashMismatch { expected, computed },
+            });
         }
     }
     Ok(workload)
@@ -686,8 +829,12 @@ pub fn load_any_spec_file(path: &std::path::Path) -> Result<AnyWorkload, SpecErr
     let mut span = wcs_telemetry::span("spec.parse")
         .with("path", path.display().to_string())
         .start();
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+    let text = std::fs::read_to_string(path).map_err(|e| SpecError {
+        line: 0,
+        kind: SpecErrorKind::Io {
+            detail: format!("cannot read {}: {e}", path.display()),
+        },
+    })?;
     let workload = parse_any_spec_toml(&text)?;
     span.add("name", workload.name().to_string());
     span.add("kind", workload.kind().label());
@@ -911,6 +1058,67 @@ mod tests {
         // A sim key in a model spec is equally loud.
         let e = parse_any_spec_toml("name = \"x\"\nccas = [13.0]\n").unwrap_err();
         assert!(e.to_string().contains("unknown key 'ccas'"), "{e}");
+    }
+
+    #[test]
+    fn errors_carry_structured_kind_code_and_field() {
+        // Unknown key: names the key, keeps the pinned text.
+        let e = parse_spec_toml("name = \"x\"\nfrobs = [1.0]\n").unwrap_err();
+        assert_eq!(e.code(), "unknown_key");
+        assert_eq!(e.field(), Some("frobs"));
+        assert_eq!(e.line, 2);
+        assert_eq!(e.to_string(), "spec line 2: unknown key 'frobs'");
+        // Duplicate key.
+        let e = parse_spec_toml("name = \"x\"\nseed = 1\nseed = 2\n").unwrap_err();
+        assert_eq!(e.code(), "duplicate_key");
+        assert_eq!(e.field(), Some("seed"));
+        assert_eq!(e.line, 3);
+        // Missing required key: no line, field names it.
+        let e = parse_spec_toml("seed = 1\n").unwrap_err();
+        assert_eq!(e.code(), "missing_key");
+        assert_eq!(e.field(), Some("name"));
+        assert_eq!(e.line, 0);
+        assert_eq!(e.to_string(), "spec: missing required key 'name'");
+        // Bad value on a known key.
+        let e = parse_spec_toml("name = \"x\"\nrmaxes = [oops]\n").unwrap_err();
+        assert_eq!(e.code(), "bad_value");
+        assert_eq!(e.field(), None);
+        assert!(e.message().contains("bad number 'oops'"), "{e}");
+        // Syntax-level failure, before any vocabulary.
+        let e = parse_spec_toml("name = \"x\"\nnonsense\n").unwrap_err();
+        assert_eq!(e.code(), "syntax");
+        assert!(e.message().contains("expected 'key = value'"), "{e}");
+        // Unknown workload label.
+        let e = parse_any_spec_toml("workload = \"quantum\"\nname = \"x\"\n").unwrap_err();
+        assert_eq!(e.code(), "unknown_workload");
+        assert_eq!(e.field(), Some("workload"));
+        assert_eq!(
+            e.kind,
+            SpecErrorKind::UnknownWorkload {
+                label: "quantum".to_string()
+            }
+        );
+        // Hash mismatch carries both hashes structurally.
+        let sweep = Sweep::new("pinned").ds(&[10.0, 20.0]);
+        let tampered = format!(
+            "expect_hash = \"{:016x}\"\n{}",
+            0xABCDu64,
+            to_spec_toml(&sweep)
+        );
+        let e = parse_any_spec_toml(&tampered).unwrap_err();
+        assert_eq!(e.code(), "hash_mismatch");
+        assert_eq!(e.field(), Some("expect_hash"));
+        assert_eq!(
+            e.kind,
+            SpecErrorKind::HashMismatch {
+                expected: 0xABCD,
+                computed: sweep.scenario_hash()
+            }
+        );
+        // Unreadable file is an io error.
+        let e = load_any_spec_file(std::path::Path::new("/nonexistent/x.toml")).unwrap_err();
+        assert_eq!(e.code(), "io");
+        assert!(e.message().contains("cannot read"), "{e}");
     }
 
     #[test]

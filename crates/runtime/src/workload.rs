@@ -29,8 +29,8 @@
 //! use when the workload kind is only known from a file (a spec file's
 //! `workload = "sim"` key, a shard manifest's workload field).
 
-use crate::cache::ResultCache;
 use crate::engine::Engine;
+use crate::index::ResultIndex;
 use crate::report::RunReport;
 use crate::scenario::{fnv1a64, PolicyAxis, Sweep};
 use crate::simsweep::SimSweep;
@@ -168,10 +168,16 @@ pub trait Workload: WorkloadSpec + Sync {
 pub struct WorkloadOutcome {
     /// The (possibly cache-served) finalized report.
     pub report: RunReport,
-    /// Whether the result came from the on-disk cache.
+    /// Whether the result came from the results index.
     pub cache_hit: bool,
-    /// Number of tasks actually run (0 when served from cache).
+    /// Number of tasks actually run (0 when served from the index).
     pub tasks_run: usize,
+    /// Whether storing the computed result back into the index failed.
+    /// The report is still complete and correct, but future identical
+    /// runs will recompute — callers surface this as a degraded run
+    /// (`repro --strict-cache` fails on it; a served job reports
+    /// `degraded: true`).
+    pub store_failed: bool,
 }
 
 /// Assemble task row blocks (in task order) into the full cache-form
@@ -187,18 +193,18 @@ fn assemble<W: Workload + ?Sized>(w: &W, blocks: &[Vec<Vec<f64>>]) -> RunReport 
     report
 }
 
-/// Execute a workload on `engine`, consulting (and filling) `cache` if
-/// one is given.
+/// Execute a workload on `engine`, consulting (and filling) the results
+/// `index` if one is given.
 ///
-/// The cache stores the **full** row form under a key derived from the
-/// workload's canonical string and seed; a cached entry whose column
+/// The index stores the **full** row form under a key derived from the
+/// workload's canonical string and seed; a stored entry whose column
 /// layout does not match the workload's expected layout (e.g. written by
 /// an older binary) degrades to a miss and recomputes. Reports are
 /// bitwise identical for any engine thread count.
-pub fn run_workload<W: Workload + ?Sized>(
+pub fn run_workload<W: Workload>(
     w: &W,
     engine: &Engine,
-    cache: Option<&ResultCache>,
+    index: Option<&dyn ResultIndex>,
 ) -> WorkloadOutcome {
     let mut span = wcs_telemetry::span("workload.run")
         .with("name", w.name())
@@ -208,14 +214,15 @@ pub fn run_workload<W: Workload + ?Sized>(
         .with("seed", w.seed())
         .start();
     let columns = w.columns();
-    if let Some(cache) = cache {
-        if let Some(full) = cache.load(w) {
+    if let Some(index) = index {
+        if let Some(full) = index.load_report(w) {
             if full.columns == columns {
                 span.add("cache_hit", true);
                 return WorkloadOutcome {
                     report: w.finalize(&full),
                     cache_hit: true,
                     tasks_run: 0,
+                    store_failed: false,
                 };
             }
             // A hit with the wrong column layout (written by an older
@@ -230,22 +237,25 @@ pub fn run_workload<W: Workload + ?Sized>(
     let block = engine.task_block_size(refs.len());
     let blocks: Vec<Vec<Vec<f64>>> = engine.map_blocks(&refs, block, |slab| w.run_block(slab));
     let full = assemble(w, &blocks);
-    if let Some(cache) = cache {
-        // Cache write failures (read-only FS, full disk, ...) must not
+    let mut store_failed = false;
+    if let Some(index) = index {
+        // Index write failures (read-only FS, full disk, ...) must not
         // fail the run, but they must not be invisible either: the warn
         // is mirrored to stderr, counted in the telemetry registry (what
-        // `repro --strict-cache` gates on), and logged when a collector
-        // is installed.
-        if let Err(e) = cache.store(w, &full) {
+        // `repro --strict-cache` gates on), logged when a collector is
+        // installed, and carried in the outcome so a served job can
+        // report itself degraded.
+        if let Err(e) = index.store_report(w, &full) {
+            store_failed = true;
             wcs_telemetry::warn_with(
                 "cache.store_failed",
                 &format!(
                     "warning: failed to store cache entry in {}: {e}",
-                    cache.dir().display()
+                    index.describe()
                 ),
                 vec![(
                     "dir".to_string(),
-                    wcs_telemetry::Value::Str(cache.dir().display().to_string()),
+                    wcs_telemetry::Value::Str(index.describe()),
                 )],
             );
         }
@@ -255,6 +265,7 @@ pub fn run_workload<W: Workload + ?Sized>(
         report,
         cache_hit: false,
         tasks_run: tasks.len(),
+        store_failed,
     }
 }
 
@@ -332,12 +343,12 @@ impl AnyWorkload {
         }
     }
 
-    /// Execute on `engine`, consulting `cache` — dispatches to
-    /// [`run_workload`] for the concrete family.
-    pub fn run(&self, engine: &Engine, cache: Option<&ResultCache>) -> WorkloadOutcome {
+    /// Execute on `engine`, consulting the results `index` — dispatches
+    /// to [`run_workload`] for the concrete family.
+    pub fn run(&self, engine: &Engine, index: Option<&dyn ResultIndex>) -> WorkloadOutcome {
         match self {
-            AnyWorkload::Model(s) => run_workload(s, engine, cache),
-            AnyWorkload::Sim(s) => run_workload(s, engine, cache),
+            AnyWorkload::Model(s) => run_workload(s, engine, index),
+            AnyWorkload::Sim(s) => run_workload(s, engine, index),
         }
     }
 

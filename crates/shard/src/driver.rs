@@ -262,7 +262,9 @@ pub fn run_local_with(
             status: status.to_string(),
         });
     }
-    merge_dir(dir, cache)
+    // The driver keeps a concrete &ResultCache (workers are handed its
+    // directory via WCS_CACHE_DIR); the merge only needs the index view.
+    merge_dir(dir, cache.map(|c| c as &dyn wcs_runtime::ResultIndex))
 }
 
 /// Re-emit one worker's run-log events through this process's collector,

@@ -9,18 +9,18 @@
 //! size. Only then are the row blocks dealt back into task-index order —
 //! reconstructing the exact full report a single-process run produces,
 //! which then goes through the same workload finalization (and
-//! optionally into the shared [`ResultCache`] under the same key).
+//! optionally into the shared results index under the same key).
 //!
-//! When the shared cache is available, a shard whose partial file is
+//! When the shared index is available, a shard whose partial file is
 //! missing from the plan directory (lost worker, lost disk) is served
 //! from its cached partial blob instead of failing the merge — only a
-//! shard the cache has never seen is a genuine gap.
+//! shard the index has never seen is a genuine gap.
 
 use crate::manifest::ShardManifest;
 use crate::partial::PartialReport;
 use crate::{driver, ShardError};
 use std::path::Path;
-use wcs_runtime::{AnyWorkload, ResultCache, RunReport, WorkloadSpec};
+use wcs_runtime::{AnyWorkload, ResultIndex, RunReport, WorkloadSpec};
 
 /// Validate a shard set and reassemble the full report in task-index
 /// order. The partials may arrive in any order.
@@ -129,13 +129,13 @@ pub struct MergeOutcome {
 }
 
 /// Merge a plan directory: load every `shard-*.manifest.toml` and its
-/// `shard-*.partial.csv` (falling back to the shared cache's partial
+/// `shard-*.partial.csv` (falling back to the results index's partial
 /// blob when the file is missing), validate the set, reassemble,
 /// finalize through the standard workload finalization, and — unless
-/// `cache` is `None` — store the full report under the exact
+/// `index` is `None` — store the full report under the exact
 /// (scenario hash, seed) key a single-process run would use, so the
 /// *next* `repro sweep` of this spec is a cache hit.
-pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome, ShardError> {
+pub fn merge_dir(dir: &Path, index: Option<&dyn ResultIndex>) -> Result<MergeOutcome, ShardError> {
     let mut span = wcs_telemetry::span("shard.merge").start();
     let manifest_paths = driver::find_manifests(dir)?;
     let first_manifest = match manifest_paths.first() {
@@ -173,7 +173,7 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
             // this exact plan's shard was ever computed before —
             // through the same validation gate the worker uses (kind,
             // spec, seed, coordinates, column layout, row count).
-            match cache.and_then(|c| crate::partial::load_cached_partial(c, &manifest)) {
+            match index.and_then(|ix| crate::partial::load_cached_partial(ix, &manifest)) {
                 Some(p) => {
                     shards_from_cache += 1;
                     parts.push(p);
@@ -208,19 +208,19 @@ pub fn merge_dir(dir: &Path, cache: Option<&ResultCache>) -> Result<MergeOutcome
         }
     }
     let full = merge_partials(&parts)?;
-    if let Some(cache) = cache {
+    if let Some(index) = index {
         // Same tolerance as run_sweep: a failed store warns (mirrored to
         // stderr, counted for --strict-cache), never fails.
-        if let Err(e) = cache.store(&workload, &full) {
+        if let Err(e) = index.store_report(&workload, &full) {
             wcs_telemetry::warn_with(
                 "cache.store_failed",
                 &format!(
                     "warning: failed to store cache entry in {}: {e}",
-                    cache.dir().display()
+                    index.describe()
                 ),
                 vec![(
                     "dir".to_string(),
-                    wcs_telemetry::Value::Str(cache.dir().display().to_string()),
+                    wcs_telemetry::Value::Str(index.describe()),
                 )],
             );
         }

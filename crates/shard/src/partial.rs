@@ -8,17 +8,17 @@
 //! seed, same plan, no overlaps, no gaps — before it trusts a single
 //! row.
 //!
-//! Workers also **cache their partials** in the shared
-//! [`ResultCache`] (as named blobs keyed by (scenario, hash, seed, plan,
-//! shard)): if a plan directory is lost or a merge is re-run after one
-//! lost worker, every shard whose partial is already in the cache is
-//! served from it and only the missing shard recomputes.
+//! Workers also **cache their partials** in the shared results index
+//! (as named blobs keyed by (scenario, hash, seed, plan, shard)): if a
+//! plan directory is lost or a merge is re-run after one lost worker,
+//! every shard whose partial is already in the index is served from it
+//! and only the missing shard recomputes.
 
 use crate::manifest::ShardManifest;
 use crate::plan::ShardStrategy;
 use crate::ShardError;
 use std::path::Path;
-use wcs_runtime::{sanitize_name, Engine, ResultCache, RunReport, WorkloadKind, WorkloadSpec};
+use wcs_runtime::{sanitize_name, Engine, ResultIndex, RunReport, WorkloadKind, WorkloadSpec};
 
 /// Magic first line of every partial file.
 pub const PARTIAL_MAGIC: &str = "# wcs-shard partial v1";
@@ -69,11 +69,11 @@ pub fn partial_cache_name(manifest: &ShardManifest) -> String {
 /// The single validation gate for cached partials, shared by
 /// [`run_worker`] and the merge's lost-file fallback.
 pub(crate) fn load_cached_partial(
-    cache: &ResultCache,
+    index: &dyn ResultIndex,
     manifest: &ShardManifest,
 ) -> Option<PartialReport> {
     let name = partial_cache_name(manifest);
-    let text = cache.load_blob(&name)?;
+    let text = index.load_blob(&name)?;
     let partial = PartialReport::parse(&text, Path::new(&name)).ok()?;
     let w = &manifest.workload;
     let expected_rows = manifest.indices().len() * w.kind().rows_per_task();
@@ -90,19 +90,19 @@ pub(crate) fn load_cached_partial(
         .then_some(partial)
 }
 
-/// Execute a manifest's slice and package the result. When `cache` holds
-/// the **full** workload's entry (stored by a previous merged or
-/// single-process run), the shard's row blocks are sliced straight out
-/// of it; failing that, a cached per-shard partial (stored by a previous
-/// worker run of this exact plan) is served. Either way the bytes are
-/// what a recompute would produce, since cache entries round-trip
-/// bitwise. Freshly computed partials are stored back as cache blobs so
-/// a later re-run of this plan only recomputes shards the cache has
-/// never seen.
+/// Execute a manifest's slice and package the result. When the results
+/// `index` holds the **full** workload's entry (stored by a previous
+/// merged or single-process run), the shard's row blocks are sliced
+/// straight out of it; failing that, a cached per-shard partial (stored
+/// by a previous worker run of this exact plan) is served. Either way
+/// the bytes are what a recompute would produce, since stored entries
+/// round-trip bitwise. Freshly computed partials are stored back as
+/// index blobs so a later re-run of this plan only recomputes shards the
+/// index has never seen.
 pub fn run_worker(
     manifest: &ShardManifest,
     engine: &Engine,
-    cache: Option<&ResultCache>,
+    index: Option<&dyn ResultIndex>,
 ) -> PartialReport {
     let w = &manifest.workload;
     let mut span = wcs_telemetry::span("shard.worker")
@@ -123,9 +123,9 @@ pub fn run_worker(
         task_count: manifest.task_count,
         report,
     };
-    if let Some(cache) = cache {
-        let sliced = cache
-            .load(w)
+    if let Some(index) = index {
+        let sliced = index
+            .load_report(w)
             .filter(|full| {
                 full.columns == columns && full.rows.len() == manifest.task_count * rows_per_task
             })
@@ -142,22 +142,22 @@ pub fn run_worker(
             span.add("source", "cache-full-slice");
             return package(report);
         }
-        if let Some(partial) = load_cached_partial(cache, manifest) {
+        if let Some(partial) = load_cached_partial(index, manifest) {
             span.add("source", "cache-partial");
             return partial;
         }
     }
     span.add("source", "computed");
     let partial = package(w.run_subset(&indices, engine));
-    if let Some(cache) = cache {
+    if let Some(index) = index {
         // Same tolerance as full-report stores: warn (mirrored to
         // stderr, counted for --strict-cache), never fail.
-        if let Err(e) = cache.store_blob(&partial_cache_name(manifest), &partial.to_text()) {
+        if let Err(e) = index.store_blob(&partial_cache_name(manifest), &partial.to_text()) {
             wcs_telemetry::warn_with(
                 "shard.partial_store_failed",
                 &format!(
                     "warning: failed to store shard partial in {}: {e}",
-                    cache.dir().display()
+                    index.describe()
                 ),
                 vec![(
                     "shard".to_string(),
@@ -277,7 +277,7 @@ impl PartialReport {
 mod tests {
     use super::*;
     use crate::plan::ShardPlan;
-    use wcs_runtime::Sweep;
+    use wcs_runtime::{ResultCache, Sweep};
 
     fn manifest(shard: usize, k: usize) -> ShardManifest {
         let sweep = Sweep::new("partial-test")

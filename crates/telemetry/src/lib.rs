@@ -75,6 +75,14 @@ pub const EVENT_NAMES: &[&str] = &[
     "shard.merged",
     "shard.partial_store_failed",
     "bench.result",
+    "serve.started",
+    "serve.request",
+    "serve.job",
+    "serve.jobs_submitted",
+    "serve.jobs_deduped",
+    "serve.jobs_completed",
+    "serve.jobs_failed",
+    "serve.queue_full",
 ];
 
 /// A typed field value. Unsigned and signed integers are kept apart so
