@@ -11,7 +11,10 @@
 //! repro shard run   <scenario|--spec FILE> -k K [--strategy S] [--dir DIR]
 //!                   [--threads N] [--csv|--json] [--no-cache]
 //! repro cache ls|clear [--kind model|sim]
-//! repro trace summarize [RUNLOG.jsonl]
+//! repro history ls [--limit N] | show <NAME>
+//! repro trace summarize [--strict] [RUNLOG.jsonl]
+//! repro trace export --prom [RUNLOG.jsonl]
+//! repro trace diff <A> <B> [--fail-on-regression PCT]
 //! repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N] [--job-logs DIR]
 //! repro spec <scenario>
 //! ```
@@ -23,6 +26,22 @@
 //! degraded cache hides real regressions). Telemetry is out-of-band:
 //! reports, hashes and cache entries are byte-identical with it on or
 //! off.
+//!
+//! A bounded **flight recorder** (the last
+//! [`wcs_telemetry::flight::FlightRecorder::DEFAULT_CAP`] telemetry
+//! events, collector or no collector) is always on. On a panic, or when
+//! `--strict-cache` turns a degraded run into a failure, the ring is
+//! dumped as a valid `wcs-runlog-v1` file (`FLIGHT.jsonl` in the current
+//! directory) so the crash site can be read back with
+//! `repro trace summarize FLIGHT.jsonl`.
+//!
+//! `history ls|show` pages over the run manifests `run_workload` appends
+//! to the result index (one compact JSON blob per run: identity, wall
+//! time, cache behaviour, latency-histogram snapshots). `trace diff`
+//! compares two run logs or manifests phase by phase, normalising away
+//! uniform machine-speed differences the same way `repro bench
+//! --compare` does; `--fail-on-regression PCT` turns any
+//! beyond-threshold slowdown into exit 1.
 //!
 //! Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10-11 fig12-13
 //! fig14 table1 table2 table-short table-long sweep-alpha-sigma
@@ -70,6 +89,45 @@ use wcs_shard::{ShardManifest, ShardStrategy};
 /// degrading to cache-less behaviour.
 static STRICT_CACHE: AtomicBool = AtomicBool::new(false);
 
+/// True when `--telemetry[=PATH]` asked for a persistent JSONL run log.
+/// The always-on flight recorder keeps [`wcs_telemetry::enabled`] true
+/// for every run, so decisions that should only follow the *file* sink
+/// (like asking shard workers to write their own run logs) key off this
+/// instead.
+static TELEMETRY_FILE: AtomicBool = AtomicBool::new(false);
+
+/// The always-on flight recorder (installed in `main`, wrapping the
+/// `--telemetry` collector when one is configured). Held here so the
+/// panic hook and [`finish`] can dump it.
+static FLIGHT: std::sync::OnceLock<std::sync::Arc<wcs_telemetry::flight::FlightRecorder>> =
+    std::sync::OnceLock::new();
+
+/// Where flight-recorder dumps land by default: the current directory,
+/// so a crashed CI step leaves the evidence next to its other artifacts.
+/// `WCS_FLIGHT_PATH` overrides the destination.
+const FLIGHT_DUMP: &str = "FLIGHT.jsonl";
+
+/// Dump the flight-recorder ring as a valid `wcs-runlog-v1` file.
+/// Best-effort: a failed dump only warns (we are already on a failure
+/// path when this runs).
+fn dump_flight(note: &str) {
+    if let Some(rec) = FLIGHT.get() {
+        let path = std::env::var_os("WCS_FLIGHT_PATH")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(FLIGHT_DUMP));
+        match rec.dump(&path, note) {
+            Ok(n) => eprintln!(
+                "[flight recorder: {n} events -> {} ({note})]",
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: flight recorder dump to {} failed: {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
 /// The one exit door for successful subcommands: enforces
 /// `--strict-cache` (any `cache.store_failed` /
 /// `shard.partial_store_failed` counted this process — including counts
@@ -83,6 +141,7 @@ fn finish(code: i32) -> ! {
             + wcs_telemetry::counter_total("shard.partial_store_failed");
         if failed > 0 {
             eprintln!("error: --strict-cache: {failed} cache store(s) failed this run");
+            dump_flight("strict-cache failure");
             code = 1;
         }
     }
@@ -291,6 +350,16 @@ fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                 ),
             ],
         );
+        // Test hook for the flight recorder: panic after the first sweep
+        // (its engine/cache events populate the ring), inside an open
+        // workload.run span, so the dump's tail provably covers the
+        // failing span. Never set outside the test suite.
+        if std::env::var_os("WCS_TEST_PANIC").is_some() {
+            let _span = wcs_telemetry::span("workload.run")
+                .with("injected", true)
+                .start();
+            panic!("injected test panic (WCS_TEST_PANIC)");
+        }
     }
     finish(0);
 }
@@ -511,10 +580,10 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                 cache_ref,
                 wcs_shard::RunLocalOptions {
                     strict_cache: STRICT_CACHE.load(Ordering::Relaxed),
-                    // When this process logs telemetry, have each worker
-                    // write its own run log into the plan directory and
-                    // fold the fleet's events into ours.
-                    worker_telemetry: true,
+                    // When this process logs telemetry to a file, have
+                    // each worker write its own run log into the plan
+                    // directory and fold the fleet's events into ours.
+                    worker_telemetry: TELEMETRY_FILE.load(Ordering::Relaxed),
                 },
             )
             .unwrap_or_else(|e| fail(e));
@@ -635,6 +704,105 @@ fn run_cache_cmd(mut args: Vec<String>) -> ! {
     finish(0);
 }
 
+/// `repro history ls|show`: page over the run manifests `run_workload`
+/// appends through the result index — the CLI twin of the daemon's
+/// `GET /v1/history`. `ls` prints one line per run, newest first;
+/// `show NAME` prints the manifest's raw JSON.
+fn run_history_cmd(mut args: Vec<String>) -> ! {
+    const HISTORY_USAGE: &str = "usage: repro history ls [--limit N] | show <NAME>";
+    let cache = ResultCache::default_location();
+    let index: &dyn wcs_runtime::ResultIndex = &cache;
+    let verb = if args.is_empty() {
+        usage_exit(HISTORY_USAGE);
+    } else {
+        args.remove(0)
+    };
+    match verb.as_str() {
+        "ls" => {
+            let mut limit = usize::MAX;
+            while !args.is_empty() {
+                let arg = args.remove(0);
+                match arg.as_str() {
+                    "--limit" => {
+                        limit = take_flag_value(&mut args, "--limit")
+                            .parse()
+                            .unwrap_or_else(|_| usage_exit("--limit needs an integer"));
+                    }
+                    other => {
+                        eprintln!("unknown argument '{other}' for repro history ls");
+                        usage_exit(HISTORY_USAGE);
+                    }
+                }
+            }
+            let names = wcs_runtime::history::list_manifests(index).unwrap_or_else(|e| fail(e));
+            if names.is_empty() {
+                eprintln!("[history {}: empty]", cache.dir().display());
+            }
+            let now_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            let shown = names.len().min(limit);
+            for name in names.iter().take(limit) {
+                let Some(text) = index.load_blob(name) else {
+                    println!("{name}\t<unreadable>");
+                    continue;
+                };
+                match manifest_line(name, &text, now_ms) {
+                    Ok(line) => println!("{line}"),
+                    Err(e) => println!("{name}\t<bad manifest: {e}>"),
+                }
+            }
+            if !names.is_empty() {
+                eprintln!(
+                    "[history {}: {shown} of {} runs]",
+                    cache.dir().display(),
+                    names.len()
+                );
+            }
+        }
+        "show" => {
+            let name = match args.as_slice() {
+                [one] => one,
+                _ => usage_exit(HISTORY_USAGE),
+            };
+            match index.load_blob(name) {
+                Some(text) => println!("{}", text.trim()),
+                None => fail(format!("no manifest named '{name}' in the index")),
+            }
+        }
+        other => {
+            eprintln!("unknown history subcommand '{other}'");
+            usage_exit(HISTORY_USAGE);
+        }
+    }
+    finish(0);
+}
+
+/// One `history ls` row from a manifest's JSON.
+fn manifest_line(blob_name: &str, text: &str, now_ms: u64) -> Result<String, String> {
+    use wcs_bench::perf::json;
+    let v = json::parse(text)?;
+    let obj = v.as_object().ok_or("manifest is not an object")?;
+    let scenario = json::get_str(obj, "name")?;
+    let kind = json::get_str(obj, "kind")?;
+    let status = json::get_str(obj, "status")?;
+    let tasks_run = json::get_num(obj, "tasks_run")? as u64;
+    let task_count = json::get_num(obj, "task_count")? as u64;
+    let cache_hit = matches!(
+        obj.iter().find(|(k, _)| k == "cache_hit"),
+        Some((_, json::Value::Bool(true)))
+    );
+    let wall_ns = json::get_num(obj, "wall_ns")? as u64;
+    let created_ms = json::get_num(obj, "created_unix_ms")? as u64;
+    let age = human_age(Some(now_ms.saturating_sub(created_ms) / 1000));
+    Ok(format!(
+        "{blob_name}\t{scenario}\t{kind}\ttasks {tasks_run}/{task_count}\tcache {}\t{status}\t{}\t{age} ago",
+        if cache_hit { "hit" } else { "miss" },
+        wcs_telemetry::summary::format_ns(wall_ns),
+    ))
+}
+
 /// `repro serve`: run the sweep-as-a-service HTTP daemon over the
 /// default result cache. Global flags compose: `--telemetry` logs the
 /// daemon's own run log, `--strict-cache` makes jobs whose cache store
@@ -687,7 +855,7 @@ fn run_serve_cmd(mut args: Vec<String>) -> ! {
         cache_dir
     );
     eprintln!(
-        "endpoints: POST /v1/jobs  GET /v1/jobs[/{{id}}[/rows]]  GET /v1/results[/rows]  GET /v1/metrics /v1/healthz"
+        "endpoints: POST /v1/jobs  GET /v1/jobs[/{{id}}[/rows]]  GET /v1/results[/rows]  GET /v1/metrics[?format=prometheus] /v1/history /v1/healthz"
     );
     server.wait();
     finish(0);
@@ -707,23 +875,106 @@ fn run_spec_cmd(args: Vec<String>, effort: Effort) -> ! {
     finish(0);
 }
 
-/// `repro trace summarize [RUNLOG.jsonl]`: parse a telemetry run log and
-/// print the human timing/cache/shard breakdown.
+const TRACE_USAGE: &str = "usage: repro trace summarize [--strict] [RUNLOG.jsonl]
+       repro trace export --prom [RUNLOG.jsonl]
+       repro trace diff <A> <B> [--fail-on-regression PCT]";
+
+/// `repro trace`: work with recorded `wcs-runlog-v1` files —
+/// `summarize` (human breakdown, damage-tolerant), `export --prom`
+/// (rebuild the metric registry a run *would* have exposed and render it
+/// in Prometheus text format), and `diff` (per-phase comparison of two
+/// runs with machine-speed normalisation and a regression gate).
 fn run_trace_cmd(mut args: Vec<String>) -> ! {
-    const TRACE_USAGE: &str = "usage: repro trace summarize [RUNLOG.jsonl]";
     if args.is_empty() {
         usage_exit(TRACE_USAGE);
     }
     let verb = args.remove(0);
     match verb.as_str() {
         "summarize" => {
-            let path = match args.as_slice() {
+            let mut strict = false;
+            let mut paths: Vec<String> = Vec::new();
+            for arg in args {
+                match arg.as_str() {
+                    "--strict" => strict = true,
+                    _ => paths.push(arg),
+                }
+            }
+            let path = match paths.as_slice() {
                 [] => PathBuf::from("RUNLOG.jsonl"),
                 [one] => PathBuf::from(one),
                 _ => usage_exit(TRACE_USAGE),
             };
-            let log = wcs_telemetry::jsonl::read_runlog(&path).unwrap_or_else(|e| fail(e));
-            print!("{}", wcs_telemetry::summary::summarize(&log));
+            let lenient =
+                wcs_telemetry::jsonl::read_runlog_lenient(&path).unwrap_or_else(|e| fail(e));
+            print!("{}", wcs_telemetry::summary::summarize(&lenient.log));
+            if !lenient.is_clean() {
+                println!("== damage ==");
+                for (line, err) in &lenient.corrupt {
+                    println!("  line {line}: unparseable ({err})");
+                }
+                for (name, count) in &lenient.unknown_names {
+                    println!("  unknown event name '{name}': {count} event(s)");
+                }
+                println!(
+                    "  {} corrupt line(s), {} unknown name(s)",
+                    lenient.corrupt.len(),
+                    lenient.unknown_names.len()
+                );
+                if strict {
+                    eprintln!("error: --strict: run log is damaged");
+                    finish(1);
+                }
+            }
+        }
+        "export" => {
+            let mut prom = false;
+            let mut paths: Vec<String> = Vec::new();
+            for arg in args {
+                match arg.as_str() {
+                    "--prom" => prom = true,
+                    _ => paths.push(arg),
+                }
+            }
+            if !prom {
+                usage_exit("trace export needs --prom (the only format so far)");
+            }
+            let path = match paths.as_slice() {
+                [] => PathBuf::from("RUNLOG.jsonl"),
+                [one] => PathBuf::from(one),
+                _ => usage_exit(TRACE_USAGE),
+            };
+            let lenient =
+                wcs_telemetry::jsonl::read_runlog_lenient(&path).unwrap_or_else(|e| fail(e));
+            print!("{}", runlog_to_prometheus(&lenient.log));
+        }
+        "diff" => {
+            let mut fail_pct: Option<f64> = None;
+            let mut paths: Vec<String> = Vec::new();
+            let mut args = args;
+            while !args.is_empty() {
+                let arg = args.remove(0);
+                match arg.as_str() {
+                    "--fail-on-regression" => {
+                        fail_pct = Some(
+                            take_flag_value(&mut args, "--fail-on-regression")
+                                .parse()
+                                .unwrap_or_else(|_| {
+                                    usage_exit("--fail-on-regression needs a percentage")
+                                }),
+                        );
+                    }
+                    _ => paths.push(arg),
+                }
+            }
+            let (a, b) = match paths.as_slice() {
+                [a, b] => (PathBuf::from(a), PathBuf::from(b)),
+                _ => usage_exit(TRACE_USAGE),
+            };
+            let regressed = trace_diff(&a, &b, fail_pct.unwrap_or(25.0));
+            if regressed && fail_pct.is_some() {
+                eprintln!("error: --fail-on-regression: at least one phase regressed");
+                finish(1);
+            }
         }
         other => {
             eprintln!("unknown trace subcommand '{other}'");
@@ -731,6 +982,181 @@ fn run_trace_cmd(mut args: Vec<String>) -> ! {
         }
     }
     finish(0);
+}
+
+/// Rebuild the metric surfaces a recorded run *would* have exposed live
+/// and render them in Prometheus text format: counters from `Counter`
+/// event deltas, histograms by replaying the `dur_ns` of the events that
+/// feed the live registry. (Cache-latency histograms have no runlog twin
+/// and render empty; gauges are point-in-time and render at zero.)
+fn runlog_to_prometheus(log: &wcs_telemetry::jsonl::RunLog) -> String {
+    use wcs_telemetry::metrics::{self, HistId, Histogram};
+    use wcs_telemetry::EventKind;
+    let mut counters: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let hists: Vec<(HistId, Histogram)> = HistId::ALL
+        .iter()
+        .map(|id| (*id, Histogram::new()))
+        .collect();
+    let dur = |ev: &wcs_telemetry::Event| {
+        ev.fields
+            .iter()
+            .find(|(k, _)| k == "dur_ns")
+            .and_then(|(_, v)| v.as_u64())
+    };
+    for ev in &log.events {
+        match ev.kind {
+            EventKind::Counter => {
+                let delta = ev
+                    .fields
+                    .iter()
+                    .find(|(k, _)| k == "delta")
+                    .and_then(|(_, v)| v.as_u64())
+                    .unwrap_or(0);
+                *counters.entry(ev.name.clone()).or_insert(0) += delta;
+            }
+            EventKind::Value | EventKind::SpanExit => {
+                // The runlog twin of each live histogram seam.
+                let id = match ev.name.as_str() {
+                    "engine.block" => Some(HistId::EngineBlock),
+                    "serve.job" => Some(HistId::ServeJob),
+                    "shard.worker_exit" => Some(HistId::ShardWorker),
+                    _ => None,
+                };
+                if let (Some(id), Some(ns)) = (id, dur(ev)) {
+                    hists
+                        .iter()
+                        .find(|(h, _)| *h == id)
+                        .expect("HistId::ALL covers every id")
+                        .1
+                        .record(ns);
+                }
+            }
+            _ => {}
+        }
+    }
+    let counters: Vec<(String, u64)> = counters.into_iter().collect();
+    let gauges: Vec<(&str, i64)> = Vec::new();
+    let snaps: Vec<metrics::HistogramSnapshot> =
+        hists.iter().map(|(id, h)| h.snapshot(id.name())).collect();
+    metrics::render_prometheus(&counters, &gauges, &snaps)
+}
+
+/// Per-phase durations of one diffable input: a `wcs-runlog-v1` file
+/// (span-exit and timed-event totals by name) or a run manifest
+/// (`wall` plus per-histogram sums).
+fn load_phases(path: &Path) -> Vec<(String, u64)> {
+    use wcs_bench::perf::json;
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("reading {}: {e}", path.display())));
+    if text.trim_start().starts_with('{') && !text.trim().contains('\n') {
+        // A single-line JSON object: a run manifest.
+        let v = json::parse(&text).unwrap_or_else(|e| fail(format!("{}: {e}", path.display())));
+        let obj = v
+            .as_object()
+            .unwrap_or_else(|| fail(format!("{}: manifest is not an object", path.display())));
+        let mut phases = Vec::new();
+        if let Ok(wall) = json::get_num(obj, "wall_ns") {
+            phases.push(("wall".to_string(), wall as u64));
+        }
+        if let Some((_, json::Value::Obj(hists))) = obj.iter().find(|(k, _)| k == "histograms") {
+            for (name, snap) in hists {
+                if let Some(snap) = snap.as_object() {
+                    if let Ok(sum) = json::get_num(snap, "sum_ns") {
+                        phases.push((name.clone(), sum as u64));
+                    }
+                }
+            }
+        }
+        return phases;
+    }
+    let lenient = wcs_telemetry::jsonl::read_runlog_lenient(path).unwrap_or_else(|e| fail(e));
+    let mut totals: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for ev in &lenient.log.events {
+        let timed = matches!(
+            ev.kind,
+            wcs_telemetry::EventKind::SpanExit | wcs_telemetry::EventKind::Value
+        );
+        if !timed {
+            continue;
+        }
+        if let Some(ns) = ev
+            .fields
+            .iter()
+            .find(|(k, _)| k == "dur_ns")
+            .and_then(|(_, v)| v.as_u64())
+        {
+            *totals.entry(ev.name.clone()).or_insert(0) += ns;
+        }
+    }
+    totals.into_iter().collect()
+}
+
+/// Compare two runs phase by phase. Prints the delta table; returns
+/// whether any phase regressed beyond `threshold_pct` after dividing out
+/// the median ratio (the same machine-speed normalisation `repro bench
+/// --compare` applies: a uniformly slower machine shifts *every* phase,
+/// a real regression shifts *one*).
+fn trace_diff(a_path: &Path, b_path: &Path, threshold_pct: f64) -> bool {
+    let a = load_phases(a_path);
+    let b = load_phases(b_path);
+    let b_by_name: std::collections::BTreeMap<&str, u64> =
+        b.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let mut rows: Vec<(String, u64, u64, f64)> = Vec::new();
+    for (name, a_ns) in &a {
+        if let Some(&b_ns) = b_by_name.get(name.as_str()) {
+            if *a_ns > 0 {
+                rows.push((name.clone(), *a_ns, b_ns, b_ns as f64 / *a_ns as f64));
+            }
+        }
+    }
+    if rows.is_empty() {
+        fail(format!(
+            "no common timed phases between {} and {}",
+            a_path.display(),
+            b_path.display()
+        ));
+    }
+    let mut ratios: Vec<f64> = rows.iter().map(|r| r.3).collect();
+    ratios.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let machine_factor = if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    };
+    let threshold = 1.0 + threshold_pct / 100.0;
+    println!(
+        "== trace diff: {} -> {} (machine factor {machine_factor:.3}, threshold +{threshold_pct:.0}%) ==",
+        a_path.display(),
+        b_path.display()
+    );
+    println!(
+        "{:<24} {:>14} {:>14} {:>8} {:>11}",
+        "phase", "A", "B", "ratio", "normalized"
+    );
+    let mut regressed = false;
+    for (name, a_ns, b_ns, ratio) in &rows {
+        let normalized = ratio / machine_factor;
+        let flag = if normalized > threshold {
+            regressed = true;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<24} {:>14} {:>14} {:>7.2}x {:>10.2}x{flag}",
+            name,
+            wcs_telemetry::summary::format_ns(*a_ns),
+            wcs_telemetry::summary::format_ns(*b_ns),
+            ratio,
+            normalized
+        );
+    }
+    if regressed {
+        println!("verdict: REGRESSION (normalized ratio beyond {threshold:.2}x)");
+    } else {
+        println!("verdict: ok");
+    }
+    regressed
 }
 
 /// `repro bench`: run the fixed perf suite ([`wcs_bench::perf`]), write
@@ -830,17 +1256,38 @@ fn main() {
             i += 1;
         }
     }
-    if let Some(path) = &telemetry_path {
+    // The collector stack: an always-on bounded flight recorder, wrapping
+    // the `--telemetry` JSONL sink when one was requested. Telemetry is
+    // still out-of-band — the recorder only buffers events — but a panic
+    // or a strict-cache failure can now dump the last moments as a valid
+    // run log (see [`dump_flight`]).
+    TELEMETRY_FILE.store(telemetry_path.is_some(), Ordering::Relaxed);
+    let recorder = {
         let note = format!("repro {}", args.join(" "));
-        match wcs_telemetry::jsonl::JsonlCollector::create(path, &note) {
-            Ok(c) => wcs_telemetry::install(std::sync::Arc::new(c)),
-            Err(e) => fail(format!("cannot create run log {}: {e}", path.display())),
-        }
-    }
+        let cap = wcs_telemetry::flight::FlightRecorder::DEFAULT_CAP;
+        let rec = match &telemetry_path {
+            Some(path) => match wcs_telemetry::jsonl::JsonlCollector::create(path, &note) {
+                Ok(c) => {
+                    wcs_telemetry::flight::FlightRecorder::wrapping(cap, std::sync::Arc::new(c))
+                }
+                Err(e) => fail(format!("cannot create run log {}: {e}", path.display())),
+            },
+            None => wcs_telemetry::flight::FlightRecorder::new(cap),
+        };
+        std::sync::Arc::new(rec)
+    };
+    let _ = FLIGHT.set(recorder.clone());
+    wcs_telemetry::install(recorder);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        prev_hook(info);
+        dump_flight("panic");
+    }));
     match args.first().map(String::as_str) {
         Some("sweep") => run_sweep_cmd(args.split_off(1), effort),
         Some("shard") => run_shard_cmd(args.split_off(1), effort),
         Some("cache") => run_cache_cmd(args.split_off(1)),
+        Some("history") => run_history_cmd(args.split_off(1)),
         Some("bench") => run_bench_cmd(args.split_off(1)),
         Some("trace") => run_trace_cmd(args.split_off(1)),
         Some("serve") => run_serve_cmd(args.split_off(1)),
@@ -854,8 +1301,11 @@ fn main() {
         );
         eprintln!("       repro shard plan|worker|merge|run ... (see repro shard)");
         eprintln!("       repro cache ls|clear [--kind model|sim]");
+        eprintln!("       repro history ls [--limit N] | show <NAME>");
         eprintln!("       repro bench [--quick] [--out FILE] [--compare BASELINE.json]");
-        eprintln!("       repro trace summarize [RUNLOG.jsonl]");
+        eprintln!("       repro trace summarize [--strict] [RUNLOG.jsonl]");
+        eprintln!("       repro trace export --prom [RUNLOG.jsonl]");
+        eprintln!("       repro trace diff <A> <B> [--fail-on-regression PCT]");
         eprintln!(
             "       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N] [--job-logs DIR]"
         );

@@ -8,10 +8,11 @@
 //! two-pair sample kernel (naive per-method path vs the hoisted
 //! [`TwoPairKernel`]), the N-pair sample kernel at N ∈ {2, 4, 8}, an
 //! `mc_averages` batch, one small model sweep and one small sim sweep,
-//! plus a SplitMix64 calibration loop — with warmup, fixed repetition
-//! counts and median/MAD wall-clock statistics, and serialises the
-//! result as a schema-versioned JSON document (`BENCH_5.json` at the
-//! repo root).
+//! plus a SplitMix64 calibration loop and a telemetry-instrument
+//! overhead pair (enabled vs. the off-state no-op) — with warmup, fixed
+//! repetition counts and median/MAD wall-clock statistics, and
+//! serialises the result as a schema-versioned JSON document
+//! (`BENCH_8.json` at the repo root).
 //!
 //! Two properties the CI gate leans on:
 //!
@@ -40,12 +41,12 @@ pub const SCHEMA: &str = "wcs-bench-v1";
 /// Schema version written into every bench document.
 pub const SCHEMA_VERSION: u64 = 1;
 /// Default output file name (at the repo root).
-pub const DEFAULT_OUT: &str = "BENCH_5.json";
+pub const DEFAULT_OUT: &str = "BENCH_8.json";
 
 /// The fixed bench-name set the suite emits, in emission order. Pinned
 /// by tests; extend deliberately (the CI baseline must be refreshed in
 /// the same change).
-pub const BENCH_NAMES: [&str; 10] = [
+pub const BENCH_NAMES: [&str; 12] = [
     "calib_splitmix_loop",
     "twopair_sample_naive",
     "twopair_sample_kernel",
@@ -56,10 +57,12 @@ pub const BENCH_NAMES: [&str; 10] = [
     "mc_averages_batch_5k",
     "model_sweep_small",
     "sim_sweep_small",
+    "telemetry_overhead_off",
+    "telemetry_overhead_on",
 ];
 
 /// How much wall clock to spend: `Quick` for the CI smoke job, `Full`
-/// for the committed `BENCH_5.json` numbers.
+/// for the committed `BENCH_8.json` numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchMode {
     /// CI budget: fewer repetitions, same bench set.
@@ -278,6 +281,46 @@ fn npair_kernel_batch(n: usize, iters: u64, salt: u64) -> f64 {
     acc
 }
 
+/// One iteration of the instrumented hot-path shape shared by the
+/// engine/cache/serve seams: gate on `enabled()`, take a clock pair
+/// around a tiny payload, record the latency into a registry histogram.
+/// With no collector installed the gate is false and the whole
+/// instrument compiles down to one relaxed atomic load and a branch —
+/// the off-state cost the report-bytes-identical invariant relies on.
+fn telemetry_overhead_batch(iters: u64, salt: u64) -> f64 {
+    let mut s = 0x7e1e_u64 ^ salt;
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        let t0 = wcs_telemetry::enabled().then(Instant::now);
+        acc = acc.wrapping_add(splitmix64(&mut s));
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            wcs_telemetry::metrics::record_ns(wcs_telemetry::metrics::HistId::EngineBlock, ns);
+            acc ^= ns & 1;
+        }
+    }
+    acc as f64
+}
+
+/// Run `batch` with the process-global collector forced to `state`
+/// (`Some` installs it, `None` leaves telemetry off), restoring the
+/// previous collector afterwards.
+fn with_collector<F: FnOnce() -> f64>(
+    state: Option<std::sync::Arc<dyn wcs_telemetry::Collector>>,
+    batch: F,
+) -> f64 {
+    let prev = wcs_telemetry::uninstall();
+    if let Some(c) = state {
+        wcs_telemetry::install(c);
+    }
+    let out = batch();
+    wcs_telemetry::uninstall();
+    if let Some(prev) = prev {
+        wcs_telemetry::install(prev);
+    }
+    out
+}
+
 /// Run the whole fixed suite.
 pub fn run_suite(mode: BenchMode) -> BenchReport {
     let mut benches = Vec::with_capacity(BENCH_NAMES.len());
@@ -366,6 +409,27 @@ pub fn run_suite(mode: BenchMode) -> BenchReport {
         acc
     }));
 
+    benches.push(run_bench(
+        "telemetry_overhead_off",
+        mode,
+        2_000_000,
+        |iters, salt| with_collector(None, || telemetry_overhead_batch(iters, salt)),
+    ));
+    benches.push(run_bench(
+        "telemetry_overhead_on",
+        mode,
+        2_000_000,
+        |iters, salt| {
+            // wcs_telemetry::NullCollector discards everything, so this
+            // measures the instrument (gate, clock pair, histogram
+            // atomics), not any sink.
+            with_collector(
+                Some(std::sync::Arc::new(wcs_telemetry::NullCollector)),
+                || telemetry_overhead_batch(iters, salt),
+            )
+        },
+    ));
+
     let speedup = |benches: &[BenchResult], name: &str, base: &str, opt: &str| {
         let get = |n: &str| {
             benches
@@ -393,6 +457,16 @@ pub fn run_suite(mode: BenchMode) -> BenchReport {
             "npair_kernel_n4",
             "npair_sample_naive_n4",
             "npair_sample_kernel_n4",
+        ),
+        // How much the enabled instrument costs relative to the exact
+        // off-state no-op — a pure same-run ratio, recorded (not gated:
+        // its *bound* is enforced by the per-bench baseline comparison
+        // of telemetry_overhead_on).
+        speedup(
+            &benches,
+            "telemetry_off",
+            "telemetry_overhead_on",
+            "telemetry_overhead_off",
         ),
     ];
 

@@ -204,12 +204,15 @@ fn strict_cache_turns_store_failures_into_exit_1() {
         String::from_utf8_lossy(&lenient.stderr)
     );
 
-    // Strict mode: same run exits 1 and says why.
+    // Strict mode: same run exits 1, says why, and leaves a flight
+    // recorder dump covering the run's last events.
+    let flight = dir.join("strict-flight.jsonl");
     let strict = repro()
         .args(["sweep", "--spec"])
         .arg(&spec)
         .args(["--csv", "--strict-cache"])
         .env("WCS_CACHE_DIR", &notadir)
+        .env("WCS_FLIGHT_PATH", &flight)
         .output()
         .unwrap();
     assert_eq!(strict.status.code(), Some(1));
@@ -217,6 +220,11 @@ fn strict_cache_turns_store_failures_into_exit_1() {
         String::from_utf8_lossy(&strict.stderr).contains("--strict-cache"),
         "stderr should name the flag: {}",
         String::from_utf8_lossy(&strict.stderr)
+    );
+    let log = read_runlog(&flight).expect("strict-cache flight dump parses");
+    assert!(
+        log.events.iter().any(|e| e.name == "cache.store_failed"),
+        "flight dump should cover the failing store"
     );
 
     // A healthy cache dir under --strict-cache stays exit 0.
@@ -256,6 +264,247 @@ fn trace_cmd_rejects_missing_files_and_bad_verbs() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Write a runlog for the tiny spec and return its text.
+fn record_runlog(dir: &std::path::Path, tag: &str) -> PathBuf {
+    let cache = dir.join(format!("cache-{tag}"));
+    let spec = write_tiny_spec(dir);
+    let runlog = dir.join(format!("{tag}.runlog.jsonl"));
+    run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .args(["--threads", "2", "--csv"])
+            .arg(format!("--telemetry={}", runlog.display()))
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    runlog
+}
+
+/// Multiply the `dur_ns` of every event named `victim` by `factor`.
+fn doctor_runlog(src: &std::path::Path, dst: &std::path::Path, victim: &str, factor: u64) {
+    let text = std::fs::read_to_string(src).unwrap();
+    let doctored: Vec<String> = text
+        .lines()
+        .map(|line| {
+            if !line.contains(&format!("\"{victim}\"")) {
+                return line.to_string();
+            }
+            match line.find("\"dur_ns\":") {
+                None => line.to_string(),
+                Some(at) => {
+                    let digits_at = at + "\"dur_ns\":".len();
+                    let digits: String = line[digits_at..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect();
+                    let scaled = digits.parse::<u64>().unwrap() * factor;
+                    format!(
+                        "{}{}{}",
+                        &line[..digits_at],
+                        scaled,
+                        &line[digits_at + digits.len()..]
+                    )
+                }
+            }
+        })
+        .collect();
+    std::fs::write(dst, doctored.join("\n") + "\n").unwrap();
+}
+
+#[test]
+fn trace_summarize_strict_counts_damage_and_fails() {
+    let dir = tmpdir("damage");
+    let runlog = record_runlog(&dir, "clean");
+    // A clean log passes --strict.
+    run_ok(
+        repro()
+            .args(["trace", "summarize", "--strict"])
+            .arg(&runlog),
+    );
+
+    // Damage it: one truncated line, one unknown event name.
+    let mut text = std::fs::read_to_string(&runlog).unwrap();
+    text.push_str("{\"t_ns\":1,\"kind\":\"value\",\"name\":\"engine.blo"); // truncated
+    text.push('\n');
+    text.push_str("{\"t_ns\":2,\"kind\":\"value\",\"name\":\"mystery.event\",\"fields\":{}}\n");
+    let damaged = dir.join("damaged.jsonl");
+    std::fs::write(&damaged, &text).unwrap();
+
+    // Lenient by default: summary still renders, damage is reported.
+    let out = run_ok(repro().args(["trace", "summarize"]).arg(&damaged));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("== timing (span totals) =="), "{stdout}");
+    assert!(stdout.contains("== damage =="), "{stdout}");
+    assert!(
+        stdout.contains("1 corrupt line(s), 1 unknown name(s)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("mystery.event"), "{stdout}");
+
+    // --strict turns the same damage into exit 1.
+    let out = repro()
+        .args(["trace", "summarize", "--strict"])
+        .arg(&damaged)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "--strict must fail on damage");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_diff_flags_injected_slowdown_and_gates() {
+    let dir = tmpdir("diff");
+    let runlog = record_runlog(&dir, "base");
+    let slowed = dir.join("slowed.jsonl");
+    doctor_runlog(&runlog, &slowed, "engine.block", 3);
+
+    // Self-diff: every ratio 1, verdict ok, exit 0 even under the gate.
+    let out = run_ok(
+        repro()
+            .args(["trace", "diff"])
+            .arg(&runlog)
+            .arg(&runlog)
+            .args(["--fail-on-regression", "25"]),
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: ok"));
+
+    // A 3x slowdown of one phase: reported, and exit 1 under the gate.
+    let out = run_ok(repro().args(["trace", "diff"]).arg(&runlog).arg(&slowed));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("engine.block"), "{stdout}");
+    let gated = repro()
+        .args(["trace", "diff"])
+        .arg(&runlog)
+        .arg(&slowed)
+        .args(["--fail-on-regression", "25"])
+        .output()
+        .unwrap();
+    assert_eq!(gated.status.code(), Some(1), "gate must fail on regression");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_export_prom_renders_counters_and_histograms() {
+    let dir = tmpdir("export");
+    let runlog = record_runlog(&dir, "prom");
+    let out = run_ok(repro().args(["trace", "export", "--prom"]).arg(&runlog));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        text.contains("# TYPE wcs_cache_miss_total counter"),
+        "{text:.400}"
+    );
+    assert!(
+        text.contains("# TYPE wcs_engine_block_duration_ns histogram"),
+        "{text:.400}"
+    );
+    assert!(text.contains("wcs_engine_block_duration_ns_bucket{le=\"+Inf\"}"));
+    // The replayed histogram carries the run's blocks (count > 0).
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("wcs_engine_block_duration_ns_count"))
+        .expect("count line");
+    let count: u64 = count_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        count > 0,
+        "replayed engine.block histogram must be populated"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn history_ls_and_show_page_over_run_manifests() {
+    let dir = tmpdir("history");
+    let cache = dir.join("cache");
+    let spec = write_tiny_spec(&dir);
+    run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .arg("--csv")
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    let ls = run_ok(repro().args(["history", "ls"]).env("WCS_CACHE_DIR", &cache));
+    let listing = String::from_utf8_lossy(&ls.stdout).into_owned();
+    assert!(listing.contains("trace-tiny"), "{listing}");
+    assert!(listing.contains(".manifest.json"), "{listing}");
+    assert!(listing.contains("cache miss"), "{listing}");
+    let name = listing
+        .lines()
+        .next()
+        .unwrap()
+        .split('\t')
+        .next()
+        .unwrap()
+        .to_string();
+    let show = run_ok(
+        repro()
+            .args(["history", "show", &name])
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    let manifest = String::from_utf8_lossy(&show.stdout).into_owned();
+    assert!(
+        manifest.contains("\"schema\":\"wcs-run-manifest-v1\""),
+        "{manifest}"
+    );
+    assert!(manifest.contains("\"histograms\":{"), "{manifest}");
+    // A second (cache-hit) run appends a second manifest.
+    run_ok(
+        repro()
+            .args(["sweep", "--spec"])
+            .arg(&spec)
+            .arg("--csv")
+            .env("WCS_CACHE_DIR", &cache),
+    );
+    let ls = run_ok(repro().args(["history", "ls"]).env("WCS_CACHE_DIR", &cache));
+    let listing = String::from_utf8_lossy(&ls.stdout).into_owned();
+    assert_eq!(listing.lines().count(), 2, "{listing}");
+    assert!(listing.contains("cache hit"), "{listing}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_panic_leaves_a_valid_flight_dump_covering_the_failing_span() {
+    let dir = tmpdir("panic");
+    let cache = dir.join("cache");
+    let spec = write_tiny_spec(&dir);
+    let flight = dir.join("panic-flight.jsonl");
+    let out = repro()
+        .args(["sweep", "--spec"])
+        .arg(&spec)
+        .args(["--csv", "--no-cache"])
+        .env("WCS_CACHE_DIR", &cache)
+        .env("WCS_TEST_PANIC", "1")
+        .env("WCS_FLIGHT_PATH", &flight)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "the injected panic must not exit 0");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("flight recorder"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The dump is a valid wcs-runlog-v1 file...
+    let log = read_runlog(&flight).expect("flight dump parses as a runlog");
+    assert!(!log.events.is_empty());
+    // ...whose tail events cover the failing span: the last record is
+    // the SpanEnter of the workload.run the panic interrupted, preceded
+    // by the engine events of the sweep that ran before it.
+    let last = log.events.last().unwrap();
+    assert_eq!(last.kind, EventKind::SpanEnter);
+    assert_eq!(last.name, "workload.run");
+    assert!(
+        log.events.iter().any(|e| e.name == "engine.block"),
+        "ring should still hold the preceding engine events"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -60,9 +60,17 @@ impl ResultCache {
     /// Look up a stored report for this (workload, seed). Returns `None`
     /// on absence, spec mismatch, or any parse failure. Every lookup
     /// bumps the `cache.hit` (with entry bytes) or `cache.miss`
-    /// telemetry counter.
+    /// telemetry counter and feeds the `cache.load` latency histogram
+    /// (lookups happen once per workload, so the one clock pair here is
+    /// off the per-sample hot path).
     pub fn load<W: WorkloadSpec + ?Sized>(&self, w: &W) -> Option<RunReport> {
-        match self.load_uncounted(w) {
+        let t0 = std::time::Instant::now();
+        let loaded = self.load_uncounted(w);
+        wcs_telemetry::metrics::record_ns(
+            wcs_telemetry::metrics::HistId::CacheLoad,
+            t0.elapsed().as_nanos() as u64,
+        );
+        match loaded {
             Some((report, bytes)) => {
                 wcs_telemetry::counter_with(
                     "cache.hit",
@@ -166,6 +174,12 @@ impl ResultCache {
                 let name = entry.file_name().to_string_lossy().into_owned();
                 if name.ends_with(".csv.tmp") && kind.is_none() {
                     let _ = fs::remove_file(entry.path());
+                } else if name.ends_with(".manifest.json") && kind.is_none() {
+                    // Run-history manifests ride along with a full clear
+                    // (kind-filtered clears keep the history intact).
+                    if fs::remove_file(entry.path()).is_ok() {
+                        removed += 1;
+                    }
                 } else if name.ends_with(".partial.csv") {
                     let (blob_kind, _) = peek_entry(&entry.path());
                     if (kind.is_none() || blob_kind == kind)
@@ -188,11 +202,16 @@ impl ResultCache {
         w: &W,
         report: &RunReport,
     ) -> std::io::Result<()> {
+        let t0 = std::time::Instant::now();
         let mut text = String::from("# wcs-runtime cache v1\n");
         text.push_str(&format!("# spec: {}\n", w.canonical()));
         text.push_str(&format!("# seed: {}\n", w.seed()));
         text.push_str(&report.to_csv());
         self.write_file(&self.entry_path(w), &text)?;
+        wcs_telemetry::metrics::record_ns(
+            wcs_telemetry::metrics::HistId::CacheStore,
+            t0.elapsed().as_nanos() as u64,
+        );
         wcs_telemetry::counter_with(
             "cache.store",
             1,

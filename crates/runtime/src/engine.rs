@@ -126,10 +126,15 @@ impl Engine {
             .with("block", block)
             .with("threads", self.threads)
             .start();
+        wcs_telemetry::metrics::gauge_set(
+            wcs_telemetry::metrics::GaugeId::EngineThreads,
+            self.threads as i64,
+        );
         // Records one `engine.block` event (per-block task timing plus
-        // the queue depth left behind) and accumulates the worker's
-        // busy-time tally.
+        // the queue depth left behind), feeds the block-dispatch latency
+        // histogram, and accumulates the worker's busy-time tally.
         let record_block = |worker: usize, range: &std::ops::Range<usize>, dur_ns: u64| {
+            wcs_telemetry::metrics::record_ns(wcs_telemetry::metrics::HistId::EngineBlock, dur_ns);
             wcs_telemetry::value(
                 "engine.block",
                 vec![

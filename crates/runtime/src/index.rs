@@ -144,6 +144,15 @@ pub trait ResultIndex: Send + Sync {
 
     /// Store a free-form named blob next to the entries.
     fn store_blob(&self, name: &str, text: &str) -> std::io::Result<()>;
+
+    /// Names of stored blobs ending with `suffix`, sorted ascending —
+    /// how run-history manifests (whose names embed their creation time,
+    /// so name order is chronological order) are enumerated. Backends
+    /// without blob listing may keep the default empty answer.
+    fn list_blobs(&self, suffix: &str) -> std::io::Result<Vec<String>> {
+        let _ = suffix;
+        Ok(Vec::new())
+    }
 }
 
 impl ResultIndex for ResultCache {
@@ -265,6 +274,24 @@ impl ResultIndex for ResultCache {
 
     fn store_blob(&self, name: &str, text: &str) -> std::io::Result<()> {
         ResultCache::store_blob(self, name, text)
+    }
+
+    fn list_blobs(&self, suffix: &str) -> std::io::Result<Vec<String>> {
+        let read_dir = match fs::read_dir(self.dir()) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut names = Vec::new();
+        for entry in read_dir {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(suffix) {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
     }
 }
 
@@ -414,6 +441,32 @@ mod tests {
         assert!(!tail.more);
         // Unknown key is absent, not an error.
         assert!(index.read_rows(0xdead, 9, 0, 1).unwrap().is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn list_blobs_filters_by_suffix_and_sorts() {
+        let cache = ResultCache::new(tmpdir("blobs"));
+        let index: &dyn ResultIndex = &cache;
+        assert!(index.list_blobs(".manifest.json").unwrap().is_empty());
+        index
+            .store_blob("run-0000000000002-aa.manifest.json", "{}")
+            .unwrap();
+        index
+            .store_blob("run-0000000000001-bb.manifest.json", "{}")
+            .unwrap();
+        index.store_blob("x.partial.csv", "p").unwrap();
+        stored(&cache, "grid", 1, 1);
+        let names = index.list_blobs(".manifest.json").unwrap();
+        assert_eq!(
+            names,
+            vec![
+                "run-0000000000001-bb.manifest.json",
+                "run-0000000000002-aa.manifest.json"
+            ]
+        );
+        // Manifests are invisible to entry queries.
+        assert_eq!(index.query(&IndexQuery::default()).unwrap().len(), 1);
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -60,6 +60,7 @@
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod history;
 pub mod index;
 pub mod model;
 pub mod report;

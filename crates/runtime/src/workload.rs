@@ -201,11 +201,18 @@ fn assemble<W: Workload + ?Sized>(w: &W, blocks: &[Vec<Vec<f64>>]) -> RunReport 
 /// layout does not match the workload's expected layout (e.g. written by
 /// an older binary) degrades to a miss and recomputes. Reports are
 /// bitwise identical for any engine thread count.
+///
+/// When an index is given, every run (cache hit or computed) also
+/// appends a [`crate::history`] run manifest through it — out-of-band,
+/// like telemetry: a manifest write failure never fails the run.
 pub fn run_workload<W: Workload>(
     w: &W,
     engine: &Engine,
     index: Option<&dyn ResultIndex>,
 ) -> WorkloadOutcome {
+    // One clock pair per run (not per task): the run-history manifest
+    // records wall time whether or not telemetry is enabled.
+    let wall_t0 = std::time::Instant::now();
     let mut span = wcs_telemetry::span("workload.run")
         .with("name", w.name())
         .with("kind", w.kind().label())
@@ -218,12 +225,19 @@ pub fn run_workload<W: Workload>(
         if let Some(full) = index.load_report(w) {
             if full.columns == columns {
                 span.add("cache_hit", true);
-                return WorkloadOutcome {
+                let outcome = WorkloadOutcome {
                     report: w.finalize(&full),
                     cache_hit: true,
                     tasks_run: 0,
                     store_failed: false,
                 };
+                crate::history::append_run_manifest(
+                    index,
+                    w,
+                    &outcome,
+                    wall_t0.elapsed().as_nanos() as u64,
+                );
+                return outcome;
             }
             // A hit with the wrong column layout (written by an older
             // binary) degrades to a miss and recomputes.
@@ -261,12 +275,21 @@ pub fn run_workload<W: Workload>(
         }
     }
     let report = w.finalize(&full);
-    WorkloadOutcome {
+    let outcome = WorkloadOutcome {
         report,
         cache_hit: false,
         tasks_run: tasks.len(),
         store_failed,
+    };
+    if let Some(index) = index {
+        crate::history::append_run_manifest(
+            index,
+            w,
+            &outcome,
+            wall_t0.elapsed().as_nanos() as u64,
+        );
     }
+    outcome
 }
 
 /// Run the tasks at `indices` (in the order given) and return their full

@@ -32,7 +32,13 @@
 //!   (filters: `kind`, `hash`, `seed`, `scenario`, `columns`; paging:
 //!   `limit`, `after` cursor). `GET /v1/results/rows` pages rows out of
 //!   one stored entry without materializing the report.
-//! * `GET /v1/metrics`, `GET /v1/healthz` — counter totals / liveness.
+//! * `GET /v1/metrics` — schema-versioned counters, gauges, and latency
+//!   histograms as JSON; `?format=prometheus` renders the same registry
+//!   in Prometheus text exposition format (HELP/TYPE lines, cumulative
+//!   `_bucket{le=...}` series).
+//! * `GET /v1/history` — run manifests appended by `run_workload`,
+//!   newest first, paged by `limit`/`after`.
+//! * `GET /v1/healthz` — liveness.
 //!
 //! The daemon is a *client* of the runtime's public API — the same
 //! [`ResultIndex`] the CLI and shard workers use — so a spec POSTed
@@ -245,7 +251,10 @@ impl Drop for Server {
 
 /// Execute one job on the engine, with its own run log when configured.
 fn run_job(ctx: &Ctx, job: &Job) {
+    use wcs_telemetry::metrics::{gauge_add, gauge_set, GaugeId};
     job.mark_running();
+    gauge_set(GaugeId::ServeQueueDepth, ctx.queue.queued() as i64);
+    gauge_add(GaugeId::ServeJobsInflight, 1);
     let t0 = wcs_telemetry::now_ns();
     let outcome = match &ctx.job_logs {
         None => job.workload.run(&ctx.engine, Some(ctx.index.as_ref())),
@@ -280,6 +289,9 @@ fn run_job(ctx: &Ctx, job: &Job) {
             outcome
         }
     };
+    let dur_ns = wcs_telemetry::now_ns() - t0;
+    wcs_telemetry::metrics::record_ns(wcs_telemetry::metrics::HistId::ServeJob, dur_ns);
+    gauge_add(GaugeId::ServeJobsInflight, -1);
     let strict_failure = outcome.store_failed && ctx.strict_cache;
     wcs_telemetry::counter(
         if strict_failure {
@@ -309,10 +321,7 @@ fn run_job(ctx: &Ctx, job: &Job) {
                 "degraded".to_string(),
                 wcs_telemetry::Value::from(outcome.store_failed),
             ),
-            (
-                "dur_ns".to_string(),
-                wcs_telemetry::Value::U64(wcs_telemetry::now_ns() - t0),
-            ),
+            ("dur_ns".to_string(), wcs_telemetry::Value::U64(dur_ns)),
         ],
     );
     job.finish(|st| {
@@ -381,22 +390,8 @@ fn route(ctx: &Arc<Ctx>, stream: &mut TcpStream, req: Request) -> io::Result<()>
         }
         ("GET", "/v1/results") => get_results(ctx, stream, &req),
         ("GET", "/v1/results/rows") => get_result_rows(ctx, stream, &req),
-        ("GET", "/v1/metrics") => {
-            let counters: Vec<String> = wcs_telemetry::counter_totals()
-                .into_iter()
-                .map(|(name, total)| format!("{}:{total}", json_string(&name)))
-                .collect();
-            respond_json(
-                stream,
-                200,
-                "OK",
-                &format!(
-                    "{{\"uptime_ns\":{},\"counters\":{{{}}}}}",
-                    wcs_telemetry::now_ns() - ctx.started_ns,
-                    counters.join(",")
-                ),
-            )
-        }
+        ("GET", "/v1/metrics") => get_metrics(ctx, stream, &req),
+        ("GET", "/v1/history") => get_history(ctx, stream, &req),
         ("GET", "/v1/healthz") => respond_json(stream, 200, "OK", "{\"ok\":true}"),
         ("GET", p) => {
             if let Some(rest) = p.strip_prefix("/v1/jobs/") {
@@ -418,6 +413,110 @@ fn route(ctx: &Arc<Ctx>, stream: &mut TcpStream, req: Request) -> io::Result<()>
 
 fn not_found(stream: &mut TcpStream) -> io::Result<()> {
     respond_json(stream, 404, "Not Found", "{\"error\":\"not found\"}")
+}
+
+/// The `/v1/metrics` JSON body: schema-versioned, counters in sorted
+/// (BTreeMap) order, plus gauges and latency-histogram snapshots from
+/// the process-global metrics registry.
+pub fn metrics_json(uptime_ns: u64) -> String {
+    use wcs_telemetry::metrics;
+    let counters: Vec<String> = wcs_telemetry::counter_totals()
+        .into_iter()
+        .map(|(name, total)| format!("{}:{total}", json_string(&name)))
+        .collect();
+    let gauges: Vec<String> = metrics::gauges()
+        .into_iter()
+        .map(|(name, v)| format!("{}:{v}", json_string(name)))
+        .collect();
+    let hists: Vec<String> = metrics::snapshot_all()
+        .iter()
+        .map(|s| format!("{}:{}", json_string(&s.name), s.to_json()))
+        .collect();
+    format!(
+        "{{\"schema\":{},\"schema_version\":{},\"uptime_ns\":{uptime_ns},\
+         \"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        json_string(metrics::METRICS_SCHEMA),
+        metrics::METRICS_SCHEMA_VERSION,
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+fn get_metrics(ctx: &Arc<Ctx>, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
+    match req.query_param("format") {
+        Some("prometheus") => {
+            let page = wcs_telemetry::metrics::prometheus_page();
+            http::respond(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &page,
+            )
+        }
+        Some(other) => bad_query(
+            stream,
+            &format!("bad value for 'format': '{other}' (prometheus)"),
+        ),
+        None => {
+            let body = metrics_json(wcs_telemetry::now_ns() - ctx.started_ns);
+            respond_json(stream, 200, "OK", &body)
+        }
+    }
+}
+
+/// `GET /v1/history` — page over run manifests, newest first. `limit`
+/// (default 50) bounds the page; `after` is the cursor (a manifest blob
+/// name) from the previous page's `next`.
+fn get_history(ctx: &Arc<Ctx>, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
+    let limit = match parse_param::<usize>(req, "limit") {
+        Ok(v) => v.unwrap_or(50).max(1),
+        Err(msg) => return bad_query(stream, &msg),
+    };
+    let after = req.query_param("after");
+    let names = match wcs_runtime::history::list_manifests(ctx.index.as_ref()) {
+        Ok(n) => n,
+        Err(e) => {
+            return respond_json(
+                stream,
+                500,
+                "Internal Server Error",
+                &format!("{{\"error\":{}}}", json_string(&e.to_string())),
+            )
+        }
+    };
+    // Names arrive newest-first; the cursor resumes strictly after it.
+    let start = match after {
+        Some(cursor) => match names.iter().position(|n| n == cursor) {
+            Some(i) => i + 1,
+            None => names.len(),
+        },
+        None => 0,
+    };
+    let page: Vec<&String> = names.iter().skip(start).take(limit).collect();
+    let next = if start + page.len() < names.len() && !page.is_empty() {
+        json_string(page.last().unwrap())
+    } else {
+        "null".to_string()
+    };
+    let body: Vec<String> = page
+        .iter()
+        .map(|name| {
+            // Manifests are stored as JSON, so they embed verbatim.
+            let manifest = match ctx.index.load_blob(name) {
+                Some(text) => text.trim().to_string(),
+                None => "{\"error\":\"manifest unreadable\"}".to_string(),
+            };
+            format!("{{\"name\":{},\"manifest\":{manifest}}}", json_string(name))
+        })
+        .collect();
+    respond_json(
+        stream,
+        200,
+        "OK",
+        &format!("{{\"runs\":[{}],\"next\":{next}}}", body.join(",")),
+    )
 }
 
 /// The machine-readable 400 body for a spec that failed to parse: the

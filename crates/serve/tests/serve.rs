@@ -521,3 +521,140 @@ fn per_job_runlogs_are_valid_wcs_runlog_v1() {
     drop(server);
     let _ = std::fs::remove_dir_all(&parent);
 }
+
+#[test]
+fn metrics_json_is_schema_versioned_with_sorted_counters() {
+    // The body contract directly (no socket): schema fields present,
+    // counters in deterministic sorted order, gauges and histograms for
+    // the full pinned vocabulary.
+    wcs_telemetry::counter("serve.request", 1); // ensure a counter exists
+    let body = wcs_serve::metrics_json(12_345);
+    assert!(body.contains("\"schema\":\"wcs-metrics-v1\""), "{body}");
+    assert!(body.contains("\"schema_version\":1"), "{body}");
+    assert!(body.contains("\"uptime_ns\":12345"), "{body}");
+    for section in ["\"counters\":{", "\"gauges\":{", "\"histograms\":{"] {
+        assert!(body.contains(section), "missing {section}: {body}");
+    }
+    for hist in wcs_telemetry::metrics::HistId::ALL {
+        assert!(
+            body.contains(&format!("\"{}\":{{", hist.name())),
+            "missing histogram family {}: {body}",
+            hist.name()
+        );
+    }
+    // Counter keys appear in sorted order (BTreeMap iteration), so the
+    // body is deterministic for a fixed registry state.
+    let counters_at = body.find("\"counters\":{").unwrap();
+    let counters_end = body[counters_at..].find('}').unwrap() + counters_at;
+    let keys: Vec<&str> = body[counters_at + 12..counters_end]
+        .split(',')
+        .filter_map(|kv| kv.split(':').next())
+        .map(|k| k.trim_matches('"'))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "counter keys must be sorted: {body}");
+}
+
+#[test]
+fn metrics_prometheus_format_renders_all_pinned_families() {
+    let dir = tmpdir("prom");
+    let server = server_over(&dir, test_cfg());
+    let addr = server.addr();
+    let (_, body) = http(
+        addr,
+        "POST",
+        "/v1/jobs",
+        &[],
+        &spec_toml(&tiny_sweep("prom", 77)),
+    );
+    let id = json_u64(&body, "id").unwrap();
+    wait_terminal(addr, id);
+
+    let (status, page) = http(addr, "GET", "/v1/metrics?format=prometheus", &[], "");
+    assert_eq!(status, 200);
+    // HELP/TYPE lines, gauge and histogram families from the pinned
+    // vocabulary, cumulative buckets ending in +Inf == count.
+    assert!(
+        page.contains("# HELP wcs_serve_jobs_completed_total"),
+        "{page:.500}"
+    );
+    assert!(page.contains("# TYPE wcs_serve_jobs_completed_total counter"));
+    assert!(page.contains("# TYPE wcs_serve_jobs_inflight gauge"));
+    assert!(page.contains("# TYPE wcs_serve_job_duration_ns histogram"));
+    for hist in wcs_telemetry::metrics::HistId::ALL {
+        let fam = format!(
+            "{}_duration_ns",
+            wcs_telemetry::metrics::prom_name(hist.name())
+        );
+        assert!(page.contains(&format!("# TYPE {fam} histogram")), "{fam}");
+        assert!(
+            page.contains(&format!("{fam}_bucket{{le=\"+Inf\"}}")),
+            "{fam}"
+        );
+    }
+    // Bucket series are cumulative (monotone non-decreasing).
+    let mut last = 0u64;
+    for line in page.lines() {
+        if let Some(rest) = line.strip_prefix("wcs_serve_job_duration_ns_bucket{le=\"") {
+            let count: u64 = rest.split("} ").nth(1).unwrap().trim().parse().unwrap();
+            assert!(count >= last, "bucket series must be cumulative: {line}");
+            last = count;
+        }
+    }
+    // The finished job is visible in the serve.job histogram.
+    assert!(
+        page.contains("wcs_serve_job_duration_ns_count"),
+        "{page:.300}"
+    );
+    // An unknown format is a structured 400.
+    let (status, err) = http(addr, "GET", "/v1/metrics?format=xml", &[], "");
+    assert_eq!(status, 400, "{err}");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn history_endpoint_lists_run_manifests_newest_first() {
+    let dir = tmpdir("history");
+    let server = server_over(&dir, test_cfg());
+    let addr = server.addr();
+    for (name, seed) in [("hist-a", 1u64), ("hist-b", 2)] {
+        let (_, body) = http(
+            addr,
+            "POST",
+            "/v1/jobs",
+            &[],
+            &spec_toml(&tiny_sweep(name, seed)),
+        );
+        let id = json_u64(&body, "id").unwrap();
+        wait_terminal(addr, id);
+    }
+    let (status, body) = http(addr, "GET", "/v1/history", &[], "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"runs\":["), "{body}");
+    assert!(
+        body.contains("\"schema\":\"wcs-run-manifest-v1\""),
+        "embedded manifests: {body:.400}"
+    );
+    assert!(body.contains("\"name\":\"hist-a\"") && body.contains("\"name\":\"hist-b\""));
+    // Page size 1: newest run first, cursor pages to the older one.
+    let (status, page1) = http(addr, "GET", "/v1/history?limit=1", &[], "");
+    assert_eq!(status, 200);
+    assert!(
+        page1.contains("\"name\":\"hist-b\""),
+        "newest first: {page1:.400}"
+    );
+    let cursor = json_str(&page1, "next").expect("full page carries a cursor");
+    let (status, page2) = http(
+        addr,
+        "GET",
+        &format!("/v1/history?limit=1&after={cursor}"),
+        &[],
+        "",
+    );
+    assert_eq!(status, 200);
+    assert!(page2.contains("\"name\":\"hist-a\""), "{page2:.400}");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -235,6 +235,11 @@ pub fn run_local_with(
     let mut failures = Vec::new();
     for (shard, mut child, spawned_at) in children {
         let status = child.wait()?;
+        let worker_wall_ns = spawned_at.elapsed().as_nanos() as u64;
+        wcs_telemetry::metrics::record_ns(
+            wcs_telemetry::metrics::HistId::ShardWorker,
+            worker_wall_ns,
+        );
         wcs_telemetry::value(
             "shard.worker_exit",
             vec![
@@ -245,7 +250,7 @@ pub fn run_local_with(
                 ),
                 (
                     "dur_ns".to_string(),
-                    wcs_telemetry::Value::U64(spawned_at.elapsed().as_nanos() as u64),
+                    wcs_telemetry::Value::U64(worker_wall_ns),
                 ),
             ],
         );

@@ -1,0 +1,174 @@
+//! The flight recorder: a bounded in-memory ring of the last N events,
+//! dumped as a valid `wcs-runlog-v1` file on panic or on a
+//! `--strict-cache` failure.
+//!
+//! `--telemetry` is opt-in, so a crashed run normally leaves nothing to
+//! autopsy. The recorder fixes that: `repro` installs one
+//! unconditionally (optionally *wrapping* a real sink such as the
+//! JSONL collector), it keeps only the newest [`FlightRecorder::cap`]
+//! events in memory, and a panic hook / strict-cache gate dumps the
+//! ring through [`FlightRecorder::dump`]. The dump starts with the same
+//! `runlog.start` header a live collector writes, so `repro trace
+//! summarize` reads it unchanged.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json::event_to_json;
+use crate::jsonl::SCHEMA;
+use crate::{Collector, Event, EventKind, Value};
+
+/// Bounded ring-buffer collector; see the module docs.
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<Event>>,
+    inner: Option<Arc<dyn Collector>>,
+}
+
+impl FlightRecorder {
+    /// Default ring capacity — enough to cover the tail of a sweep
+    /// (spans, per-block values, warnings) without holding a run's whole
+    /// event stream.
+    pub const DEFAULT_CAP: usize = 512;
+
+    /// A standalone recorder keeping the newest `cap` events.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+            inner: None,
+        }
+    }
+
+    /// A recorder that also forwards every event to `inner` (how
+    /// `--telemetry` and the recorder coexist as the one process-global
+    /// collector).
+    pub fn wrapping(cap: usize, inner: Arc<dyn Collector>) -> Self {
+        FlightRecorder {
+            inner: Some(inner),
+            ..FlightRecorder::new(cap)
+        }
+    }
+
+    /// Ring capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held (≤ [`FlightRecorder::cap`]).
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Write the ring as a valid `wcs-runlog-v1` file at `path` and
+    /// return how many events were dumped. The header's `note` field
+    /// carries `note` so a post-mortem states why it exists.
+    pub fn dump(&self, path: &Path, note: &str) -> std::io::Result<usize> {
+        let header = Event::now(
+            EventKind::Meta,
+            "runlog.start",
+            vec![
+                ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+                ("pid".to_string(), Value::U64(std::process::id() as u64)),
+                ("note".to_string(), Value::Str(note.to_string())),
+            ],
+        );
+        let events = self.snapshot();
+        let mut text = String::new();
+        text.push_str(&event_to_json(&header));
+        text.push('\n');
+        for e in &events {
+            text.push_str(&event_to_json(e));
+            text.push('\n');
+        }
+        std::fs::write(path, text)?;
+        Ok(events.len())
+    }
+}
+
+impl Collector for FlightRecorder {
+    fn record(&self, event: &Event) {
+        {
+            let mut ring = self.ring.lock().unwrap();
+            if ring.len() == self.cap {
+                ring.pop_front();
+            }
+            ring.push_back(event.clone());
+        }
+        if let Some(inner) = &self.inner {
+            inner.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::{parse_runlog, MemoryCollector};
+
+    fn ev(i: u64) -> Event {
+        Event {
+            t_ns: i,
+            kind: EventKind::Value,
+            name: "engine.block".to_string(),
+            fields: vec![("len".to_string(), Value::U64(i))],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10 {
+            fr.record(&ev(i));
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].t_ns, 6);
+        assert_eq!(snap[3].t_ns, 9);
+    }
+
+    #[test]
+    fn wrapping_forwards_to_the_inner_collector() {
+        let mem = Arc::new(MemoryCollector::default());
+        let fr = FlightRecorder::wrapping(2, mem.clone());
+        for i in 0..5 {
+            fr.record(&ev(i));
+        }
+        assert_eq!(fr.len(), 2);
+        assert_eq!(mem.snapshot().len(), 5);
+    }
+
+    #[test]
+    fn dump_is_a_valid_runlog() {
+        let fr = FlightRecorder::new(8);
+        for i in 0..3 {
+            fr.record(&ev(i));
+        }
+        let dir = std::env::temp_dir().join(format!("wcs-flight-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("FLIGHT.jsonl");
+        let n = fr.dump(&path, "unit test").unwrap();
+        assert_eq!(n, 3);
+        let log = parse_runlog(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(log.schema, SCHEMA);
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events[2].u64_field("len"), Some(2));
+    }
+}

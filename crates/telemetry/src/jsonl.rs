@@ -139,6 +139,86 @@ pub fn parse_runlog(text: &str) -> Result<RunLog, String> {
     })
 }
 
+/// A run log read leniently: whatever parsed, plus an honest account of
+/// what did not. `repro trace summarize` reports these counts (and
+/// `--strict` turns them into a nonzero exit) instead of silently
+/// skipping damage.
+#[derive(Debug)]
+pub struct LenientRunLog {
+    /// The events that did parse (header excluded), in file order.
+    pub log: RunLog,
+    /// Lines (1-based) that failed to parse as events, with the error.
+    pub corrupt: Vec<(usize, String)>,
+    /// Event names outside [`crate::EVENT_NAMES`], with occurrence
+    /// counts, sorted by name.
+    pub unknown_names: Vec<(String, usize)>,
+}
+
+impl LenientRunLog {
+    /// Whether anything was corrupt or off-vocabulary.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.unknown_names.is_empty()
+    }
+}
+
+/// Leniently parse the run log at `path`. The header line is still
+/// validated strictly — a wrong schema is a hard error, not damage to
+/// tally — but unparseable data lines and unknown event names are
+/// counted rather than fatal.
+pub fn read_runlog_lenient(path: &Path) -> Result<LenientRunLog, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_runlog_lenient(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Lenient form of [`parse_runlog`]; see [`read_runlog_lenient`].
+pub fn parse_runlog_lenient(text: &str) -> Result<LenientRunLog, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, first)) = lines.next() else {
+        return Err("empty run log".to_string());
+    };
+    let header = event_from_json(first).map_err(|e| format!("line 1: {e}"))?;
+    if header.kind != EventKind::Meta || header.name != "runlog.start" {
+        return Err(format!(
+            "line 1: expected a runlog.start header, found {} '{}'",
+            header.kind.label(),
+            header.name
+        ));
+    }
+    let schema = header
+        .str_field("schema")
+        .ok_or("line 1: runlog.start has no schema field")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported run-log schema '{schema}' (this build reads '{SCHEMA}')"
+        ));
+    }
+    let mut events = Vec::new();
+    let mut corrupt = Vec::new();
+    let mut unknown: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (i, line) in lines {
+        match event_from_json(line) {
+            Ok(e) => {
+                if !crate::EVENT_NAMES.contains(&e.name.as_str()) {
+                    *unknown.entry(e.name.clone()).or_insert(0) += 1;
+                }
+                events.push(e);
+            }
+            Err(e) => corrupt.push((i + 1, e)),
+        }
+    }
+    Ok(LenientRunLog {
+        log: RunLog {
+            schema: schema.to_string(),
+            events,
+        },
+        corrupt,
+        unknown_names: unknown.into_iter().collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +279,37 @@ mod tests {
         let bad = "{\"t_ns\":0,\"kind\":\"meta\",\"name\":\"runlog.start\",\
                    \"fields\":{\"schema\":\"wcs-runlog-v0\"}}";
         assert!(parse_runlog(bad).unwrap_err().contains("unsupported"));
+    }
+
+    #[test]
+    fn lenient_reader_counts_damage_instead_of_failing() {
+        let header = "{\"t_ns\":0,\"kind\":\"meta\",\"name\":\"runlog.start\",\
+                      \"fields\":{\"schema\":\"wcs-runlog-v1\"}}";
+        let good =
+            "{\"t_ns\":5,\"kind\":\"counter\",\"name\":\"cache.hit\",\"fields\":{\"delta\":1}}";
+        let unknown = "{\"t_ns\":6,\"kind\":\"value\",\"name\":\"mystery.event\",\"fields\":{}}";
+        let truncated = "{\"t_ns\":7,\"kind\":\"value\",\"na";
+        let text = format!("{header}\n{good}\n{unknown}\n{truncated}\n{good}\n");
+        let lenient = parse_runlog_lenient(&text).unwrap();
+        assert_eq!(lenient.log.events.len(), 3);
+        assert_eq!(lenient.corrupt.len(), 1);
+        assert_eq!(lenient.corrupt[0].0, 4);
+        assert_eq!(
+            lenient.unknown_names,
+            vec![("mystery.event".to_string(), 1)]
+        );
+        assert!(!lenient.is_clean());
+        // Strict reader refuses the same text outright.
+        assert!(parse_runlog(&text).unwrap_err().contains("line 4"));
+        // A clean log is clean.
+        let clean = parse_runlog_lenient(&format!("{header}\n{good}\n")).unwrap();
+        assert!(clean.is_clean());
+        // A foreign schema stays a hard error even leniently.
+        let bad = "{\"t_ns\":0,\"kind\":\"meta\",\"name\":\"runlog.start\",\
+                   \"fields\":{\"schema\":\"wcs-runlog-v0\"}}";
+        assert!(parse_runlog_lenient(bad)
+            .unwrap_err()
+            .contains("unsupported"));
     }
 
     #[test]

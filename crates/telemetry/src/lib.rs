@@ -32,15 +32,23 @@
 //!   `repro --strict-cache` can fail a run on `cache.store_failed`
 //!   without any collector installed), [`warn`] / [`info`] — leveled
 //!   events that stay mirrored to stderr so the pre-telemetry CLI
-//!   behaviour is preserved verbatim, and
+//!   behaviour is preserved verbatim,
+//! * [`metrics`] — instruments v2: always-on log-scale latency
+//!   histograms and gauges, plus the Prometheus text exposition over
+//!   them and the counter registry,
+//! * [`flight`] — the flight recorder: a bounded ring of the newest
+//!   events, dumped as a valid run log from panic/strict-cache hooks,
+//!   and
 //! * [`summary`] — the `repro trace summarize` renderer: one
 //!   `RUNLOG.jsonl` in, a human timing/cache/shard breakdown out.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 pub mod summary;
 
 use std::collections::BTreeMap;
@@ -75,6 +83,8 @@ pub const EVENT_NAMES: &[&str] = &[
     "shard.merged",
     "shard.partial_store_failed",
     "bench.result",
+    "history.manifest",
+    "history.manifest_failed",
     "serve.started",
     "serve.request",
     "serve.job",

@@ -95,6 +95,58 @@ fn telemetry_on_and_off_produce_identical_bytes() {
 }
 
 #[test]
+fn flight_recorder_and_live_histograms_keep_bytes_identical() {
+    let _g = GLOBAL.lock().unwrap();
+    telemetry::uninstall();
+    use telemetry::metrics::{self, GaugeId, HistId};
+    let workload = builtin("figure4-family");
+    for threads in [1usize, 4] {
+        let dir_off = tmpdir(&format!("flight-off-{threads}"));
+        let dir_on = tmpdir(&format!("flight-on-{threads}"));
+
+        assert!(!telemetry::enabled());
+        let (csv_off, entry_off) = run_with_cache(&workload, threads, &dir_off);
+
+        // Metrics v2 at full tilt: a bounded flight recorder wrapping a
+        // live collector, gauges set, latency histograms recording.
+        let mem = Arc::new(telemetry::jsonl::MemoryCollector::default());
+        let rec = Arc::new(telemetry::flight::FlightRecorder::wrapping(64, mem.clone()));
+        telemetry::install(rec.clone());
+        metrics::gauge_set(GaugeId::ServeQueueDepth, 17);
+        let blocks_before = metrics::histogram(HistId::EngineBlock).count();
+        let (csv_on, entry_on) = run_with_cache(&workload, threads, &dir_on);
+        telemetry::uninstall();
+
+        assert_eq!(
+            csv_off, csv_on,
+            "{threads} threads: flight recorder changed the report"
+        );
+        assert_eq!(
+            entry_off, entry_on,
+            "{threads} threads: flight recorder changed the cache entry"
+        );
+        // The instruments actually fired: the ring holds the tail of the
+        // stream (bounded), the inner collector saw everything, and the
+        // enabled-path engine timing landed in the registry histogram.
+        assert!(!rec.is_empty() && rec.len() <= rec.cap());
+        assert!(mem.snapshot().len() >= rec.len());
+        assert!(
+            metrics::histogram(HistId::EngineBlock).count() > blocks_before,
+            "enabled run must record engine.block latencies"
+        );
+        assert_eq!(metrics::gauge(GaugeId::ServeQueueDepth), 17);
+
+        // A dump of the ring is a valid runlog covering those events.
+        let dump = dir_on.join("flight.jsonl");
+        rec.dump(&dump, "invariant test").unwrap();
+        let log = telemetry::jsonl::read_runlog(&dump).expect("dump must parse");
+        assert_eq!(log.events.len(), rec.len());
+        let _ = std::fs::remove_dir_all(&dir_off);
+        let _ = std::fs::remove_dir_all(&dir_on);
+    }
+}
+
+#[test]
 fn every_emitted_event_name_is_pinned() {
     let _g = GLOBAL.lock().unwrap();
     let mem = Arc::new(telemetry::jsonl::MemoryCollector::default());
