@@ -10,6 +10,10 @@
 //! repro shard merge <dir> [--csv|--json] [--no-cache]
 //! repro shard run   <scenario|--spec FILE> -k K [--strategy S] [--dir DIR]
 //!                   [--threads N] [--csv|--json] [--no-cache]
+//! repro dispatch run <scenario|--spec FILE> -k K [--hosts FILE] [--strategy S]
+//!                   [--dir DIR] [--threads N] [--max-retries N]
+//!                   [--heartbeat-timeout SECS] [--heartbeat-ms MS]
+//!                   [--csv|--json] [--cache-dir DIR|--no-cache] [--fault SPEC]...
 //! repro cache ls|clear [--kind model|sim]
 //! repro history ls [--limit N] | show <NAME>
 //! repro trace summarize [--strict] [RUNLOG.jsonl]
@@ -66,6 +70,18 @@
 //! plan → worker → merge pipeline with local subprocesses. Workers cache
 //! their per-shard partials in the shared result cache, so re-running a
 //! plan after a lost worker only recomputes the lost shard.
+//!
+//! `dispatch run` is the production big sibling of `shard run`: a
+//! `wcs-dispatch` state machine deals the shards to a pool of host
+//! slots (`--hosts FILE`, or K local subprocess slots by default),
+//! watches per-worker heartbeat files, requeues shards whose workers
+//! die or go silent, and retries transient spawn failures with capped
+//! exponential backoff. The merged report is still bitwise identical to
+//! a single-process `sweep` no matter how many workers died on the way.
+//! `--fault kill:SHARD@BEATS | spawn-fail:SHARD[xN] | mute:SHARD`
+//! injects deterministic failures (how CI proves the requeue path);
+//! exhausting a shard's retry budget exits 2 with a structured
+//! `dispatch gave up on shard ...` message.
 //!
 //! `serve` runs the `wcs-serve` daemon: workload specs POSTed to
 //! `/v1/jobs` are queued onto the same engine and results index the
@@ -365,9 +381,9 @@ fn run_sweep_cmd(mut args: Vec<String>, effort: Effort) -> ! {
 }
 
 const SHARD_USAGE: &str = "usage: repro shard plan   <scenario|--spec FILE> -k K [--strategy contiguous|strided] [--dir DIR]
-       repro shard worker <manifest.toml> [--out DIR] [--threads N] [--no-cache]
-       repro shard merge  <dir> [--csv|--json] [--no-cache]
-       repro shard run    <scenario|--spec FILE> -k K [--strategy S] [--dir DIR] [--threads N] [--csv|--json] [--no-cache]";
+       repro shard worker <manifest.toml> [--out DIR] [--threads N] [--cache-dir DIR|--no-cache] [--heartbeat FILE [--heartbeat-ms N]]
+       repro shard merge  <dir> [--csv|--json] [--cache-dir DIR|--no-cache]
+       repro shard run    <scenario|--spec FILE> -k K [--strategy S] [--dir DIR] [--threads N] [--csv|--json] [--cache-dir DIR|--no-cache]";
 
 /// Shared flag soup for the `shard` subcommands. Every field is optional
 /// at parse time; each subcommand enforces what it needs.
@@ -379,7 +395,27 @@ struct ShardArgs {
     out: Option<PathBuf>,
     threads: usize,
     use_cache: bool,
+    cache_dir: Option<PathBuf>,
+    heartbeat: Option<PathBuf>,
+    heartbeat_ms: u64,
     format: String,
+}
+
+impl ShardArgs {
+    /// The cache these flags select: an explicit `--cache-dir`, the
+    /// default location, or none under `--no-cache`. Explicit
+    /// directories matter to `wcs-dispatch`, whose workers may run
+    /// behind exec wrappers where the dispatcher's environment (and so
+    /// `WCS_CACHE_DIR`) does not reach.
+    fn cache(&self) -> Option<ResultCache> {
+        if !self.use_cache {
+            return None;
+        }
+        Some(match &self.cache_dir {
+            Some(dir) => ResultCache::new(dir.clone()),
+            None => ResultCache::default_location(),
+        })
+    }
 }
 
 fn parse_shard_args(mut args: Vec<String>) -> ShardArgs {
@@ -391,6 +427,9 @@ fn parse_shard_args(mut args: Vec<String>) -> ShardArgs {
         out: None,
         threads: 0,
         use_cache: true,
+        cache_dir: None,
+        heartbeat: None,
+        heartbeat_ms: 0,
         format: "render".to_string(),
     };
     while !args.is_empty() {
@@ -427,6 +466,20 @@ fn parse_shard_args(mut args: Vec<String>) -> ShardArgs {
                 parsed.sources.push(SweepSource::SpecFile(PathBuf::from(v)));
             }
             "--no-cache" => parsed.use_cache = false,
+            "--cache-dir" => {
+                let v = take_flag_value(&mut args, "--cache-dir");
+                parsed.cache_dir = Some(PathBuf::from(v));
+            }
+            "--heartbeat" => {
+                let v = take_flag_value(&mut args, "--heartbeat");
+                parsed.heartbeat = Some(PathBuf::from(v));
+            }
+            "--heartbeat-ms" => {
+                let v = take_flag_value(&mut args, "--heartbeat-ms");
+                parsed.heartbeat_ms = v.parse().unwrap_or_else(|_| {
+                    usage_exit("--heartbeat-ms needs an integer");
+                });
+            }
             "--csv" => parsed.format = "csv".to_string(),
             "--json" => parsed.format = "json".to_string(),
             flag if flag.starts_with('-') => {
@@ -507,15 +560,26 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
             };
             let t0 = std::time::Instant::now();
             let manifest = ShardManifest::load(&manifest_file).unwrap_or_else(|e| fail(e));
+            // Keep beating for the whole worker lifetime — dropped (and
+            // so stopped) only when this scope ends, after the partial
+            // is saved.
+            let _hb = parsed.heartbeat.clone().map(|path| {
+                let ms = if parsed.heartbeat_ms > 0 {
+                    parsed.heartbeat_ms
+                } else {
+                    wcs_dispatch::heartbeat::DEFAULT_INTERVAL_MS
+                };
+                wcs_dispatch::HeartbeatWriter::start(path, std::time::Duration::from_millis(ms))
+            });
             let out_dir = parsed
                 .out
                 .clone()
                 .or_else(|| manifest_file.parent().map(Path::to_path_buf))
                 .unwrap_or_else(|| PathBuf::from("."));
             let engine = Engine::new(parsed.threads);
-            let cache = ResultCache::default_location();
+            let cache = parsed.cache();
             let cache_ref: Option<&dyn wcs_runtime::ResultIndex> =
-                if parsed.use_cache { Some(&cache) } else { None };
+                cache.as_ref().map(|c| c as &dyn wcs_runtime::ResultIndex);
             let partial = wcs_shard::partial::run_worker(&manifest, &engine, cache_ref);
             let path = wcs_shard::partial_path(&out_dir, manifest.shard);
             std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(e));
@@ -537,9 +601,9 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                 SweepSource::Named(p) => PathBuf::from(p),
                 SweepSource::SpecFile(_) => usage_exit("shard merge takes a plan directory"),
             };
-            let cache = ResultCache::default_location();
+            let cache = parsed.cache();
             let cache_ref: Option<&dyn wcs_runtime::ResultIndex> =
-                if parsed.use_cache { Some(&cache) } else { None };
+                cache.as_ref().map(|c| c as &dyn wcs_runtime::ResultIndex);
             let outcome = wcs_shard::merge_dir(&dir, cache_ref).unwrap_or_else(|e| fail(e));
             print_report(&outcome.report, &parsed.format);
             eprintln!(
@@ -568,8 +632,8 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
                 ),
             };
             let exe = std::env::current_exe().unwrap_or_else(|e| fail(e));
-            let cache = ResultCache::default_location();
-            let cache_ref = if parsed.use_cache { Some(&cache) } else { None };
+            let cache = parsed.cache();
+            let cache_ref = cache.as_ref();
             let outcome = wcs_shard::run_local_with(
                 &dir,
                 workload.clone(),
@@ -606,6 +670,193 @@ fn run_shard_cmd(mut args: Vec<String>, effort: Effort) -> ! {
         }
     }
     finish(0);
+}
+
+const DISPATCH_USAGE: &str = "usage: repro dispatch run <scenario|--spec FILE> -k K [--hosts FILE] [--strategy contiguous|strided]
+       [--dir DIR] [--threads N] [--max-retries N] [--heartbeat-timeout SECS] [--heartbeat-ms MS]
+       [--csv|--json] [--cache-dir DIR|--no-cache] [--fault kill:S@B|spawn-fail:S[xN]|mute:S]...";
+
+/// `repro dispatch run`: the multi-host dispatcher over a shard plan.
+fn run_dispatch_cmd(mut args: Vec<String>, effort: Effort) -> ! {
+    if args.is_empty() {
+        usage_exit(DISPATCH_USAGE);
+    }
+    let verb = args.remove(0);
+    if verb != "run" {
+        eprintln!("unknown dispatch subcommand '{verb}'");
+        usage_exit(DISPATCH_USAGE);
+    }
+    let mut options = wcs_dispatch::DispatchOptions {
+        strict_cache: STRICT_CACHE.load(Ordering::Relaxed),
+        worker_telemetry: TELEMETRY_FILE.load(Ordering::Relaxed),
+        ..Default::default()
+    };
+    let mut sources: Vec<SweepSource> = Vec::new();
+    let mut k: Option<usize> = None;
+    let mut strategy = ShardStrategy::Contiguous;
+    let mut dir: Option<PathBuf> = None;
+    let mut hosts: Option<PathBuf> = None;
+    let mut use_cache = true;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut format = "render".to_string();
+    let mut faults: Vec<String> = Vec::new();
+    while !args.is_empty() {
+        let arg = args.remove(0);
+        match arg.as_str() {
+            "-k" | "--shards" => {
+                let v = take_flag_value(&mut args, "-k");
+                k = Some(v.parse().unwrap_or_else(|_| {
+                    usage_exit("-k needs a positive integer");
+                }));
+            }
+            "--strategy" => {
+                let v = take_flag_value(&mut args, "--strategy");
+                strategy = ShardStrategy::parse(&v).unwrap_or_else(|| {
+                    usage_exit(&format!("unknown strategy '{v}' (contiguous or strided)"));
+                });
+            }
+            "--dir" => dir = Some(PathBuf::from(take_flag_value(&mut args, "--dir"))),
+            "--hosts" => hosts = Some(PathBuf::from(take_flag_value(&mut args, "--hosts"))),
+            "--threads" => {
+                options.threads_per_worker = take_flag_value(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--threads needs an integer"));
+            }
+            "--max-retries" => {
+                options.max_retries = take_flag_value(&mut args, "--max-retries")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--max-retries needs an integer"));
+            }
+            "--heartbeat-timeout" => {
+                let v = take_flag_value(&mut args, "--heartbeat-timeout");
+                let secs: f64 = v.parse().ok().filter(|s| *s > 0.0).unwrap_or_else(|| {
+                    usage_exit("--heartbeat-timeout needs a positive number of seconds");
+                });
+                options.heartbeat_timeout = std::time::Duration::from_secs_f64(secs);
+            }
+            "--heartbeat-ms" => {
+                options.heartbeat_ms = take_flag_value(&mut args, "--heartbeat-ms")
+                    .parse()
+                    .ok()
+                    .filter(|ms| *ms > 0)
+                    .unwrap_or_else(|| usage_exit("--heartbeat-ms needs a positive integer"));
+            }
+            "--fault" => faults.push(take_flag_value(&mut args, "--fault")),
+            "--spec" => {
+                let v = take_flag_value(&mut args, "--spec");
+                sources.push(SweepSource::SpecFile(PathBuf::from(v)));
+            }
+            "--no-cache" => use_cache = false,
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(take_flag_value(&mut args, "--cache-dir")))
+            }
+            "--csv" => format = "csv".to_string(),
+            "--json" => format = "json".to_string(),
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag '{flag}' for repro dispatch");
+                usage_exit(DISPATCH_USAGE);
+            }
+            _ => sources.push(SweepSource::Named(arg)),
+        }
+    }
+    let source = match sources.as_slice() {
+        [one] => one,
+        [] => usage_exit("dispatch run needs a scenario name or --spec FILE"),
+        _ => usage_exit("dispatch run takes exactly one scenario"),
+    };
+    let workload = resolve_workload(source, effort);
+    let k = match k {
+        Some(k) if k >= 1 => k,
+        _ => usage_exit("dispatch run needs -k K (K >= 1)"),
+    };
+    let pool = match &hosts {
+        Some(path) => {
+            wcs_dispatch::HostPool::load(path).unwrap_or_else(|e| usage_exit(&e.to_string()))
+        }
+        // No hosts file: K local subprocess slots, the zero-infra default.
+        None => wcs_dispatch::HostPool::local(k),
+    };
+    if pool.total_slots() == 0 {
+        usage_exit("hosts file contributes no worker slots");
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(e));
+    let base: Box<dyn wcs_dispatch::Transport> = Box::new(wcs_dispatch::SshExec::new(exe));
+    let transport: Box<dyn wcs_dispatch::Transport> = if faults.is_empty() {
+        base
+    } else {
+        let mut faulty = wcs_dispatch::FaultyTransport::new(base);
+        for spec in &faults {
+            faulty.add_spec(spec).unwrap_or_else(|e| usage_exit(&e));
+        }
+        Box::new(faulty)
+    };
+    let (dir, ephemeral) = match dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!(
+                "wcs-dispatch-run-{}-{:016x}",
+                std::process::id(),
+                workload.scenario_hash()
+            )),
+            true,
+        ),
+    };
+    let cache = if use_cache {
+        Some(match &cache_dir {
+            Some(d) => ResultCache::new(d.clone()),
+            None => ResultCache::default_location(),
+        })
+    } else {
+        None
+    };
+    let t0 = std::time::Instant::now();
+    let dispatcher = wcs_dispatch::Dispatcher::new(transport.as_ref(), &pool, options);
+    match dispatcher.run(&dir, workload.clone(), k, strategy, cache.as_ref()) {
+        Ok(outcome) => {
+            print_report(&outcome.merge.report, &format);
+            // Dispatch runs land in the run history like sweeps do; the
+            // merge already stored the full report under the single-run
+            // cache key, so history and cache agree on identity.
+            if let Some(c) = &cache {
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                let run_outcome = wcs_runtime::workload::WorkloadOutcome {
+                    report: outcome.merge.report.clone(),
+                    cache_hit: false,
+                    tasks_run: workload.task_count(),
+                    store_failed: false,
+                };
+                wcs_runtime::history::append_run_manifest(
+                    c as &dyn wcs_runtime::ResultIndex,
+                    &workload,
+                    &run_outcome,
+                    wall_ns,
+                );
+            }
+            eprintln!(
+                "[dispatch {} ({}): {k} shards over {} slots, {} assigns, {} requeues, {} retries, {} deaths, {:.1}s]",
+                workload.name(),
+                workload.kind(),
+                pool.total_slots(),
+                outcome.stats.assignments,
+                outcome.stats.requeues,
+                outcome.stats.retries,
+                outcome.stats.deaths,
+                t0.elapsed().as_secs_f64()
+            );
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            finish(0);
+        }
+        Err(e @ wcs_dispatch::DispatchError::Exhausted { .. }) => {
+            // The structured give-up: exit 2 so callers can tell "a
+            // shard ran out of retries" from infrastructure errors.
+            eprintln!("error: {e}");
+            wcs_telemetry::flush();
+            std::process::exit(2);
+        }
+        Err(e) => fail(e),
+    }
 }
 
 fn human_size(bytes: u64) -> String {
@@ -1020,6 +1271,7 @@ fn runlog_to_prometheus(log: &wcs_telemetry::jsonl::RunLog) -> String {
                     "engine.block" => Some(HistId::EngineBlock),
                     "serve.job" => Some(HistId::ServeJob),
                     "shard.worker_exit" => Some(HistId::ShardWorker),
+                    "dispatch.shard" => Some(HistId::DispatchShard),
                     _ => None,
                 };
                 if let (Some(id), Some(ns)) = (id, dur(ev)) {
@@ -1286,6 +1538,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("sweep") => run_sweep_cmd(args.split_off(1), effort),
         Some("shard") => run_shard_cmd(args.split_off(1), effort),
+        Some("dispatch") => run_dispatch_cmd(args.split_off(1), effort),
         Some("cache") => run_cache_cmd(args.split_off(1)),
         Some("history") => run_history_cmd(args.split_off(1)),
         Some("bench") => run_bench_cmd(args.split_off(1)),
@@ -1300,6 +1553,7 @@ fn main() {
             "       repro sweep [--full] [--threads N] [--no-cache] [--csv|--json] [scenario|--spec FILE]..."
         );
         eprintln!("       repro shard plan|worker|merge|run ... (see repro shard)");
+        eprintln!("       repro dispatch run <scenario|--spec FILE> -k K [--hosts FILE] ... (see repro dispatch)");
         eprintln!("       repro cache ls|clear [--kind model|sim]");
         eprintln!("       repro history ls [--limit N] | show <NAME>");
         eprintln!("       repro bench [--quick] [--out FILE] [--compare BASELINE.json]");

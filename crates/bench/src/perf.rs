@@ -8,11 +8,13 @@
 //! two-pair sample kernel (naive per-method path vs the hoisted
 //! [`TwoPairKernel`]), the N-pair sample kernel at N ∈ {2, 4, 8}, an
 //! `mc_averages` batch, one small model sweep and one small sim sweep,
-//! plus a SplitMix64 calibration loop and a telemetry-instrument
-//! overhead pair (enabled vs. the off-state no-op) — with warmup, fixed
-//! repetition counts and median/MAD wall-clock statistics, and
-//! serialises the result as a schema-versioned JSON document
-//! (`BENCH_8.json` at the repo root).
+//! plus a SplitMix64 calibration loop, a telemetry-instrument
+//! overhead pair (enabled vs. the off-state no-op), and a dispatch
+//! overhead pair (the multi-host dispatcher vs. the plain local shard
+//! driver over the same k=2 plan) — with warmup, fixed repetition
+//! counts and median/MAD wall-clock statistics, and serialises the
+//! result as a schema-versioned JSON document (`BENCH_9.json` at the
+//! repo root).
 //!
 //! Two properties the CI gate leans on:
 //!
@@ -41,12 +43,12 @@ pub const SCHEMA: &str = "wcs-bench-v1";
 /// Schema version written into every bench document.
 pub const SCHEMA_VERSION: u64 = 1;
 /// Default output file name (at the repo root).
-pub const DEFAULT_OUT: &str = "BENCH_8.json";
+pub const DEFAULT_OUT: &str = "BENCH_9.json";
 
 /// The fixed bench-name set the suite emits, in emission order. Pinned
 /// by tests; extend deliberately (the CI baseline must be refreshed in
 /// the same change).
-pub const BENCH_NAMES: [&str; 12] = [
+pub const BENCH_NAMES: [&str; 14] = [
     "calib_splitmix_loop",
     "twopair_sample_naive",
     "twopair_sample_kernel",
@@ -59,10 +61,12 @@ pub const BENCH_NAMES: [&str; 12] = [
     "sim_sweep_small",
     "telemetry_overhead_off",
     "telemetry_overhead_on",
+    "shard_run_local_k2",
+    "dispatch_local_k2",
 ];
 
 /// How much wall clock to spend: `Quick` for the CI smoke job, `Full`
-/// for the committed `BENCH_8.json` numbers.
+/// for the committed `BENCH_9.json` numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchMode {
     /// CI budget: fewer repetitions, same bench set.
@@ -430,6 +434,72 @@ pub fn run_suite(mode: BenchMode) -> BenchReport {
         },
     ));
 
+    // Dispatch-overhead pair: the same tiny sweep split into k=2 shards,
+    // run through the plain local shard driver and through the full
+    // dispatcher (heartbeats, liveness polling, requeue machinery).
+    // Both spawn real `repro shard worker` subprocesses via the current
+    // executable, so their ratio isolates the dispatcher's bookkeeping.
+    let bench_sweep = |tag: &str, salt: u64, rep: u64| {
+        Sweep::new(tag)
+            .rmaxes(&[40.0])
+            .ds(&[20.0, 80.0])
+            .sigmas(&[0.0])
+            .samples(400)
+            .seed((43 ^ salt) + rep)
+    };
+    benches.push(run_bench("shard_run_local_k2", mode, 1, |iters, salt| {
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut acc = 0.0;
+        for rep in 0..iters {
+            let dir = std::env::temp_dir().join(format!(
+                "wcs-bench-shard-{}-{salt:x}-{rep}",
+                std::process::id()
+            ));
+            let out = wcs_shard::run_local(
+                &dir,
+                bench_sweep("bench-shard-local", salt, rep),
+                2,
+                wcs_shard::ShardStrategy::Contiguous,
+                &exe,
+                1,
+                None,
+            )
+            .expect("shard run_local");
+            acc += out.report.rows.len() as f64;
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        acc
+    }));
+    benches.push(run_bench("dispatch_local_k2", mode, 1, |iters, salt| {
+        let exe = std::env::current_exe().expect("current_exe");
+        let transport = wcs_dispatch::LocalExec::new(&exe);
+        let pool = wcs_dispatch::HostPool::local(2);
+        let mut acc = 0.0;
+        for rep in 0..iters {
+            let dir = std::env::temp_dir().join(format!(
+                "wcs-bench-dispatch-{}-{salt:x}-{rep}",
+                std::process::id()
+            ));
+            let options = wcs_dispatch::DispatchOptions {
+                threads_per_worker: 1,
+                ..wcs_dispatch::DispatchOptions::default()
+            };
+            let dispatcher = wcs_dispatch::Dispatcher::new(&transport, &pool, options);
+            let out = dispatcher
+                .run(
+                    &dir,
+                    bench_sweep("bench-dispatch-local", salt, rep),
+                    2,
+                    wcs_shard::ShardStrategy::Contiguous,
+                    None,
+                )
+                .expect("dispatch run");
+            acc += out.merge.report.rows.len() as f64;
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        acc
+    }));
+
     let speedup = |benches: &[BenchResult], name: &str, base: &str, opt: &str| {
         let get = |n: &str| {
             benches
@@ -467,6 +537,16 @@ pub fn run_suite(mode: BenchMode) -> BenchReport {
             "telemetry_off",
             "telemetry_overhead_on",
             "telemetry_overhead_off",
+        ),
+        // Informational (never gated): how much slower the dispatcher's
+        // heartbeat/requeue machinery makes a k=2 local run compared to
+        // the plain shard driver. Subprocess spawn noise dominates, so
+        // this records the overhead rather than enforcing a bound.
+        speedup(
+            &benches,
+            "dispatch_overhead",
+            "dispatch_local_k2",
+            "shard_run_local_k2",
         ),
     ];
 
@@ -583,6 +663,13 @@ pub const MIN_SPEEDUP: f64 = 1.1;
 /// by the normalised-median gate on its own bench.
 pub const GATED_SPEEDUP_PAIRS: [&str; 1] = ["twopair_kernel"];
 
+/// Benches recorded in the document but excluded from the normalised-
+/// median gate (and from the machine-factor median): their cost is
+/// dominated by subprocess spawn latency, which varies across runners
+/// far more than the CPU-bound kernels the machine factor is anchored
+/// to. They exist to record the dispatcher's overhead, not to bound it.
+pub const UNGATED_BENCHES: [&str; 2] = ["shard_run_local_k2", "dispatch_local_k2"];
+
 /// What [`compare`] concluded.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -614,6 +701,9 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
 
     let mut ratios: Vec<(usize, f64)> = Vec::new();
     for (i, cur) in current.benches.iter().enumerate() {
+        if UNGATED_BENCHES.contains(&cur.name.as_str()) {
+            continue;
+        }
         if let Some(base) = base_by_name(&cur.name) {
             if base.median_ns > 0.0 {
                 ratios.push((i, cur.median_ns / base.median_ns));
@@ -639,7 +729,8 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
                 let ratio = cur.median_ns / base.median_ns;
                 let norm = ratio / machine_factor;
                 let delta_pct = (norm - 1.0) * 100.0;
-                let fail = norm > 1.0 + REGRESSION_THRESHOLD;
+                let gated = !UNGATED_BENCHES.contains(&cur.name.as_str());
+                let fail = gated && norm > 1.0 + REGRESSION_THRESHOLD;
                 table.push_str(&format!(
                     "{:<26} {:>12.3} {:>12.3} {:>8.3} {:>+9.1}%  {}\n",
                     cur.name,
@@ -647,7 +738,13 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
                     cur.median_ns / 1_000.0,
                     ratio,
                     delta_pct,
-                    if fail { "REGRESSED" } else { "ok" }
+                    if fail {
+                        "REGRESSED"
+                    } else if gated {
+                        "ok"
+                    } else {
+                        "ok (informational)"
+                    }
                 ));
                 if fail {
                     regressions.push(format!(

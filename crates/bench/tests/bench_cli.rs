@@ -5,10 +5,21 @@
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
+use std::sync::Mutex;
 use wcs_bench::perf::{BenchReport, BENCH_NAMES, SCHEMA, SCHEMA_VERSION};
 
 fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// Serialises the suite-running tests: two suites timing each other's
+/// subprocess spawns (the dispatch-overhead benches fork real workers)
+/// is exactly the noise the machine-factor normalisation cannot
+/// remove, and the compare test needs its two runs back-to-back.
+static SUITE: Mutex<()> = Mutex::new(());
+
+fn suite_lock() -> std::sync::MutexGuard<'static, ()> {
+    SUITE.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -35,6 +46,7 @@ fn run_quick(out_path: &std::path::Path) -> Output {
 
 #[test]
 fn bench_writes_schema_versioned_document_with_pinned_names() {
+    let _suite = suite_lock();
     let dir = tmpdir("schema");
     let path = dir.join("bench.json");
     run_quick(&path);
@@ -75,6 +87,7 @@ fn bench_writes_schema_versioned_document_with_pinned_names() {
 fn bench_quick_is_shape_deterministic_across_runs() {
     // The CI gate assumes two runs report the same bench names and the
     // same sample/iteration counts (only times differ).
+    let _suite = suite_lock();
     let dir = tmpdir("determinism");
     let (p1, p2) = (dir.join("one.json"), dir.join("two.json"));
     run_quick(&p1);
@@ -99,20 +112,33 @@ fn bench_quick_is_shape_deterministic_across_runs() {
 
 #[test]
 fn bench_compare_passes_against_own_output_and_fails_on_fabricated_regression() {
+    let _suite = suite_lock();
     let dir = tmpdir("compare");
     let current = dir.join("current.json");
     run_quick(&current);
 
-    // Comparing a run against itself: every ratio is 1, gate passes,
-    // delta table printed.
-    let out = repro()
-        .args(["bench", "--quick"])
-        .arg("--out")
-        .arg(dir.join("rerun.json"))
-        .arg("--compare")
-        .arg(&current)
-        .output()
-        .unwrap();
+    // Comparing a run against itself: every ratio is ~1, the gate
+    // passes, delta table printed. Re-timing the whole suite on a busy
+    // machine can push one bench over the threshold by sheer load
+    // spikes, so a failed comparison is retried — a deterministic gate
+    // bug fails every attempt, transient noise does not.
+    let mut out = None;
+    for _ in 0..3 {
+        let attempt = repro()
+            .args(["bench", "--quick"])
+            .arg("--out")
+            .arg(dir.join("rerun.json"))
+            .arg("--compare")
+            .arg(&current)
+            .output()
+            .unwrap();
+        let ok = attempt.status.success();
+        out = Some(attempt);
+        if ok {
+            break;
+        }
+    }
+    let out = out.unwrap();
     assert!(
         out.status.success(),
         "self-comparison must pass\nstderr: {}",

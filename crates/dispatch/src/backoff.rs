@@ -1,0 +1,100 @@
+//! Capped exponential backoff with deterministic, seeded jitter.
+//!
+//! Retry storms are the classic failure mode of naive dispatchers: K
+//! workers hit the same transient condition (fork limit, flaky ssh
+//! mux), retry in lockstep, and hit it again. The fix is the textbook
+//! one — exponential growth, a cap, and jitter — but the jitter here is
+//! **seeded** (splitmix64 over `(seed, shard, attempt)`), so a given
+//! dispatcher run retries at reproducible offsets and the tests can pin
+//! exact delays instead of sleeping and hoping.
+
+use std::time::Duration;
+use wcs_stats::rng::splitmix64;
+
+/// The retry-delay policy: `delay = min(cap, base · 2^(attempt-1))`
+/// scaled by a jitter fraction in `[0.5, 1.0)` drawn deterministically
+/// from `(seed, shard, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// First-retry delay.
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Duration,
+    /// Jitter seed; two runs with the same seed retry identically.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            seed: 0xD15B_A7C4,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before re-trying `shard` after `attempt` tries have
+    /// already failed (`attempt` is 1-based: the delay after the first
+    /// failure uses `attempt = 1`).
+    pub fn delay(&self, shard: usize, attempt: usize) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16) as u32;
+        let uncapped = self.base.saturating_mul(1u32 << exp.min(31)).min(self.cap);
+        let mut s = self
+            .seed
+            .wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((attempt as u64) << 32);
+        let draw = splitmix64(&mut s);
+        let frac = 0.5 + ((draw >> 11) as f64 / (1u64 << 53) as f64) * 0.5;
+        uncapped.mul_f64(frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(seed: u64) -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            seed,
+        }
+    }
+
+    #[test]
+    fn same_seed_means_same_delays() {
+        let a = policy(7);
+        let b = policy(7);
+        for shard in 0..4 {
+            for attempt in 1..6 {
+                assert_eq!(a.delay(shard, attempt), b.delay(shard, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn different_shards_do_not_retry_in_lockstep() {
+        let p = policy(7);
+        assert_ne!(p.delay(0, 1), p.delay(1, 1));
+    }
+
+    #[test]
+    fn grows_exponentially_and_caps() {
+        let p = policy(3);
+        for attempt in 1..20 {
+            let d = p.delay(0, attempt);
+            let uncapped_ms = 100u64 << (attempt as u64 - 1).min(16);
+            let ceiling = Duration::from_millis(uncapped_ms.min(5_000));
+            assert!(d < ceiling, "attempt {attempt}: {d:?} >= {ceiling:?}");
+            assert!(
+                d >= ceiling.mul_f64(0.5),
+                "attempt {attempt}: {d:?} under half of {ceiling:?}"
+            );
+        }
+        // Deep attempts are capped at [cap/2, cap).
+        assert!(p.delay(0, 19) < Duration::from_secs(5));
+        assert!(p.delay(0, 19) >= Duration::from_millis(2_500));
+    }
+}

@@ -1,0 +1,261 @@
+//! How workers are launched: the object-safe [`Transport`] trait and
+//! its two production implementations.
+//!
+//! A transport knows three things: how to **spawn** a
+//! `repro shard worker` described by a [`SpawnRequest`] on a given
+//! [`Host`], how to **poll** the resulting [`WorkerHandle`] without
+//! blocking, and how to **fetch** an artifact back from the host after
+//! the worker exits. The dispatcher never touches `std::process`
+//! directly — which is what makes the [`FaultyTransport`] test double
+//! (and the CI kill-a-worker smoke job) possible without conditional
+//! compilation.
+//!
+//! [`FaultyTransport`]: crate::FaultyTransport
+
+use crate::hosts::{Host, HostKind};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use wcs_shard::WorkerInvocation;
+
+/// One worker launch the dispatcher wants: which shard, which attempt
+/// (1-based), and the fully rendered invocation.
+#[derive(Debug, Clone)]
+pub struct SpawnRequest {
+    /// Shard index within the plan.
+    pub shard: usize,
+    /// 1-based attempt counter (first try = 1).
+    pub attempt: usize,
+    /// The worker command to render behind the transport.
+    pub invocation: WorkerInvocation,
+}
+
+/// The observable state of a launched worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerStatus {
+    /// Still running (or status unknowable without blocking).
+    Running,
+    /// Exited; `success` is the exit-status verdict and `detail` is a
+    /// human-readable rendering of how it ended.
+    Exited {
+        /// Whether the worker exited zero.
+        success: bool,
+        /// Rendered exit status (or the I/O error that hid it).
+        detail: String,
+    },
+}
+
+/// A launched worker the dispatcher can poll and kill. Implementations
+/// must make both operations non-blocking and idempotent.
+pub trait WorkerHandle: Send {
+    /// Current status without blocking. I/O errors while checking fold
+    /// into `Exited { success: false, .. }` — from the dispatcher's
+    /// seat, "can't observe the worker" and "worker died" demand the
+    /// same response: requeue.
+    fn poll(&mut self) -> WorkerStatus;
+    /// Terminate the worker and reap it. Must be safe to call after
+    /// exit.
+    fn kill(&mut self);
+}
+
+/// Launch mechanism abstraction: spawn on a host, fetch artifacts back.
+pub trait Transport: Send + Sync {
+    /// Short name for telemetry (`"local"`, `"exec"`, ...).
+    fn label(&self) -> &'static str;
+    /// Launch `req` on `host`.
+    fn spawn(&self, host: &Host, req: &SpawnRequest) -> io::Result<Box<dyn WorkerHandle>>;
+    /// Pull `path` back from `host` after a worker exits. The default
+    /// assumes a shared plan directory and does nothing.
+    fn fetch(&self, _host: &Host, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// [`WorkerHandle`] over a plain [`Child`].
+pub struct ChildHandle {
+    child: Child,
+}
+
+impl ChildHandle {
+    /// Wrap an already spawned child.
+    pub fn new(child: Child) -> ChildHandle {
+        ChildHandle { child }
+    }
+}
+
+impl WorkerHandle for ChildHandle {
+    fn poll(&mut self) -> WorkerStatus {
+        match self.child.try_wait() {
+            Ok(None) => WorkerStatus::Running,
+            Ok(Some(status)) => WorkerStatus::Exited {
+                success: status.success(),
+                detail: status.to_string(),
+            },
+            Err(e) => WorkerStatus::Exited {
+                success: false,
+                detail: format!("wait failed: {e}"),
+            },
+        }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Subprocess transport: every host runs workers as children of this
+/// process, regardless of its [`HostKind`]. This is the driver behind
+/// pure-local dispatch and the bench harness.
+pub struct LocalExec {
+    /// The `repro` binary to spawn.
+    pub exe: PathBuf,
+}
+
+impl LocalExec {
+    /// Spawn workers with `exe`.
+    pub fn new(exe: impl Into<PathBuf>) -> LocalExec {
+        LocalExec { exe: exe.into() }
+    }
+}
+
+impl Transport for LocalExec {
+    fn label(&self) -> &'static str {
+        "local"
+    }
+
+    fn spawn(&self, _host: &Host, req: &SpawnRequest) -> io::Result<Box<dyn WorkerHandle>> {
+        let child = req.invocation.command(&self.exe).spawn()?;
+        Ok(Box::new(ChildHandle::new(child)))
+    }
+}
+
+/// Command-template transport: [`HostKind::Local`] hosts get plain
+/// subprocesses; [`HostKind::Exec`] hosts get the worker argv appended
+/// to the host's wrapper prefix — `ssh user@hostA /path/to/repro shard
+/// worker ...`, or any other exec wrapper. Despite the name, nothing
+/// here is ssh-specific; ssh is just the wrapper the hosts-file format
+/// documents first.
+pub struct SshExec {
+    /// The `repro` binary for local hosts, and the default remote
+    /// binary for exec hosts that don't set `exe=`.
+    pub exe: PathBuf,
+}
+
+impl SshExec {
+    /// Build a template transport around `exe`.
+    pub fn new(exe: impl Into<PathBuf>) -> SshExec {
+        SshExec { exe: exe.into() }
+    }
+}
+
+impl Transport for SshExec {
+    fn label(&self) -> &'static str {
+        "exec"
+    }
+
+    fn spawn(&self, host: &Host, req: &SpawnRequest) -> io::Result<Box<dyn WorkerHandle>> {
+        let child = match &host.kind {
+            HostKind::Local => req.invocation.command(&self.exe).spawn()?,
+            HostKind::Exec { prefix, exe, .. } => {
+                let remote_exe = exe.as_deref().unwrap_or(&self.exe);
+                let mut cmd = Command::new(&prefix[0]);
+                cmd.args(&prefix[1..])
+                    .arg(remote_exe)
+                    .args(req.invocation.args())
+                    .stdout(Stdio::null());
+                cmd.spawn()?
+            }
+        };
+        Ok(Box::new(ChildHandle::new(child)))
+    }
+
+    fn fetch(&self, host: &Host, path: &Path) -> io::Result<()> {
+        let HostKind::Exec {
+            fetch: Some(argv), ..
+        } = &host.kind
+        else {
+            return Ok(()); // shared directory: nothing to pull
+        };
+        let rendered: Vec<String> = argv
+            .iter()
+            .map(|tok| tok.replace("{path}", &path.display().to_string()))
+            .collect();
+        let status = Command::new(&rendered[0])
+            .args(&rendered[1..])
+            .stdout(Stdio::null())
+            .status()?;
+        if !status.success() {
+            return Err(io::Error::other(format!(
+                "fetch command {:?} exited {status}",
+                rendered.join(" ")
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosts::HostPool;
+
+    fn true_host() -> Host {
+        Host {
+            label: "wrap".to_string(),
+            slots: 1,
+            kind: HostKind::Exec {
+                // `env` is a benign exec wrapper present everywhere; the
+                // rendered command is `env true <worker args...>` and
+                // `true` ignores its arguments.
+                prefix: vec!["env".to_string()],
+                exe: Some(PathBuf::from("true")),
+                fetch: None,
+            },
+        }
+    }
+
+    fn req() -> SpawnRequest {
+        SpawnRequest {
+            shard: 0,
+            attempt: 1,
+            invocation: WorkerInvocation::new("/nonexistent/manifest.toml"),
+        }
+    }
+
+    #[test]
+    fn exec_host_wraps_the_worker_command() {
+        let t = SshExec::new("/nonexistent/repro");
+        let mut handle = t.spawn(&true_host(), &req()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match handle.poll() {
+                WorkerStatus::Running => {
+                    assert!(std::time::Instant::now() < deadline, "true never exited");
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                WorkerStatus::Exited { success, .. } => {
+                    assert!(success, "`env true ...` should exit 0");
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_spawn_failure_is_an_io_error() {
+        let t = LocalExec::new("/nonexistent/repro");
+        let pool = HostPool::local(1);
+        assert!(t.spawn(&pool.hosts[0], &req()).is_err());
+    }
+
+    #[test]
+    fn kill_after_exit_is_safe() {
+        let t = SshExec::new("/nonexistent/repro");
+        let mut handle = t.spawn(&true_host(), &req()).unwrap();
+        while handle.poll() == WorkerStatus::Running {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        handle.kill(); // must not panic
+    }
+}

@@ -30,6 +30,96 @@ pub fn manifest_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:04}.manifest.toml"))
 }
 
+/// Heartbeat file path for shard `shard` under `dir` (touched by the
+/// worker's `--heartbeat` thread; polled by `wcs-dispatch`).
+pub fn heartbeat_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.hb"))
+}
+
+/// One fully specified `repro shard worker` invocation, independent of
+/// *how* it is launched. The local driver turns it into a subprocess
+/// directly; the `wcs-dispatch` transports render the same argument
+/// vector behind ssh or any exec wrapper — which is why everything
+/// (cache directory included) is carried as explicit arguments rather
+/// than environment variables that would not survive a remote shell.
+#[derive(Debug, Clone)]
+pub struct WorkerInvocation {
+    /// The shard manifest the worker loads.
+    pub manifest: PathBuf,
+    /// Forwarded as `--threads` (0 = worker decides).
+    pub threads: usize,
+    /// `Some(dir)` → `--cache-dir dir`; `None` → `--no-cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// Forward `--strict-cache`.
+    pub strict_cache: bool,
+    /// Worker-side run log path (`--telemetry=PATH`).
+    pub telemetry: Option<PathBuf>,
+    /// Heartbeat file the worker touches (`--heartbeat PATH`).
+    pub heartbeat: Option<PathBuf>,
+    /// Heartbeat period in milliseconds (`--heartbeat-ms N`; 0 = keep
+    /// the worker's default).
+    pub heartbeat_ms: u64,
+}
+
+impl WorkerInvocation {
+    /// A minimal invocation for `manifest`: no cache, no telemetry, no
+    /// heartbeat.
+    pub fn new(manifest: impl Into<PathBuf>) -> Self {
+        WorkerInvocation {
+            manifest: manifest.into(),
+            threads: 0,
+            cache_dir: None,
+            strict_cache: false,
+            telemetry: None,
+            heartbeat: None,
+            heartbeat_ms: 0,
+        }
+    }
+
+    /// The full argument vector after the binary name:
+    /// `shard worker <manifest> --threads N ...`.
+    pub fn args(&self) -> Vec<String> {
+        let mut args = vec![
+            "shard".to_string(),
+            "worker".to_string(),
+            self.manifest.display().to_string(),
+            "--threads".to_string(),
+            self.threads.to_string(),
+        ];
+        match &self.cache_dir {
+            Some(dir) => {
+                args.push("--cache-dir".to_string());
+                args.push(dir.display().to_string());
+            }
+            None => args.push("--no-cache".to_string()),
+        }
+        if self.strict_cache {
+            args.push("--strict-cache".to_string());
+        }
+        if let Some(runlog) = &self.telemetry {
+            args.push(format!("--telemetry={}", runlog.display()));
+        }
+        if let Some(hb) = &self.heartbeat {
+            args.push("--heartbeat".to_string());
+            args.push(hb.display().to_string());
+            if self.heartbeat_ms > 0 {
+                args.push("--heartbeat-ms".to_string());
+                args.push(self.heartbeat_ms.to_string());
+            }
+        }
+        args
+    }
+
+    /// A ready-to-spawn [`Command`] for this invocation: `exe` plus
+    /// [`WorkerInvocation::args`], stdout discarded (the partial goes to
+    /// disk; stderr is inherited so progress lines surface).
+    pub fn command(&self, exe: &Path) -> Command {
+        let mut cmd = Command::new(exe);
+        cmd.args(self.args()).stdout(std::process::Stdio::null());
+        cmd
+    }
+}
+
 /// Partial-report file path for shard `shard` under `dir`.
 pub fn partial_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:04}.partial.csv"))
@@ -80,7 +170,9 @@ pub fn write_plan(
         let entry = entry?;
         let name = entry.file_name().to_string_lossy().into_owned();
         if name.starts_with("shard-")
-            && (name.ends_with(".manifest.toml") || name.ends_with(".partial.csv"))
+            && (name.ends_with(".manifest.toml")
+                || name.ends_with(".partial.csv")
+                || name.ends_with(".hb"))
         {
             std::fs::remove_file(entry.path())?;
         }
@@ -129,8 +221,9 @@ pub struct RunLocalOptions {
 /// `std::env::current_exe()`), wait for all of them, and merge.
 ///
 /// `threads_per_worker` is forwarded as each worker's `--threads` (0 =
-/// auto). With `cache = Some(c)`, workers share `c`'s directory (via
-/// `WCS_CACHE_DIR`) and the merge stores the reassembled full report
+/// auto). With `cache = Some(c)`, workers share `c`'s directory (passed
+/// as an explicit `--cache-dir` argument, so the invocation survives any
+/// exec wrapper) and the merge stores the reassembled full report
 /// there; with `None`, workers get `--no-cache` and nothing is stored.
 /// Workers inherit stderr so their progress lines surface.
 pub fn run_local(
@@ -183,29 +276,16 @@ pub fn run_local_with(
     };
     let mut children = Vec::with_capacity(k);
     for (shard, manifest) in manifests.iter().enumerate() {
-        let mut cmd = Command::new(repro_exe);
-        cmd.arg("shard")
-            .arg("worker")
-            .arg(manifest)
-            .arg("--threads")
-            .arg(threads_per_worker.to_string())
-            .stdout(std::process::Stdio::null());
-        match cache {
-            Some(c) => {
-                cmd.env("WCS_CACHE_DIR", c.dir());
-            }
-            None => {
-                cmd.arg("--no-cache");
-            }
-        }
-        if opts.strict_cache {
-            cmd.arg("--strict-cache");
-        }
-        if worker_telemetry {
-            let runlog = worker_runlog_path(dir, shard);
-            cmd.arg(format!("--telemetry={}", runlog.display()));
-        }
-        match cmd.spawn() {
+        let invocation = WorkerInvocation {
+            manifest: manifest.clone(),
+            threads: threads_per_worker,
+            cache_dir: cache.map(|c| c.dir().to_path_buf()),
+            strict_cache: opts.strict_cache,
+            telemetry: worker_telemetry.then(|| worker_runlog_path(dir, shard)),
+            heartbeat: None,
+            heartbeat_ms: 0,
+        };
+        match invocation.command(repro_exe).spawn() {
             Ok(child) => {
                 wcs_telemetry::value(
                     "shard.spawned",
@@ -226,7 +306,11 @@ pub fn run_local_with(
                     let _ = child.kill();
                     let _ = child.wait();
                 }
-                return Err(e.into());
+                return Err(ShardError::Spawn {
+                    shard,
+                    attempt: 1,
+                    message: e.to_string(),
+                });
             }
         }
     }
@@ -234,7 +318,11 @@ pub fn run_local_with(
     // report *which* shard failed, not leave zombies behind.
     let mut failures = Vec::new();
     for (shard, mut child, spawned_at) in children {
-        let status = child.wait()?;
+        let status = child.wait().map_err(|e| ShardError::WorkerIo {
+            shard,
+            attempt: 1,
+            message: e.to_string(),
+        })?;
         let worker_wall_ns = spawned_at.elapsed().as_nanos() as u64;
         wcs_telemetry::metrics::record_ns(
             wcs_telemetry::metrics::HistId::ShardWorker,
@@ -268,7 +356,7 @@ pub fn run_local_with(
         });
     }
     // The driver keeps a concrete &ResultCache (workers are handed its
-    // directory via WCS_CACHE_DIR); the merge only needs the index view.
+    // directory via --cache-dir); the merge only needs the index view.
     merge_dir(dir, cache.map(|c| c as &dyn wcs_runtime::ResultIndex))
 }
 
@@ -277,8 +365,9 @@ pub fn run_local_with(
 /// is skipped (this process's log already has one); its timestamps use
 /// the worker's own epoch, so durations remain valid but absolute stamps
 /// are only ordered within one shard. An unreadable or absent worker
-/// log is silently skipped — telemetry never fails a run.
-fn fold_worker_runlog(dir: &Path, shard: usize) {
+/// log is silently skipped — telemetry never fails a run. Public so the
+/// `wcs-dispatch` driver folds its fleet's run logs the same way.
+pub fn fold_worker_runlog(dir: &Path, shard: usize) {
     let path = worker_runlog_path(dir, shard);
     let Ok(log) = wcs_telemetry::jsonl::read_runlog(&path) else {
         return;

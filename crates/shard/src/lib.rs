@@ -44,8 +44,8 @@ pub mod partial;
 pub mod plan;
 
 pub use driver::{
-    manifest_path, partial_path, run_local, run_local_with, worker_runlog_path, write_plan,
-    RunLocalOptions,
+    fold_worker_runlog, heartbeat_path, manifest_path, partial_path, run_local, run_local_with,
+    worker_runlog_path, write_plan, RunLocalOptions, WorkerInvocation,
 };
 pub use manifest::ShardManifest;
 pub use merge::{merge_dir, merge_partials, MergeOutcome};
@@ -53,7 +53,11 @@ pub use partial::{partial_cache_name, PartialReport};
 pub use plan::{ShardPlan, ShardStrategy};
 
 /// Everything that can go wrong while planning, loading, or merging
-/// shards. Worker/driver I/O failures are folded in as [`ShardError::Io`].
+/// shards. Plan/merge filesystem failures are folded in as
+/// [`ShardError::Io`]; failures tied to a specific worker carry the
+/// shard id and attempt number ([`ShardError::Spawn`],
+/// [`ShardError::WorkerIo`], [`ShardError::WorkerFailed`]) so retry
+/// policies and exit codes never have to parse error text.
 #[derive(Debug)]
 pub enum ShardError {
     /// Filesystem or subprocess failure.
@@ -109,6 +113,27 @@ pub enum ShardError {
         /// Its exit status, rendered.
         status: String,
     },
+    /// Spawning a worker failed at the OS level (missing binary, fork
+    /// limit, broken transport wrapper). Carries the shard and the
+    /// attempt number so retry policies and CLI exit paths can reason
+    /// about it without string-matching `io::Error` text.
+    Spawn {
+        /// Which shard's worker could not be spawned.
+        shard: usize,
+        /// 1-based attempt number that failed.
+        attempt: usize,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+    /// Reaping or polling a spawned worker failed at the OS level.
+    WorkerIo {
+        /// Which shard's worker the I/O failure belongs to.
+        shard: usize,
+        /// 1-based attempt number that failed.
+        attempt: usize,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -141,6 +166,26 @@ impl std::fmt::Display for ShardError {
             ShardError::BadShape(msg) => write!(f, "malformed partial: {msg}"),
             ShardError::WorkerFailed { shard, status } => {
                 write!(f, "worker for shard {shard} failed: {status}")
+            }
+            ShardError::Spawn {
+                shard,
+                attempt,
+                message,
+            } => {
+                write!(
+                    f,
+                    "spawning worker for shard {shard} (attempt {attempt}) failed: {message}"
+                )
+            }
+            ShardError::WorkerIo {
+                shard,
+                attempt,
+                message,
+            } => {
+                write!(
+                    f,
+                    "i/o on worker for shard {shard} (attempt {attempt}) failed: {message}"
+                )
             }
         }
     }

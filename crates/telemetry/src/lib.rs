@@ -82,6 +82,14 @@ pub const EVENT_NAMES: &[&str] = &[
     "shard.merge",
     "shard.merged",
     "shard.partial_store_failed",
+    "dispatch.assign",
+    "dispatch.heartbeat",
+    "dispatch.dead",
+    "dispatch.requeue",
+    "dispatch.retry",
+    "dispatch.giveup",
+    "dispatch.shard",
+    "dispatch.run",
     "bench.result",
     "history.manifest",
     "history.manifest_failed",

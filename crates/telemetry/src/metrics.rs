@@ -55,16 +55,20 @@ pub enum HistId {
     CacheStore = 3,
     /// Shard worker subprocess wall time (`shard.worker_exit` `dur_ns`).
     ShardWorker = 4,
+    /// Dispatcher per-shard-attempt wall time, spawn to exit
+    /// (`dispatch.shard` `dur_ns`).
+    DispatchShard = 5,
 }
 
 impl HistId {
     /// Every histogram, in registry order.
-    pub const ALL: [HistId; 5] = [
+    pub const ALL: [HistId; 6] = [
         HistId::EngineBlock,
         HistId::ServeJob,
         HistId::CacheLoad,
         HistId::CacheStore,
         HistId::ShardWorker,
+        HistId::DispatchShard,
     ];
 
     /// Dotted registry name (matches the event-name family it measures).
@@ -75,6 +79,7 @@ impl HistId {
             HistId::CacheLoad => "cache.load",
             HistId::CacheStore => "cache.store",
             HistId::ShardWorker => "shard.worker",
+            HistId::DispatchShard => "dispatch.shard",
         }
     }
 
@@ -86,6 +91,7 @@ impl HistId {
             HistId::CacheLoad => "Result-cache load latency in nanoseconds.",
             HistId::CacheStore => "Result-cache store latency in nanoseconds.",
             HistId::ShardWorker => "Shard worker subprocess wall time in nanoseconds.",
+            HistId::DispatchShard => "Dispatcher per-shard-attempt wall time in nanoseconds.",
         }
     }
 
@@ -104,14 +110,17 @@ pub enum GaugeId {
     ServeQueueDepth = 1,
     /// Jobs currently executing in the serve daemon.
     ServeJobsInflight = 2,
+    /// Workers the dispatcher currently believes are alive.
+    DispatchWorkersLive = 3,
 }
 
 impl GaugeId {
     /// Every gauge, in registry order.
-    pub const ALL: [GaugeId; 3] = [
+    pub const ALL: [GaugeId; 4] = [
         GaugeId::EngineThreads,
         GaugeId::ServeQueueDepth,
         GaugeId::ServeJobsInflight,
+        GaugeId::DispatchWorkersLive,
     ];
 
     /// Dotted registry name.
@@ -120,6 +129,7 @@ impl GaugeId {
             GaugeId::EngineThreads => "engine.threads",
             GaugeId::ServeQueueDepth => "serve.queue_depth",
             GaugeId::ServeJobsInflight => "serve.jobs_inflight",
+            GaugeId::DispatchWorkersLive => "dispatch.workers_live",
         }
     }
 
@@ -129,6 +139,7 @@ impl GaugeId {
             GaugeId::EngineThreads => "Worker threads the engine last ran with.",
             GaugeId::ServeQueueDepth => "Jobs currently queued in the serve daemon.",
             GaugeId::ServeJobsInflight => "Jobs currently executing in the serve daemon.",
+            GaugeId::DispatchWorkersLive => "Workers the dispatcher currently believes are alive.",
         }
     }
 }
@@ -278,7 +289,8 @@ impl HistogramSnapshot {
     }
 }
 
-static HISTOGRAMS: [Histogram; 5] = [
+static HISTOGRAMS: [Histogram; 6] = [
+    Histogram::new(),
     Histogram::new(),
     Histogram::new(),
     Histogram::new(),
@@ -286,7 +298,12 @@ static HISTOGRAMS: [Histogram; 5] = [
     Histogram::new(),
 ];
 
-static GAUGES: [AtomicI64; 3] = [AtomicI64::new(0), AtomicI64::new(0), AtomicI64::new(0)];
+static GAUGES: [AtomicI64; 4] = [
+    AtomicI64::new(0),
+    AtomicI64::new(0),
+    AtomicI64::new(0),
+    AtomicI64::new(0),
+];
 
 /// Record one latency sample into the process-global registry.
 pub fn record_ns(id: HistId, ns: u64) {

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use crate::jsonl::RunLog;
-use crate::{Event, EventKind};
+use crate::{Event, EventKind, Value};
 
 /// Nanoseconds rendered at a human scale (`412ns`, `3.21µs`, `8.4ms`,
 /// `1.207s`).
@@ -52,6 +52,15 @@ struct CounterStats {
 }
 
 #[derive(Default)]
+struct DispatchHostRow {
+    assigned: u64,
+    delivered: u64,
+    dead: u64,
+    retries: u64,
+    max_gap_ns: u64,
+}
+
+#[derive(Default)]
 struct ShardRow {
     planned: Option<(u64, u64)>, // (start, len) or strided coordinates rendered upstream
     spawned: bool,
@@ -68,6 +77,10 @@ pub fn summarize(log: &RunLog) -> String {
     let mut spans: BTreeMap<&str, SpanStats> = BTreeMap::new();
     let mut counters: BTreeMap<&str, CounterStats> = BTreeMap::new();
     let mut shards: BTreeMap<u64, ShardRow> = BTreeMap::new();
+    // Dispatcher per-host tallies, plus the run-wide requeue count
+    // (dispatch.requeue carries no host: the shard has just lost one).
+    let mut dispatch_hosts: BTreeMap<String, DispatchHostRow> = BTreeMap::new();
+    let mut dispatch_requeues: u64 = 0;
     let mut warns: Vec<&Event> = Vec::new();
     let mut benches: Vec<&Event> = Vec::new();
     // Engine per-block aggregates, keyed by originating shard (u64::MAX =
@@ -149,6 +162,38 @@ pub fn summarize(log: &RunLog) -> String {
                     row.merged_source = e.str_field("source").map(str::to_string);
                 }
             }
+            "dispatch.assign" => {
+                if let Some(h) = e.str_field("host") {
+                    dispatch_hosts.entry(h.to_string()).or_default().assigned += 1;
+                }
+            }
+            "dispatch.shard" => {
+                if let Some(h) = e.str_field("host") {
+                    let row = dispatch_hosts.entry(h.to_string()).or_default();
+                    if e.field("ok")
+                        .is_some_and(|v| matches!(v, Value::Bool(true)))
+                    {
+                        row.delivered += 1;
+                    }
+                }
+            }
+            "dispatch.dead" => {
+                if let Some(h) = e.str_field("host") {
+                    dispatch_hosts.entry(h.to_string()).or_default().dead += 1;
+                }
+            }
+            "dispatch.retry" => {
+                if let Some(h) = e.str_field("host") {
+                    dispatch_hosts.entry(h.to_string()).or_default().retries += 1;
+                }
+            }
+            "dispatch.heartbeat" => {
+                if let Some(h) = e.str_field("host") {
+                    let row = dispatch_hosts.entry(h.to_string()).or_default();
+                    row.max_gap_ns = row.max_gap_ns.max(e.u64_field("gap_ns").unwrap_or(0));
+                }
+            }
+            "dispatch.requeue" => dispatch_requeues += 1,
             "bench.result" => benches.push(e),
             _ => {}
         }
@@ -254,6 +299,23 @@ pub fn summarize(log: &RunLog) -> String {
                 row.merged_source.as_deref().unwrap_or("-"),
             ));
         }
+    }
+
+    if !dispatch_hosts.is_empty() {
+        out.push_str("\n== dispatch (per host) ==\n");
+        out.push_str("  host                      assigned     ok   dead  retries  max hb gap\n");
+        for (host, row) in &dispatch_hosts {
+            let gap = if row.max_gap_ns > 0 {
+                format_ns(row.max_gap_ns)
+            } else {
+                "-".to_string()
+            };
+            out.push_str(&format!(
+                "  {host:<24} {:>9} {:>6} {:>6} {:>8}  {gap:>10}\n",
+                row.assigned, row.delivered, row.dead, row.retries
+            ));
+        }
+        out.push_str(&format!("  requeues: {dispatch_requeues}\n"));
     }
 
     if !benches.is_empty() {
@@ -383,6 +445,77 @@ mod tests {
         assert!(s.contains("file"), "{s}");
         assert!(s.contains("shard 0"), "{s}");
         assert!(s.contains("warning: no disk"), "{s}");
+    }
+
+    #[test]
+    fn summarize_renders_the_dispatch_table() {
+        let log = RunLog {
+            schema: SCHEMA.to_string(),
+            events: vec![
+                ev(
+                    EventKind::Value,
+                    "dispatch.assign",
+                    vec![
+                        ("shard", Value::U64(0)),
+                        ("host", Value::Str("local".into())),
+                        ("attempt", Value::U64(1)),
+                    ],
+                ),
+                ev(
+                    EventKind::Value,
+                    "dispatch.heartbeat",
+                    vec![
+                        ("shard", Value::U64(0)),
+                        ("host", Value::Str("local".into())),
+                        ("seq", Value::U64(3)),
+                        ("gap_ns", Value::U64(251_000_000)),
+                    ],
+                ),
+                ev(
+                    EventKind::Warn,
+                    "dispatch.dead",
+                    vec![
+                        ("message", Value::Str("shard 0 worker died".into())),
+                        ("shard", Value::U64(0)),
+                        ("host", Value::Str("local".into())),
+                        ("attempt", Value::U64(1)),
+                        ("reason", Value::Str("exit".into())),
+                    ],
+                ),
+                ev(
+                    EventKind::Value,
+                    "dispatch.requeue",
+                    vec![("shard", Value::U64(0)), ("attempt", Value::U64(1))],
+                ),
+                ev(
+                    EventKind::Value,
+                    "dispatch.shard",
+                    vec![
+                        ("shard", Value::U64(0)),
+                        ("host", Value::Str("local".into())),
+                        ("attempt", Value::U64(2)),
+                        ("ok", Value::Bool(true)),
+                        ("dur_ns", Value::U64(5_000_000)),
+                    ],
+                ),
+                ev(
+                    EventKind::Value,
+                    "dispatch.retry",
+                    vec![
+                        ("shard", Value::U64(1)),
+                        ("host", Value::Str("ssh user@hostA".into())),
+                        ("attempt", Value::U64(1)),
+                        ("delay_ms", Value::U64(80)),
+                    ],
+                ),
+            ],
+        };
+        let s = summarize(&log);
+        assert!(s.contains("== dispatch (per host) =="), "{s}");
+        assert!(s.contains("local"), "{s}");
+        assert!(s.contains("ssh user@hostA"), "{s}");
+        assert!(s.contains("251.00ms"), "{s}");
+        assert!(s.contains("requeues: 1"), "{s}");
     }
 
     #[test]
