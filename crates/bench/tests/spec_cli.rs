@@ -71,6 +71,11 @@ fn unknown_axis_and_workload_keys_are_distinct_errors() {
     );
     assert!(err.contains("unknown rate policy 'warp'"), "{err}");
     assert!(err.contains("best-fixed"), "{err}");
+    // Unknown stream-layout value names the line and the valid labels.
+    let err = sweep_spec_fails(&dir, "layout", "name = \"x\"\nstream_layout = \"v3\"\n");
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains("unknown stream layout 'v3'"), "{err}");
+    assert!(err.contains("known layouts: v1, v2"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

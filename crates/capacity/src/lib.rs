@@ -29,10 +29,13 @@ pub mod rates;
 pub mod shannon;
 pub mod twopair;
 
-pub use npair::{sender_positions, NPairKernel, NPairScenario, NPairTopology, Placement};
+pub use npair::{
+    sender_positions, NPairKernel, NPairKernelV2, NPairScenario, NPairTopology, Placement,
+};
 pub use policy::MacPolicy;
 pub use rates::{Bitrate, RateTable};
-pub use shannon::{shannon_capacity, CapacityModel};
+pub use shannon::{shannon_capacity, shannon_capacity_v2, CapacityModel};
 pub use twopair::{
-    CsDecision, PairSample, ShadowDraws, TwoPairKernel, TwoPairSampleScores, TwoPairScenario,
+    CsDecision, PairSample, ShadowDraws, TwoPairKernel, TwoPairKernelV2, TwoPairSampleScores,
+    TwoPairScenario,
 };

@@ -18,6 +18,16 @@ pub fn shannon_capacity(snr: f64) -> f64 {
     (1.0 + snr).log2()
 }
 
+/// Shannon capacity on the **v2 stream layout**: same formula as
+/// [`shannon_capacity`] but through the deterministic
+/// [`wcs_stats::fastmath::fast_log2`] kernel, so the v2 draw path never
+/// enters libm. Only v2 kernels call this; v1 keeps `f64::log2`.
+#[inline]
+pub fn shannon_capacity_v2(snr: f64) -> f64 {
+    debug_assert!(snr >= 0.0, "negative SNR {snr}");
+    wcs_stats::fastmath::fast_log2(1.0 + snr)
+}
+
 /// A practical capacity model: Shannon shape scaled by a constant
 /// implementation-efficiency fraction and optionally clipped at the
 /// radio's top modulation (real radios cannot exploit unbounded SNR —
@@ -62,6 +72,46 @@ impl CapacityModel {
             None => c,
         }
     }
+
+    /// Capacity on the v2 stream layout (via [`shannon_capacity_v2`]).
+    #[inline]
+    pub fn capacity_v2(&self, snr: f64) -> f64 {
+        let c = self.efficiency * shannon_capacity_v2(snr);
+        match self.max_spectral_efficiency {
+            Some(cap) => c.min(cap),
+            None => c,
+        }
+    }
+
+    /// Batched [`Self::capacity_v2`]: replaces every linear SNR in
+    /// `snrs` with its capacity, in place.
+    ///
+    /// The log₂ pass runs through the vectorizable
+    /// [`wcs_stats::fastmath::fast_log2_slice`] kernel; every element is
+    /// bit-identical to the scalar `capacity_v2` (same `1 + snr`,
+    /// `fast_log2`, efficiency-scale and cap-clip arithmetic in the same
+    /// order). The v2 Monte Carlo kernels use this to score a whole
+    /// configuration's per-pair policies in one sweep.
+    #[inline]
+    pub fn capacity_v2_batch(&self, snrs: &mut [f64]) {
+        for s in snrs.iter_mut() {
+            debug_assert!(*s >= 0.0, "negative SNR {s}");
+            *s += 1.0;
+        }
+        wcs_stats::fastmath::fast_log2_slice(snrs);
+        match self.max_spectral_efficiency {
+            Some(cap) => {
+                for s in snrs.iter_mut() {
+                    *s = (self.efficiency * *s).min(cap);
+                }
+            }
+            None => {
+                for s in snrs.iter_mut() {
+                    *s *= self.efficiency;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +126,42 @@ mod tests {
         assert!((shannon_capacity(3.0) - 2.0).abs() < 1e-12);
         // 20 dB SNR → log2(101) ≈ 6.658.
         assert!((shannon_capacity(100.0) - 6.658_211_482_751_795).abs() < 1e-10);
+    }
+
+    #[test]
+    fn v2_capacity_tracks_v1_closely() {
+        let models = [
+            CapacityModel::SHANNON,
+            CapacityModel::with_efficiency(0.5),
+            CapacityModel::SHANNON.capped(2.7),
+        ];
+        for m in models {
+            for &snr in &[0.0, 1e-9, 0.3, 1.0, 3.0, 100.0, 1e6] {
+                let v1 = m.capacity(snr);
+                let v2 = m.capacity_v2(snr);
+                assert!(
+                    (v1 - v2).abs() <= 1e-12 * v1.max(1.0),
+                    "snr {snr}: {v1} vs {v2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_capacity_matches_scalar_bitwise() {
+        let models = [
+            CapacityModel::SHANNON,
+            CapacityModel::with_efficiency(0.5),
+            CapacityModel::SHANNON.capped(2.7),
+        ];
+        let snrs: Vec<f64> = (0..500).map(|i| i as f64 * 0.37 + 1e-9).collect();
+        for m in models {
+            let mut batch = snrs.clone();
+            m.capacity_v2_batch(&mut batch);
+            for (snr, got) in snrs.iter().zip(&batch) {
+                assert_eq!(got.to_bits(), m.capacity_v2(*snr).to_bits(), "snr {snr}");
+            }
+        }
     }
 
     #[test]

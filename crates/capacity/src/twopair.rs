@@ -326,6 +326,132 @@ impl TwoPairKernel {
     }
 }
 
+/// The two-pair evaluation kernel for the **v2 stream layout**.
+///
+/// Same physics as [`TwoPairKernel`], but the draw/evaluate split
+/// changes shape:
+///
+/// * shadowing enters as **raw standard normals** z (drawn in batch by
+///   `Shadowing::fill_raw_normal_v2` through the one-uniform
+///   inverse-CDF sampler — exactly one generator word per draw, no
+///   rejection loop — in the same five-link order as
+///   [`ShadowDraws::sample`]), and the dB→linear conversion is fused
+///   into the gain as `exp(k·z + …)` with `k = σ·ln10/10` hoisted at
+///   construction — no `10^(x/10)` powf per draw;
+/// * path gains fold into the same exponential: a link of squared
+///   length `dist²` has gain `exp(k·z − (α/2)·ln(dist²))`, so the
+///   interference geometry never takes the square root at all (v1's
+///   `interferer_distance` sqrt feeds straight into `powf`);
+/// * Shannon logs go through the deterministic
+///   [`crate::shannon::shannon_capacity_v2`] kernel.
+///
+/// The result is statistically identical to v1 (same distributions)
+/// but **not** bitwise equal to it — and no longer draw-aligned with
+/// it, the v2 sampler consuming fewer generator words — which is
+/// exactly why the runtime gives v2 runs their own canonical prefix
+/// and goldens. V2 is bitwise-deterministic *with itself* at any
+/// thread/shard/worker split because it is pure f64 arithmetic on the
+/// same per-task RNG streams v1 uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPairKernelV2 {
+    cap: CapacityModel,
+    d: f64,
+    noise: f64,
+    /// α/2 — the squared-distance path-loss exponent.
+    half_alpha: f64,
+    /// Hoisted σ·ln10/10 (zero when shadowing is disabled).
+    k_shadow: f64,
+    /// Hoisted `median_gain(d_thresh)` — carrier-sense power threshold.
+    p_thresh: f64,
+    /// Hoisted ln(median_gain(d)) — the sense link's log path gain.
+    ln_sense_path: f64,
+}
+
+impl TwoPairKernelV2 {
+    /// Number of raw normal draws one configuration consumes, in the
+    /// [`ShadowDraws::sample`] field order: signal1, signal2,
+    /// interference1, interference2, sense.
+    pub const DRAWS: usize = 5;
+
+    /// Squared near-field clamp: v1 clamps distances at 1e-6 inside
+    /// `PathLoss::gain`, so the squared-distance path clamps at 1e-12.
+    const NEAR_FIELD_EPS_SQ: f64 = 1e-12;
+
+    /// Build the kernel for one (prop, cap, D, D_thresh) task point.
+    pub fn new(prop: PropagationModel, cap: CapacityModel, d: f64, d_thresh: f64) -> Self {
+        TwoPairKernelV2 {
+            cap,
+            d,
+            noise: prop.noise,
+            half_alpha: prop.path_loss.alpha / 2.0,
+            k_shadow: prop.shadowing.linear_exp_coeff(),
+            p_thresh: prop.median_gain(d_thresh),
+            ln_sense_path: wcs_stats::fastmath::fast_ln(prop.median_gain(d)),
+        }
+    }
+
+    /// Fused link gain from squared distance and raw shadow draw:
+    /// `exp(k·z − (α/2)·ln(dist²))`.
+    #[inline]
+    fn link_gain(&self, dist_sq: f64, z: f64) -> f64 {
+        wcs_stats::fastmath::fast_exp(
+            self.k_shadow * z
+                - self.half_alpha
+                    * wcs_stats::fastmath::fast_ln(dist_sq.max(Self::NEAR_FIELD_EPS_SQ)),
+        )
+    }
+
+    /// Score every MAC policy on one drawn configuration. `z` holds the
+    /// raw standard normal draws in [`ShadowDraws::sample`] order.
+    #[inline]
+    pub fn evaluate(
+        &self,
+        pair1: PairSample,
+        pair2: PairSample,
+        z: &[f64; Self::DRAWS],
+    ) -> TwoPairSampleScores {
+        let noise = self.noise;
+        let d = self.d;
+        // Interferer→receiver squared distance without the sqrt:
+        // receiver at polar (r, θ) around its sender, interferer at
+        // (−D, 0) ⇒ Δr² = r² + D² + 2rD·cosθ.
+        let dr1_sq = pair1.r * pair1.r + d * d + 2.0 * pair1.r * d * pair1.theta.cos();
+        let dr2_sq = pair2.r * pair2.r + d * d + 2.0 * pair2.r * d * pair2.theta.cos();
+
+        let signal1 = self.link_gain(pair1.r * pair1.r, z[0]);
+        let signal2 = self.link_gain(pair2.r * pair2.r, z[1]);
+        let interf1 = self.link_gain(dr1_sq, z[2]);
+        let interf2 = self.link_gain(dr2_sq, z[3]);
+
+        let mux1 = self.cap.capacity_v2(signal1 / noise) / 2.0;
+        let mux2 = self.cap.capacity_v2(signal2 / noise) / 2.0;
+        let conc1 = self.cap.capacity_v2(signal1 / (noise + interf1));
+        let conc2 = self.cap.capacity_v2(signal2 / (noise + interf2));
+
+        let sensed = wcs_stats::fastmath::fast_exp(self.k_shadow * z[4] + self.ln_sense_path);
+        let decision = if sensed > self.p_thresh {
+            CsDecision::Multiplex
+        } else {
+            CsDecision::Concurrent
+        };
+        let (cs1, cs2) = match decision {
+            CsDecision::Multiplex => (mux1, mux2),
+            CsDecision::Concurrent => (conc1, conc2),
+        };
+
+        let c_max = 0.5 * (conc1 + conc2).max(mux1 + mux2);
+
+        TwoPairSampleScores {
+            mux: [mux1, mux2],
+            conc: [conc1, conc2],
+            cs: [cs1, cs2],
+            c_max,
+            ub: [conc1.max(mux1), conc2.max(mux2)],
+            decision,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +593,49 @@ mod tests {
             prop_assert_eq!(k.ub[0].to_bits(), s.c_ub_max_1().to_bits());
             prop_assert_eq!(k.ub[1].to_bits(), s.c_ub_max_2().to_bits());
             prop_assert_eq!(k.decision, s.cs_decision(d_thresh));
+        }
+
+        #[test]
+        fn v2_kernel_tracks_v1_per_configuration(
+            r1 in 1.0..120.0f64, t1 in 0.0..std::f64::consts::TAU,
+            r2 in 1.0..120.0f64, t2 in 0.0..std::f64::consts::TAU,
+            d in 1.0..300.0f64, d_thresh in 5.0..200.0f64,
+            z1 in -4.0..4.0f64, z2 in -4.0..4.0f64, z3 in -4.0..4.0f64,
+            z4 in -4.0..4.0f64, z5 in -4.0..4.0f64,
+        ) {
+            // Same raw draws through both layouts: v1 converts z to
+            // linear factors with powf, v2 fuses exp(k·z) into the
+            // gain. The per-policy scores must agree to within the
+            // fastmath accuracy (~1e-12 relative); the CS decision is a
+            // threshold compare and may only differ when sensed power
+            // sits within that sliver of the threshold, which these
+            // coarse grid points never do.
+            let prop = PropagationModel::paper_default();
+            let sigma = prop.shadowing.sigma_db;
+            let shadows = ShadowDraws {
+                signal1: 10f64.powf(sigma * z1 / 10.0),
+                signal2: 10f64.powf(sigma * z2 / 10.0),
+                interference1: 10f64.powf(sigma * z3 / 10.0),
+                interference2: 10f64.powf(sigma * z4 / 10.0),
+                sense: 10f64.powf(sigma * z5 / 10.0),
+            };
+            let pair1 = PairSample { r: r1, theta: t1 };
+            let pair2 = PairSample { r: r2, theta: t2 };
+            let v1 = TwoPairKernel::new(prop, CapacityModel::SHANNON, d, d_thresh)
+                .evaluate(pair1, pair2, &shadows);
+            let v2 = TwoPairKernelV2::new(prop, CapacityModel::SHANNON, d, d_thresh)
+                .evaluate(pair1, pair2, &[z1, z2, z3, z4, z5]);
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+            for i in 0..2 {
+                prop_assert!(close(v1.mux[i], v2.mux[i]), "mux[{i}]: {} vs {}", v1.mux[i], v2.mux[i]);
+                prop_assert!(close(v1.conc[i], v2.conc[i]), "conc[{i}]: {} vs {}", v1.conc[i], v2.conc[i]);
+                prop_assert!(close(v1.ub[i], v2.ub[i]), "ub[{i}]");
+            }
+            prop_assert!(close(v1.c_max, v2.c_max));
+            prop_assert_eq!(v1.decision, v2.decision);
+            for i in 0..2 {
+                prop_assert!(close(v1.cs[i], v2.cs[i]), "cs[{i}]");
+            }
         }
 
         #[test]

@@ -42,11 +42,15 @@ pub mod sensitivity;
 pub mod shadowing_example;
 pub mod threshold;
 
-pub use average::{mc_averages, quad_concurrency, quad_multiplexing, PolicyAverages};
+pub use average::{
+    mc_averages, mc_averages_v2, quad_concurrency, quad_multiplexing, PolicyAverages,
+};
 pub use curves::{throughput_curves, CurvePoint, ThroughputCurves};
 pub use efficiency::{cs_efficiency, efficiency_table, EfficiencyCell, EfficiencyTable};
-pub use npair::{mc_averages_npair, npair_curves, NPairAverages, NPairPolicyStats};
-pub use params::ModelParams;
+pub use npair::{
+    mc_averages_npair, mc_averages_npair_v2, npair_curves, NPairAverages, NPairPolicyStats,
+};
+pub use params::{ModelParams, StreamLayout};
 pub use regimes::{classify_regime, RangeRegime};
 pub use threshold::{
     equivalent_distance_alpha3, optimal_threshold, optimal_threshold_sigma0,

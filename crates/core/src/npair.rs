@@ -12,7 +12,7 @@
 use crate::fairness::jain_index;
 use crate::params::ModelParams;
 use serde::{Deserialize, Serialize};
-use wcs_capacity::npair::{NPairKernel, NPairScenario, NPairTopology};
+use wcs_capacity::npair::{NPairKernel, NPairKernelV2, NPairScenario, NPairTopology};
 use wcs_propagation::geometry::Point2;
 use wcs_stats::montecarlo::{MonteCarlo, MonteCarloEstimate};
 use wcs_stats::rng::split_rng;
@@ -174,6 +174,64 @@ pub fn mc_averages_npair(
     }
 }
 
+/// [`mc_averages_npair`] on the **v2 stream layout**: identical seed
+/// split, draw order and accumulator arithmetic, with the per-sample
+/// evaluation routed through [`NPairKernelV2`] (one-word-per-normal
+/// inverse-CDF draws batched across the N×N shadowing tables, fused
+/// `exp`-based gains on squared distances, slice-batched Shannon
+/// logs). Statistically equivalent to v1, bitwise-deterministic in
+/// `seed`, and carrying its own canonical identity in the runtime.
+pub fn mc_averages_npair_v2(
+    params: &ModelParams,
+    topo: NPairTopology,
+    rmax: f64,
+    d: f64,
+    d_thresh: f64,
+    samples: u64,
+    seed: u64,
+) -> NPairAverages {
+    let n_pairs = topo.n;
+    assert!(n_pairs >= 2, "need at least two pairs");
+    let senders = topo.senders(d);
+    let mut rng = split_rng(seed, 0x0000_0000_6e70_6169); // "npai"
+    let mut mux = StatsAcc::default();
+    let mut conc = StatsAcc::default();
+    let mut cs = StatsAcc::default();
+    let mut opt = StatsAcc::default();
+    let mut ub = StatsAcc::default();
+    let mut deferring = 0u64;
+    let mut senders_total = 0u64;
+    let mut buf = vec![0.0f64; n_pairs];
+    let mut kernel = NPairKernelV2::new(&senders, rmax, &params.prop, params.cap, d_thresh);
+
+    for _ in 0..samples {
+        kernel.sample_and_score(&mut rng);
+        mux.add(kernel.mux());
+        conc.add(kernel.conc());
+        cs.add(kernel.cs());
+        let prefers_conc = kernel.conc().iter().sum::<f64>() > kernel.mux().iter().sum::<f64>();
+        opt.add(if prefers_conc {
+            kernel.conc()
+        } else {
+            kernel.mux()
+        });
+        fill(&mut buf, |i| kernel.conc()[i].max(kernel.mux()[i]));
+        ub.add(&buf);
+        deferring += kernel.deferring_senders() as u64;
+        senders_total += n_pairs as u64;
+    }
+
+    NPairAverages {
+        multiplexing: mux.estimate(),
+        concurrency: conc.estimate(),
+        carrier_sense: cs.estimate(),
+        optimal: opt.estimate(),
+        upper_bound: ub.estimate(),
+        multiplex_fraction: deferring as f64 / senders_total as f64,
+        n_pairs,
+    }
+}
+
 /// A point of an N-pair worst-pair/fairness curve over D.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NPairCurvePoint {
@@ -303,6 +361,44 @@ mod tests {
             );
         }
         assert!((np.multiplex_fraction - tp.multiplex_fraction).abs() < 0.02);
+    }
+
+    #[test]
+    fn v2_deterministic_and_statistically_equivalent_to_v1() {
+        let p = ModelParams::paper_default();
+        let topo = NPairTopology::line(4);
+        let a = mc_averages_npair_v2(&p, topo, 40.0, 55.0, 55.0, 4_000, 9);
+        let b = mc_averages_npair_v2(&p, topo, 40.0, 55.0, 55.0, 4_000, 9);
+        assert_eq!(
+            a.carrier_sense.mean.mean.to_bits(),
+            b.carrier_sense.mean.mean.to_bits()
+        );
+        assert_eq!(
+            a.optimal.worst.mean.to_bits(),
+            b.optimal.worst.mean.to_bits()
+        );
+
+        // Independent realizations of the same estimator (the v2
+        // sampler is not draw-aligned with v1): means agree within MC
+        // error.
+        let v1 = mc_averages_npair(&p, topo, 40.0, 55.0, 55.0, 20_000, 17);
+        let v2 = mc_averages_npair_v2(&p, topo, 40.0, 55.0, 55.0, 20_000, 17);
+        for (x, y) in [
+            (v1.multiplexing.mean, v2.multiplexing.mean),
+            (v1.concurrency.mean, v2.concurrency.mean),
+            (v1.carrier_sense.mean, v2.carrier_sense.mean),
+            (v1.optimal.mean, v2.optimal.mean),
+            (v1.upper_bound.mean, v2.upper_bound.mean),
+        ] {
+            let tol = 2.0 * (x.std_error + y.std_error);
+            assert!(
+                (x.mean - y.mean).abs() < tol.max(1e-6),
+                "v1 {} vs v2 {} (tol {tol})",
+                x.mean,
+                y.mean
+            );
+        }
+        assert!((v1.multiplex_fraction - v2.multiplex_fraction).abs() < 0.01);
     }
 
     #[test]

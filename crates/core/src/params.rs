@@ -49,9 +49,83 @@ impl ModelParams {
     }
 }
 
+/// The versioned Monte Carlo draw path ("stream layout") of a sweep.
+///
+/// A stream layout fixes *how* the per-sample randomness is drawn and
+/// turned into link gains — not what is modelled. Two layouts coexist:
+///
+/// * [`StreamLayout::V1`] — the original per-draw path: Marsaglia polar
+///   normals through libm `ln`, dB→linear via `10f64.powf(x/10.0)`,
+///   path gains via `d.powf(-α)`. Bitwise paper-exact: every golden
+///   hash pinned since the seed repo was produced on this layout, and
+///   it never changes.
+/// * [`StreamLayout::V2`] — the batched/fused path: raw normals filled
+///   in batch (`fill_standard_normal`), the dB→linear conversion
+///   hoisted to `exp(k·z)` with `k = σ·ln10/10`, path gains fused into
+///   the same exponential on squared distances, Shannon logs through
+///   the deterministic `fastmath` kernels. Statistically identical to
+///   v1, ≥2× faster on the N-pair kernels, and bitwise-deterministic
+///   with itself — but *not* bitwise-equal to v1, so v2 runs carry a
+///   distinct canonical prefix (fresh cache keys and goldens).
+///
+/// The layout is a workload axis: it is part of the canonical string
+/// (see `wcs-runtime`), selectable per sweep via spec files
+/// (`stream_layout = "v2"`) or `--stream-layout` on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum StreamLayout {
+    /// The original paper-exact draw path (default).
+    #[default]
+    V1,
+    /// The batched/vectorized draw path.
+    V2,
+}
+
+impl StreamLayout {
+    /// Every layout, in version order.
+    pub const ALL: [StreamLayout; 2] = [StreamLayout::V1, StreamLayout::V2];
+
+    /// Stable short label used in specs, CLI flags and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamLayout::V1 => "v1",
+            StreamLayout::V2 => "v2",
+        }
+    }
+
+    /// Parse a label back into a layout (`"v1"` / `"v2"`).
+    pub fn from_label(s: &str) -> Option<StreamLayout> {
+        match s {
+            "v1" => Some(StreamLayout::V1),
+            "v2" => Some(StreamLayout::V2),
+            _ => None,
+        }
+    }
+
+    /// The canonical-string prefix a sweep on this layout carries.
+    /// Distinct prefixes give the two layouts disjoint cache keys,
+    /// result-index identities and goldens.
+    pub fn canonical_prefix(&self) -> &'static str {
+        match self {
+            StreamLayout::V1 => "wcs-sweep-v1;",
+            StreamLayout::V2 => "wcs-sweep-v2;",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_layout_labels_roundtrip() {
+        for layout in StreamLayout::ALL {
+            assert_eq!(StreamLayout::from_label(layout.label()), Some(layout));
+        }
+        assert_eq!(StreamLayout::from_label("v3"), None);
+        assert_eq!(StreamLayout::from_label("V1"), None);
+        assert_eq!(StreamLayout::default(), StreamLayout::V1);
+        assert!(StreamLayout::V1.canonical_prefix() != StreamLayout::V2.canonical_prefix());
+    }
 
     #[test]
     fn defaults_match_paper() {

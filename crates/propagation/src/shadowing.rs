@@ -68,6 +68,33 @@ impl Shadowing {
             *v = dist.sample_linear(rng);
         }
     }
+
+    /// The hoisted dB→linear conversion constant `k = σ · ln(10) / 10`:
+    /// for a raw standard normal z, the linear shadowing factor is
+    /// `10^(σz/10) = exp(k·z)`. The v2 kernels multiply `k` into the
+    /// raw draws once and fold the `exp` into the fused gain evaluation
+    /// instead of calling `powf` per draw.
+    pub fn linear_exp_coeff(&self) -> f64 {
+        self.sigma_db * std::f64::consts::LN_10 / 10.0
+    }
+
+    /// Fill `out` with **raw standard normal** draws on the v2 stream
+    /// layout (the caller applies [`Shadowing::linear_exp_coeff`] and
+    /// the exponential itself, fused with the path-gain product).
+    ///
+    /// Mirrors the v1 σ = 0 economy: a disabled distribution consumes
+    /// no generator draws at all and yields all-zero z (unity gain
+    /// after exp). For σ > 0 this is exactly
+    /// [`wcs_stats::dist::fill_standard_normal`], so the split-
+    /// invariance contract pinned there applies here too: any chunking
+    /// of a logical batch across calls produces identical bytes.
+    pub fn fill_raw_normal_v2<R: rand::Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        if self.sigma_db == 0.0 {
+            out.fill(0.0);
+        } else {
+            wcs_stats::dist::fill_standard_normal(rng, out);
+        }
+    }
 }
 
 /// A frozen, deterministic shadowing field over node pairs.
@@ -139,6 +166,42 @@ mod tests {
         s.fill_linear(&mut a, &mut batched);
         for (i, &v) in batched.iter().enumerate() {
             assert_eq!(v.to_bits(), s.sample_linear(&mut b).to_bits(), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn fill_raw_normal_v2_matches_scalar_reference_bitwise() {
+        let s = Shadowing::PAPER_DEFAULT;
+        let mut a = seeded_rng(19);
+        let mut b = seeded_rng(19);
+        let mut batched = [0.0f64; 17];
+        s.fill_raw_normal_v2(&mut a, &mut batched);
+        for (i, &v) in batched.iter().enumerate() {
+            let want = wcs_stats::dist::standard_normal_v2(&mut b);
+            assert_eq!(v.to_bits(), want.to_bits(), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn fill_raw_normal_v2_sigma_zero_consumes_no_draws() {
+        use rand::Rng;
+        let mut with_fill = seeded_rng(20);
+        let mut untouched = seeded_rng(20);
+        let mut buf = [1.0f64; 9];
+        Shadowing::NONE.fill_raw_normal_v2(&mut with_fill, &mut buf);
+        assert!(buf.iter().all(|&z| z == 0.0));
+        assert_eq!(with_fill.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    #[test]
+    fn linear_exp_coeff_reproduces_linear_draws() {
+        // exp(k·z) must equal 10^(σ·z/10) to floating-point accuracy.
+        let s = Shadowing::new(8.0);
+        let k = s.linear_exp_coeff();
+        for z in [-3.0, -0.7, 0.0, 0.4, 2.9] {
+            let via_exp = (k * z).exp();
+            let via_pow = 10f64.powf(s.sigma_db * z / 10.0);
+            assert!((via_exp - via_pow).abs() / via_pow < 1e-14);
         }
     }
 

@@ -82,6 +82,7 @@ pub use spec::{
     load_any_spec_file, load_spec_file, parse_any_spec_toml, parse_sim_spec_toml, parse_spec_toml,
     to_sim_spec_toml, to_spec_toml, SpecError, SpecErrorKind,
 };
+pub use wcs_core::params::StreamLayout;
 pub use workload::{
     run_workload, run_workload_subset, AnyWorkload, Workload, WorkloadKind, WorkloadOutcome,
     WorkloadSpec,

@@ -23,8 +23,9 @@ use crate::index::ResultIndex;
 use crate::report::RunReport;
 use crate::scenario::{PolicyAxis, Sweep, Task, Topology};
 use crate::workload::{run_workload, run_workload_subset, Workload, WorkloadKind, WorkloadSpec};
-use wcs_core::average::{mc_averages, PolicyAverages};
-use wcs_core::npair::{mc_averages_npair, NPairAverages, NPairPolicyStats};
+use wcs_core::average::{mc_averages, mc_averages_v2, PolicyAverages};
+use wcs_core::npair::{mc_averages_npair, mc_averages_npair_v2, NPairAverages, NPairPolicyStats};
+use wcs_core::params::StreamLayout;
 use wcs_stats::montecarlo::MonteCarloEstimate;
 
 /// Column layout of a classic two-pair sweep report.
@@ -89,8 +90,8 @@ enum TaskAverages {
 }
 
 fn run_task_kernel(task: &Task) -> TaskAverages {
-    match task.topology {
-        Topology::TwoPair => TaskAverages::TwoPair(mc_averages(
+    match (task.topology, task.stream_layout) {
+        (Topology::TwoPair, StreamLayout::V1) => TaskAverages::TwoPair(mc_averages(
             &task.params(),
             task.rmax,
             task.d,
@@ -98,15 +99,36 @@ fn run_task_kernel(task: &Task) -> TaskAverages {
             task.samples,
             task.seed,
         )),
-        Topology::NPair(topo) => TaskAverages::NPair(Box::new(mc_averages_npair(
+        (Topology::TwoPair, StreamLayout::V2) => TaskAverages::TwoPair(mc_averages_v2(
             &task.params(),
-            topo,
             task.rmax,
             task.d,
             task.d_thresh,
             task.samples,
             task.seed,
-        ))),
+        )),
+        (Topology::NPair(topo), StreamLayout::V1) => {
+            TaskAverages::NPair(Box::new(mc_averages_npair(
+                &task.params(),
+                topo,
+                task.rmax,
+                task.d,
+                task.d_thresh,
+                task.samples,
+                task.seed,
+            )))
+        }
+        (Topology::NPair(topo), StreamLayout::V2) => {
+            TaskAverages::NPair(Box::new(mc_averages_npair_v2(
+                &task.params(),
+                topo,
+                task.rmax,
+                task.d,
+                task.d_thresh,
+                task.samples,
+                task.seed,
+            )))
+        }
     }
 }
 
@@ -331,6 +353,55 @@ mod tests {
         let serial = run_sweep(&sweep, &Engine::serial(), None);
         let parallel = run_sweep(&sweep, &Engine::new(4), None);
         assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
+    }
+
+    #[test]
+    fn v2_layout_is_thread_invariant_and_a_distinct_identity() {
+        let v2_sweep = tiny_sweep().stream_layout(StreamLayout::V2);
+        let serial = run_sweep(&v2_sweep, &Engine::serial(), None);
+        let parallel = run_sweep(&v2_sweep, &Engine::new(4), None);
+        assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
+        assert_eq!(serial.report, parallel.report);
+        // v2 is its own identity: different canonical prefix, different
+        // numbers (a different draw path), same shape.
+        let v1 = run_sweep(&tiny_sweep(), &Engine::serial(), None);
+        assert_ne!(v1.report.to_csv(), serial.report.to_csv());
+        assert_eq!(v1.report.rows.len(), serial.report.rows.len());
+        // σ = 0 tasks are deterministic quadrature-free MC on both
+        // layouts; their means must agree closely even pointwise.
+        for (a, b) in v1.report.rows.iter().zip(&serial.report.rows) {
+            if a[2] == 0.0 {
+                assert!((a[7] - b[7]).abs() <= 1e-6 * a[7].abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn v2_npair_layout_is_thread_invariant() {
+        let sweep = tiny_npair_sweep().stream_layout(StreamLayout::V2);
+        let serial = run_sweep(&sweep, &Engine::serial(), None);
+        let parallel = run_sweep(&sweep, &Engine::new(4), None);
+        assert_eq!(serial.report.to_csv(), parallel.report.to_csv());
+        assert_eq!(serial.report.columns, NPAIR_SWEEP_COLUMNS.to_vec());
+    }
+
+    #[test]
+    fn v2_layout_caches_separately_from_v1() {
+        let dir = std::env::temp_dir().join(format!("wcs-layout-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let v1 = tiny_sweep().ds(&[20.0]).sigmas(&[8.0]).samples(500);
+        let v2 = v1.clone().stream_layout(StreamLayout::V2);
+        let first_v1 = run_sweep(&v1, &Engine::serial(), Some(&cache));
+        assert!(!first_v1.cache_hit);
+        // The v2 run must miss (disjoint key), not serve v1 rows.
+        let first_v2 = run_sweep(&v2, &Engine::serial(), Some(&cache));
+        assert!(!first_v2.cache_hit, "v2 must not hit the v1 cache entry");
+        assert_ne!(first_v1.report.to_csv(), first_v2.report.to_csv());
+        // And each layout hits its own entry on re-run.
+        assert!(run_sweep(&v1, &Engine::serial(), Some(&cache)).cache_hit);
+        assert!(run_sweep(&v2, &Engine::serial(), Some(&cache)).cache_hit);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::config::EffortProfile;
 use wcs_capacity::npair::{NPairTopology, Placement};
 use wcs_capacity::shannon::CapacityModel;
 use wcs_capacity::MacPolicy;
-use wcs_core::params::ModelParams;
+use wcs_core::params::{ModelParams, StreamLayout};
 use wcs_stats::rng::splitmix64;
 
 /// One value of a sweep's topology axis.
@@ -153,6 +153,11 @@ pub struct Sweep {
     pub topologies: Vec<Topology>,
     /// MAC policies whose averages the report emits.
     pub policies: Vec<PolicyAxis>,
+    /// Versioned Monte Carlo draw path. [`StreamLayout::V1`] (the
+    /// default) is the bitwise paper-exact path; [`StreamLayout::V2`] is
+    /// the batched/fused path with its own canonical prefix — so the two
+    /// layouts never share cache keys or goldens.
+    pub stream_layout: StreamLayout,
     /// Monte Carlo samples per task.
     pub samples: u64,
     /// Root seed; every task derives its own stream from it.
@@ -174,6 +179,7 @@ impl Sweep {
             caps: vec![CapacityModel::SHANNON],
             topologies: vec![Topology::TwoPair],
             policies: PolicyAxis::ALL.to_vec(),
+            stream_layout: StreamLayout::V1,
             samples: EffortProfile::quick().mc_samples,
             seed: 0,
         }
@@ -239,6 +245,14 @@ impl Sweep {
         self
     }
 
+    /// Select the Monte Carlo draw path (stream layout). V2 runs carry
+    /// the `wcs-sweep-v2;` canonical prefix, so switching layouts is a
+    /// full identity change: fresh cache keys, fresh goldens.
+    pub fn stream_layout(mut self, layout: StreamLayout) -> Self {
+        self.stream_layout = layout;
+        self
+    }
+
     /// Set the per-task Monte Carlo sample count.
     pub fn samples(mut self, n: u64) -> Self {
         self.samples = n;
@@ -288,6 +302,7 @@ impl Sweep {
                                         alpha,
                                         d_thresh,
                                         cap,
+                                        stream_layout: self.stream_layout,
                                         samples: self.samples,
                                         seed: task_seed(self.seed, index as u64),
                                     });
@@ -314,6 +329,12 @@ impl Sweep {
     /// axis serializes to exactly the v1 string it always did, so every
     /// pre-existing scenario hash — and every on-disk cache entry — stays
     /// valid.
+    ///
+    /// The stream layout *is* the leading version prefix: V1 sweeps keep
+    /// the historical `wcs-sweep-v1;` string byte for byte, while V2
+    /// sweeps lead with `wcs-sweep-v2;` and therefore hash to a disjoint
+    /// identity — no cache entry, result-index row or golden is ever
+    /// shared across layouts.
     pub fn canonical(&self) -> String {
         let fmt = |v: &[f64]| {
             let parts: Vec<String> = v.iter().map(|x| format!("{x:?}")).collect();
@@ -330,7 +351,8 @@ impl Sweep {
             })
             .collect();
         let mut out = format!(
-            "wcs-sweep-v1;name={};rmaxes=[{}];ds=[{}];sigmas=[{}];alphas=[{}];d_threshes=[{}];caps=[{}];samples={}",
+            "{}name={};rmaxes=[{}];ds=[{}];sigmas=[{}];alphas=[{}];d_threshes=[{}];caps=[{}];samples={}",
+            self.stream_layout.canonical_prefix(),
             self.name,
             fmt(&self.rmaxes),
             fmt(&self.ds),
@@ -374,6 +396,8 @@ pub struct Task {
     pub d_thresh: f64,
     /// Bitrate/capacity model.
     pub cap: CapacityModel,
+    /// Monte Carlo draw path this task evaluates under.
+    pub stream_layout: StreamLayout,
     /// Monte Carlo samples for this task.
     pub samples: u64,
     /// This task's private seed, derived from the sweep root.
@@ -508,6 +532,30 @@ mod tests {
             .clone()
             .topologies(&[Topology::npair(4, Placement::Random { seed: 2 })]);
         assert_ne!(r1.scenario_hash(), r2.scenario_hash());
+    }
+
+    #[test]
+    fn stream_layout_v2_changes_prefix_and_hash_only() {
+        let base = Sweep::new("t").ds(&[10.0, 20.0]);
+        let v2 = base.clone().stream_layout(StreamLayout::V2);
+        assert!(base.canonical().starts_with("wcs-sweep-v1;"));
+        assert!(v2.canonical().starts_with("wcs-sweep-v2;"));
+        assert_ne!(base.scenario_hash(), v2.scenario_hash());
+        // The layout is the prefix and nothing else: the rest of the
+        // canonical string is unchanged.
+        assert_eq!(
+            base.canonical().strip_prefix("wcs-sweep-v1;"),
+            v2.canonical().strip_prefix("wcs-sweep-v2;"),
+        );
+        // Tasks carry the layout; seeds are layout-independent (v2 uses
+        // the same per-task streams, drawn through a different path).
+        let a = base.lower();
+        let b = v2.lower();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stream_layout, StreamLayout::V1);
+            assert_eq!(y.stream_layout, StreamLayout::V2);
+            assert_eq!(x.seed, y.seed);
+        }
     }
 
     #[test]

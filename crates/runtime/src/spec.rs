@@ -19,6 +19,7 @@
 //! caps = ["shannon", "eff=0.85,cap=2.7"]
 //! topologies = ["two-pair", "npair(n=4,placement=line)"]
 //! policies = ["carrier-sense", "optimal"]
+//! stream_layout = "v1"        # optional; "v2" selects the batched path
 //! samples = 20000
 //! seed = 7
 //! ```
@@ -65,6 +66,7 @@ use crate::simsweep::{RateAxis, SimSweep};
 use crate::workload::{AnyWorkload, WorkloadKind, WorkloadSpec};
 use wcs_capacity::npair::Placement;
 use wcs_capacity::shannon::CapacityModel;
+use wcs_core::params::StreamLayout;
 
 /// A spec-file failure: what went wrong ([`SpecErrorKind`]) and on which
 /// line (1-based, 0 when no single line is at fault).
@@ -348,6 +350,13 @@ pub fn to_spec_toml(sweep: &Sweep) -> String {
         .iter()
         .map(|p| p.label().to_string())
         .collect();
+    // The stream-layout line is emitted only off the default: a v1 sweep
+    // serializes to the exact bytes it always did (shard manifests embed
+    // this text, so the v1 manifest format is frozen too).
+    let stream_layout = match sweep.stream_layout {
+        StreamLayout::V1 => String::new(),
+        layout => format!("stream_layout = \"{}\"\n", layout.label()),
+    };
     format!(
         "name = \"{}\"\n\
          rmaxes = {}\n\
@@ -358,7 +367,7 @@ pub fn to_spec_toml(sweep: &Sweep) -> String {
          caps = {}\n\
          topologies = {}\n\
          policies = {}\n\
-         samples = {}\n\
+         {}samples = {}\n\
          seed = {}\n",
         escape(&sweep.name),
         fmt_floats(&sweep.rmaxes),
@@ -369,6 +378,7 @@ pub fn to_spec_toml(sweep: &Sweep) -> String {
         fmt_strings(&caps),
         fmt_strings(&topologies),
         fmt_strings(&policies),
+        stream_layout,
         sweep.samples,
         sweep.seed,
     )
@@ -580,6 +590,18 @@ pub fn parse_spec_toml(text: &str) -> Result<Sweep, SpecError> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "stream_layout" => match value {
+                Value::Str(s) => match StreamLayout::from_label(&s) {
+                    Some(layout) => sweep.stream_layout = layout,
+                    None => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown stream layout '{s}' (known layouts: v1, v2)"),
+                        ))
+                    }
+                },
+                _ => return Err(err(lineno, "'stream_layout' must be a quoted string")),
+            },
             "samples" => match value {
                 Value::Int(n) if n > 0 => sweep.samples = n,
                 _ => return Err(err(lineno, "'samples' must be a positive integer")),
@@ -898,6 +920,39 @@ mod tests {
         let s = parse_spec_toml("name = \"minimal\"\n").unwrap();
         let d = Sweep::new("minimal");
         assert_eq!(s, d);
+        assert_eq!(s.stream_layout, StreamLayout::V1);
+    }
+
+    #[test]
+    fn stream_layout_roundtrips_and_stays_off_v1_specs() {
+        // A v1 sweep's spec text must not mention the key at all: the v1
+        // serialization (embedded in shard manifests) is frozen.
+        let v1 = exotic_sweep();
+        assert!(!to_spec_toml(&v1).contains("stream_layout"));
+        // A v2 sweep round-trips with the layout — and the identity —
+        // intact.
+        let v2 = exotic_sweep().stream_layout(StreamLayout::V2);
+        let text = to_spec_toml(&v2);
+        assert!(text.contains("stream_layout = \"v2\"\n"), "{text}");
+        let parsed = parse_spec_toml(&text).expect("parse");
+        assert_eq!(parsed, v2);
+        assert_eq!(parsed.canonical(), v2.canonical());
+        assert_eq!(parsed.scenario_hash(), v2.scenario_hash());
+        // Spelling the default explicitly parses to the same sweep.
+        let explicit = format!("{}stream_layout = \"v1\"\n", to_spec_toml(&v1));
+        assert_eq!(parse_spec_toml(&explicit).unwrap(), v1);
+    }
+
+    #[test]
+    fn unknown_stream_layout_is_a_structured_bad_value() {
+        let e = parse_spec_toml("name = \"x\"\nstream_layout = \"v3\"\n").unwrap_err();
+        assert_eq!(e.code(), "bad_value");
+        assert_eq!(e.line, 2);
+        assert!(e.message().contains("unknown stream layout 'v3'"), "{e}");
+        assert!(e.message().contains("known layouts: v1, v2"), "{e}");
+        // Labels are exact: no case folding, no bare (unquoted) values.
+        assert!(parse_spec_toml("name = \"x\"\nstream_layout = \"V2\"\n").is_err());
+        assert!(parse_spec_toml("name = \"x\"\nstream_layout = v2\n").is_err());
     }
 
     #[test]

@@ -22,6 +22,54 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     }
 }
 
+/// Draw a standard normal variate on the **v2 stream layout**: one
+/// 53-bit uniform mapped through the deterministic inverse normal CDF
+/// ([`crate::fastmath::inv_normal_cdf`]).
+///
+/// Unlike the polar method there is **no rejection loop**: every draw
+/// consumes exactly one `u64` from the generator. That fixed draw
+/// economy is what makes the batched filler ([`fill_standard_normal`])
+/// split-invariant *by construction* — and it cuts the per-normal RNG
+/// cost to ~40% of v1's (the polar method burns ~2.55 uniforms per
+/// accepted variate). The word's top bit picks the sign and the low 52
+/// bits form a magnitude uniform `v = (k + ½)·2⁻⁵³ ∈ (0, ½)` — every
+/// such `v` is exactly representable, always strictly inside the lower
+/// half, so the quantile is finite (|z| ≲ 8.4 at the extreme
+/// `v = 2⁻⁵⁴`), the distribution is symmetric by construction, and the
+/// cancellation-prone `1 − p` upper-tail branch of the quantile is
+/// never taken. This is the scalar reference the batched filler must
+/// match bitwise for every split.
+#[inline]
+pub fn standard_normal_v2<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let bits = rng.gen::<u64>();
+    let k = bits & ((1u64 << 52) - 1);
+    let v = (k as f64 + 0.5) * (1.0 / 9_007_199_254_740_992.0); // ·2⁻⁵³
+    let z = crate::fastmath::inv_normal_cdf(v); // strictly negative
+    if bits >> 63 == 0 {
+        z
+    } else {
+        -z
+    }
+}
+
+/// Fill `out` with standard normal variates on the v2 stream layout.
+///
+/// **Stream contract:** the values and the RNG state after the call are
+/// exactly those of `out.iter_mut().for_each(|x| *x = standard_normal_v2(rng))`
+/// — one variate per slot, one generator word per slot, in slot order,
+/// regardless of how callers split a logical batch across multiple
+/// `fill_standard_normal` calls. That split-invariance is what lets the
+/// v2 kernels fill the N×N shadowing table chunk by chunk (or all at
+/// once) and still produce bitwise-identical reports at any block size;
+/// it is pinned by the property tests below. With the inverse-CDF
+/// sampler the contract is structural (fixed consumption per slot)
+/// rather than an accident of rejection-loop alignment.
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for slot in out.iter_mut() {
+        *slot = standard_normal_v2(rng);
+    }
+}
+
 /// Lognormal shadowing expressed in dB: `L = 10^(X/10)`, `X ~ N(0, σ_dB²)`.
 ///
 /// This is the paper's `Lσ` random variable. `sample_linear` returns the
@@ -174,6 +222,111 @@ mod tests {
         let var = sum2 / n as f64 - mean * mean;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_v2_moments() {
+        // Same CI bounds as the v1 sampler: the fast-ln substitution
+        // must not move the distribution.
+        let mut rng = seeded_rng(21);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = standard_normal_v2(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_v2_consumes_exactly_one_word_per_draw() {
+        // The fixed draw economy behind the split-invariance contract:
+        // n variates consume exactly n u64s, no rejection loop.
+        let mut sampler = seeded_rng(22);
+        let mut counter = seeded_rng(22);
+        for _ in 0..1_000 {
+            let _ = standard_normal_v2(&mut sampler);
+            let _ = counter.gen::<u64>();
+        }
+        assert_eq!(sampler.gen::<u64>(), counter.gen::<u64>());
+    }
+
+    #[test]
+    fn standard_normal_v2_matches_v1_distribution() {
+        // The two samplers draw from the same distribution but are no
+        // longer sample-aligned (inverse CDF vs polar rejection), so
+        // compare empirical quantiles over large independent samples.
+        let n = 200_000;
+        let mut a = seeded_rng(101);
+        let mut b = seeded_rng(202);
+        let mut v1: Vec<f64> = (0..n).map(|_| standard_normal(&mut a)).collect();
+        let mut v2: Vec<f64> = (0..n).map(|_| standard_normal_v2(&mut b)).collect();
+        v1.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        v2.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let i = (q * n as f64) as usize;
+            assert!(
+                (v1[i] - v2[i]).abs() < 0.02,
+                "quantile {q}: {} vs {}",
+                v1[i],
+                v2[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fill_standard_normal_moments() {
+        let mut rng = seeded_rng(23);
+        let mut buf = vec![0.0f64; 200_000];
+        fill_standard_normal(&mut rng, &mut buf);
+        let n = buf.len() as f64;
+        let mean = buf.iter().sum::<f64>() / n;
+        let var = buf.iter().map(|x| x * x).sum::<f64>() / n - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn fill_standard_normal_split_invariance() {
+        // The stream contract: any batch-size/offset split of one
+        // logical fill produces the same bytes as the unsplit fill and
+        // as the scalar reference loop. Every split point of a
+        // 29-element buffer, plus a three-way split, is checked.
+        let len = 29;
+        let mut reference = vec![0.0f64; len];
+        let mut rng = seeded_rng(24);
+        for slot in reference.iter_mut() {
+            *slot = standard_normal_v2(&mut rng);
+        }
+        let tail_probe = rng.gen::<u64>();
+        for split in 0..=len {
+            let mut buf = vec![0.0f64; len];
+            let mut rng = seeded_rng(24);
+            let (head, tail) = buf.split_at_mut(split);
+            fill_standard_normal(&mut rng, head);
+            fill_standard_normal(&mut rng, tail);
+            for (i, (a, b)) in reference.iter().zip(&buf).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "split {split}, slot {i}");
+            }
+            assert_eq!(
+                rng.gen::<u64>(),
+                tail_probe,
+                "split {split}: rng state diverged"
+            );
+        }
+        let mut buf = vec![0.0f64; len];
+        let mut rng = seeded_rng(24);
+        fill_standard_normal(&mut rng, &mut buf[..7]);
+        fill_standard_normal(&mut rng, &mut buf[7..19]);
+        fill_standard_normal(&mut rng, &mut buf[19..]);
+        assert!(reference
+            .iter()
+            .zip(&buf)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod bootstrap;
 pub mod dist;
+pub mod fastmath;
 pub mod fit;
 pub mod interp;
 pub mod montecarlo;
@@ -39,7 +40,8 @@ pub mod special;
 pub mod summary;
 
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, BootstrapCi};
-pub use dist::{LogNormalDb, Rayleigh, Rician};
+pub use dist::{fill_standard_normal, standard_normal_v2, LogNormalDb, Rayleigh, Rician};
+pub use fastmath::{fast_exp, fast_ln, fast_log2};
 pub use fit::{fit_pathloss_shadowing, PathLossFit, RssiSample};
 pub use interp::LinearInterp;
 pub use montecarlo::{MonteCarlo, MonteCarloEstimate};

@@ -95,6 +95,46 @@ fn npair_scaling_sweep_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn stream_layout_v2_is_bitwise_identical_across_thread_counts() {
+    // The batched v2 draw path honours the same engine contract as v1:
+    // any thread count, same bits — but it is a *different* stream, so
+    // its bytes and its cache identity must both diverge from v1.
+    use in_defense_of_carrier_sense::runtime::StreamLayout;
+    let v1 = tiny_fig4_family();
+    let v2 = tiny_fig4_family().stream_layout(StreamLayout::V2);
+    let serial = run_sweep(&v2, &Engine::new(1), None);
+    let four = run_sweep(&v2, &Engine::new(4), None);
+    let many = run_sweep(&v2, &Engine::new(13), None);
+    assert_eq!(serial.report.to_csv(), four.report.to_csv());
+    assert_eq!(serial.report.to_csv(), many.report.to_csv());
+    assert_eq!(serial.report.to_json(), four.report.to_json());
+    let v1_out = run_sweep(&v1, &Engine::new(4), None);
+    assert_ne!(
+        v1_out.report.to_csv(),
+        serial.report.to_csv(),
+        "v2 must be a distinct stream, not a re-labelled v1"
+    );
+    assert_ne!(
+        v1.scenario_hash(),
+        v2.scenario_hash(),
+        "v2 must not collide with v1 cache entries"
+    );
+}
+
+#[test]
+fn stream_layout_v2_npair_sweep_is_thread_count_invariant() {
+    // Same contract on the topology-axis path, where the batched N-pair
+    // kernel (the whole point of v2) actually runs.
+    use in_defense_of_carrier_sense::runtime::StreamLayout;
+    let profile = EffortProfile::quick().with_mc_samples(10_000);
+    let sweep = scenarios::npair_scaling(&profile).stream_layout(StreamLayout::V2);
+    let serial = run_sweep(&sweep, &Engine::new(1), None);
+    let many = run_sweep(&sweep, &Engine::new(11), None);
+    assert_eq!(serial.report.to_csv(), many.report.to_csv());
+    assert_eq!(serial.report.to_json(), many.report.to_json());
+}
+
+#[test]
 fn adding_the_topology_axis_changed_no_classic_sweep() {
     // The classic scenarios must hash to the same canonical identity
     // whether or not the (defaulted) topology axis is spelled out, and
